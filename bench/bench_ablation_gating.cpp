@@ -1,0 +1,52 @@
+// Ablation: the probabilistic lambda/beta gating (paper §IV-B/C) vs
+// always-prefetch and never-prefetch, plus the Eq. 3 budget split vs a
+// uniform split.
+//
+// What to look for: always-prefetch wastes bus bandwidth on quiet ranks
+// (its gains shrink or go negative on bursty benchmarks), never-prefetch
+// isolates the pure drain effect, and Eq. 3 beats the uniform split when
+// traffic concentrates in a few banks.
+#include "bench_util.h"
+
+int main() {
+  using namespace rop;
+  const std::uint64_t instr = bench::instructions_per_core(15'000'000);
+  const char* benchmarks[] = {"libquantum", "lbm", "gcc", "bzip2", "wrf"};
+
+  TextTable table("Ablation — gating and budget policies (IPC vs baseline)");
+  table.set_header({"benchmark", "probabilistic", "always", "never",
+                    "uniform-split"});
+
+  for (const char* name : benchmarks) {
+    const auto base = sim::run_experiment(
+        bench::bench_spec(name, sim::MemoryMode::kBaseline, instr));
+
+    const auto run_variant = [&](auto tweak) {
+      sim::ExperimentSpec spec =
+          bench::bench_spec(name, sim::MemoryMode::kRop, instr);
+      tweak(spec.rop);
+      return sim::run_experiment(spec).ipc() / base.ipc();
+    };
+
+    const double prob = run_variant([](engine::RopConfig&) {});
+    const double always = run_variant([](engine::RopConfig& rc) {
+      rc.gating = engine::GatingMode::kAlwaysPrefetch;
+    });
+    const double never = run_variant([](engine::RopConfig& rc) {
+      rc.gating = engine::GatingMode::kNeverPrefetch;
+    });
+    const double uniform = run_variant([](engine::RopConfig& rc) {
+      rc.uniform_budget = true;
+    });
+    table.add_row({name, TextTable::fmt(prob, 4), TextTable::fmt(always, 4),
+                   TextTable::fmt(never, 4), TextTable::fmt(uniform, 4)});
+  }
+  table.print();
+  bench::print_paper_note(
+      "design ablation (DESIGN.md §4)",
+      "expectation: probabilistic ~ always on steady streams (lambda ~ 1 "
+      "makes them identical) but probabilistic avoids waste on bursty "
+      "benchmarks; never-prefetch hovers near 1.0 (drain alone); Eq. 3 >= "
+      "uniform when bank activity is skewed.");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation of the staging decisions this implementation adds on top of the
+// paper's text (DESIGN.md §6): adaptive round sizing, the bank recency
+// filter on Eq. 3, and the bus-saturation guard.
+#include "bench_util.h"
+
+int main() {
+  using namespace rop;
+  const std::uint64_t instr = bench::instructions_per_core(15'000'000);
+  const char* benchmarks[] = {"libquantum", "lbm", "gemsfdtd", "gcc"};
+
+  TextTable table(
+      "Ablation — staging mechanics (IPC vs baseline / buffer hit rate)");
+  table.set_header({"benchmark", "full ROP", "fixed-count", "no-recency",
+                    "no-sat-guard", "hit full", "hit no-recency"});
+
+  for (const char* name : benchmarks) {
+    const auto base = sim::run_experiment(
+        bench::bench_spec(name, sim::MemoryMode::kBaseline, instr));
+
+    const auto run_variant = [&](auto tweak) {
+      sim::ExperimentSpec spec =
+          bench::bench_spec(name, sim::MemoryMode::kRop, instr);
+      tweak(spec.rop);
+      return sim::run_experiment(spec);
+    };
+
+    const auto full = run_variant([](engine::RopConfig&) {});
+    const auto fixed = run_variant(
+        [](engine::RopConfig& rc) { rc.adaptive_count = false; });
+    const auto no_recency = run_variant(
+        [](engine::RopConfig& rc) { rc.bank_recency_horizon = 0; });
+    const auto no_guard = run_variant(
+        [](engine::RopConfig& rc) { rc.saturation_guard_bursts = 0.0; });
+
+    table.add_row({name, TextTable::fmt(full.ipc() / base.ipc(), 4),
+                   TextTable::fmt(fixed.ipc() / base.ipc(), 4),
+                   TextTable::fmt(no_recency.ipc() / base.ipc(), 4),
+                   TextTable::fmt(no_guard.ipc() / base.ipc(), 4),
+                   TextTable::fmt(full.sram_hit_rate, 3),
+                   TextTable::fmt(no_recency.sram_hit_rate, 3)});
+  }
+  table.print();
+  bench::print_paper_note(
+      "staging ablation (DESIGN.md §6)",
+      "expectation: disabling the recency filter drops the hit rate for "
+      "bank-resident streams (Eq. 3 dilutes the hot bank); fixed-count "
+      "staging adds bus waste on quieter benchmarks; the saturation guard "
+      "only matters when the bus is near capacity.");
+  return 0;
+}

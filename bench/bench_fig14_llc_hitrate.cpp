@@ -1,0 +1,34 @@
+// Figure 14: SRAM buffer hit rate of the 4-core ROP runs across LLC sizes.
+//
+// Paper: the hit rate stays high at every LLC size, confirming the access
+// patterns remain predictable after cache filtering.
+#include "bench_util.h"
+
+int main() {
+  using namespace rop;
+  const std::uint64_t instr = bench::instructions_per_core(8'000'000);
+  const std::uint64_t llcs[] = {1ull << 20, 2ull << 20, 4ull << 20,
+                                8ull << 20};
+
+  TextTable table("Fig. 14 — SRAM buffer hit rate by LLC size (4-core ROP)");
+  table.set_header({"mix", "1MB", "2MB", "4MB", "8MB"});
+
+  for (std::uint32_t wl = 1; wl <= workload::kNumWorkloadMixes; ++wl) {
+    std::vector<std::string> row{"WL" + std::to_string(wl)};
+    for (const std::uint64_t llc : llcs) {
+      sim::ExperimentSpec rop =
+          sim::multi_core_spec(wl, sim::MemoryMode::kRop, true, llc);
+      rop.instructions_per_core = instr;
+      row.push_back(TextTable::fmt(sim::run_experiment(rop).sram_hit_rate,
+                                   3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  bench::print_paper_note(
+      "Fig. 14",
+      "paper: hit rate remains at an impressive level across LLC sizes; "
+      "intensive mixes keep the buffer busy, quiet mixes rarely stage and "
+      "show noisier rates.");
+  return 0;
+}

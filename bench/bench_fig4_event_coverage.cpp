@@ -1,0 +1,39 @@
+// Figure 4: fraction of refreshes falling into the two dominant events —
+// E1 (B>0 && A>0) and E2 (B=0 && A=0) — at 1x/2x/4x observational windows.
+//
+// Paper: E1+E2 dominates across all benchmarks, so a predictor that only
+// distinguishes those two events already achieves high coverage.
+#include "analysis_listener.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace rop;
+  const std::uint64_t instr = bench::instructions_per_core(15'000'000);
+
+  TextTable table("Fig. 4 — dominant-event coverage E1 + E2");
+  table.set_header({"benchmark", "E1 1x", "E2 1x", "E1+E2 1x", "E1+E2 2x",
+                    "E1+E2 4x"});
+
+  double coverage_sum = 0;
+  for (const auto name : workload::kBenchmarkNames) {
+    const auto obs = bench::observe_benchmark(std::string(name), instr);
+    const auto& c1 = obs->counts(0);
+    const auto& c2 = obs->counts(1);
+    const auto& c4 = obs->counts(2);
+    const double cov1 = c1.e1_fraction() + c1.e2_fraction();
+    coverage_sum += cov1;
+    table.add_row({std::string(name), TextTable::pct(c1.e1_fraction()),
+                   TextTable::pct(c1.e2_fraction()), TextTable::pct(cov1),
+                   TextTable::pct(c2.e1_fraction() + c2.e2_fraction()),
+                   TextTable::pct(c4.e1_fraction() + c4.e2_fraction())});
+  }
+  table.print();
+  std::printf("\nmeasured: mean E1+E2 coverage at 1x = %.1f%%\n",
+              100 * coverage_sum / static_cast<double>(workload::kBenchmarkNames.size()));
+  bench::print_paper_note(
+      "Fig. 4",
+      "paper: E1 and E2 are the dominant refresh categories for every "
+      "benchmark (typically > 80% combined), which is what makes the "
+      "B-based prefetch decision accurate.");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 9: SRAM buffer hit rate in single-core runs, by buffer capacity
+// (16/32/64/128 lines).
+//
+// Paper: the buffer "constantly delivers a hit rate above 0.6" and the
+// rate rises with capacity.
+#include "bench_util.h"
+
+int main() {
+  using namespace rop;
+  const std::uint64_t instr = bench::instructions_per_core(20'000'000);
+  const std::uint32_t capacities[] = {16, 32, 64, 128};
+
+  TextTable table("Fig. 9 — SRAM buffer hit rate by capacity");
+  table.set_header({"benchmark", "16", "32", "64", "128"});
+
+  std::vector<double> rates64;
+  for (const auto name : workload::kBenchmarkNames) {
+    std::vector<std::string> row{std::string(name)};
+    for (const std::uint32_t cap : capacities) {
+      sim::ExperimentSpec spec = bench::bench_spec(
+          std::string(name), sim::MemoryMode::kRop, instr);
+      spec.rop.buffer_lines = cap;
+      const auto rop = sim::run_experiment(spec);
+      if (cap == 64) rates64.push_back(rop.sram_hit_rate);
+      row.push_back(TextTable::fmt(rop.sram_hit_rate, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  double mean64 = 0;
+  for (const double r : rates64) mean64 += r / static_cast<double>(rates64.size());
+  std::printf("\nmeasured: mean hit rate at 64 lines = %.3f (streaming "
+              "benchmarks carry the average; quiet ones rarely stage)\n",
+              mean64);
+  bench::print_paper_note(
+      "Fig. 9",
+      "paper: hit rate above 0.6 on average and increasing with capacity. "
+      "Here the metric counts reads arriving during refresh periods; for "
+      "quiet benchmarks the denominator is tiny and the lambda/beta gating "
+      "skips most refreshes, so their rates are noisy.");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark) for the simulator's hot paths: these
+// bound the simulation rate and guard against accidental slowdowns.
+#include <benchmark/benchmark.h>
+
+#include "cache/llc.h"
+#include "common/rng.h"
+#include "mem/address_map.h"
+#include "mem/memory_system.h"
+#include "rop/pattern_profiler.h"
+#include "rop/prediction_table.h"
+#include "rop/sram_buffer.h"
+
+namespace {
+
+using namespace rop;
+
+void BM_AddressMapRoundTrip(benchmark::State& state) {
+  dram::DramOrganization org;
+  org.ranks = 4;
+  const mem::AddressMap map(org, mem::MapScheme::kRowRankBankColumn);
+  Rng rng(1);
+  const std::uint64_t total = org.total_lines();
+  for (auto _ : state) {
+    const Address a = rng.next_below(total) << kLineShift;
+    const DramCoord c = map.map(a);
+    benchmark::DoNotOptimize(map.unmap(c));
+  }
+}
+BENCHMARK(BM_AddressMapRoundTrip);
+
+void BM_LlcAccess(benchmark::State& state) {
+  cache::LlcConfig cfg;
+  cfg.size_bytes = 2ull << 20;
+  cache::Llc llc(cfg);
+  Rng rng(2);
+  for (auto _ : state) {
+    const Address a = rng.next_below(1 << 20) << kLineShift;
+    benchmark::DoNotOptimize(llc.access(a, rng.next_bool(0.3)));
+  }
+}
+BENCHMARK(BM_LlcAccess);
+
+void BM_PredictionTableUpdate(benchmark::State& state) {
+  engine::PredictionTable table(8, 1 << 23);
+  Rng rng(3);
+  std::uint64_t offset = 0;
+  Cycle now = 0;
+  for (auto _ : state) {
+    offset += 1 + rng.next_below(3);
+    table.on_access(static_cast<BankId>(rng.next_below(8)), offset, ++now);
+  }
+}
+BENCHMARK(BM_PredictionTableUpdate);
+
+void BM_PredictionTablePredict(benchmark::State& state) {
+  engine::PredictionTable table(8, 1 << 23);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    table.on_access(static_cast<BankId>(i % 8), i / 8, i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.predict(64, false, 0, 20'000, 1'000));
+  }
+}
+BENCHMARK(BM_PredictionTablePredict);
+
+void BM_SramBufferProbe(benchmark::State& state) {
+  engine::SramBuffer buf(64);
+  buf.begin_round(0);
+  for (Address a = 0; a < 64; ++a) buf.insert(a << kLineShift);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buf.lookup(rng.next_below(128) << kLineShift));
+  }
+}
+BENCHMARK(BM_SramBufferProbe);
+
+void BM_WindowCorrelator(benchmark::State& state) {
+  engine::WindowCorrelator wc(6240, 4);
+  Rng rng(5);
+  Cycle now = 0;
+  for (auto _ : state) {
+    now += 1 + rng.next_below(40);
+    const RankId rank = static_cast<RankId>(rng.next_below(4));
+    if (rng.next_bool(0.01)) {
+      wc.on_refresh(rank, now);
+    } else {
+      wc.on_request(rank, now, true);
+    }
+  }
+}
+BENCHMARK(BM_WindowCorrelator);
+
+void BM_MemorySystemTick(benchmark::State& state) {
+  // End-to-end controller tick rate under a steady read stream.
+  mem::MemoryConfig cfg;
+  cfg.timings = dram::make_ddr4_1600_timings();
+  cfg.org.ranks = 1;
+  StatRegistry stats;
+  mem::MemorySystem memsys(cfg, &stats);
+  std::uint64_t line = 0;
+  Cycle now = 0;
+  for (auto _ : state) {
+    if (now % 12 == 0 && memsys.can_accept(line << kLineShift,
+                                           mem::ReqType::kRead)) {
+      (void)memsys.enqueue(line << kLineShift, mem::ReqType::kRead, 0, now);
+      ++line;
+    }
+    memsys.tick(now);
+    benchmark::DoNotOptimize(memsys.drain_completed());
+    ++now;
+  }
+}
+BENCHMARK(BM_MemorySystemTick);
+
+}  // namespace

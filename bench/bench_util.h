@@ -1,0 +1,85 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Run lengths default to values that finish each bench in minutes; set
+// ROP_BENCH_INSTRUCTIONS (per-core instruction count) to trade fidelity for
+// time, e.g. ROP_BENCH_INSTRUCTIONS=2000000 for a smoke pass.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/experiment.h"
+#include "workload/spec_profiles.h"
+
+namespace rop::bench {
+
+inline std::uint64_t instructions_per_core(std::uint64_t fallback) {
+  if (const char* env = std::getenv("ROP_BENCH_INSTRUCTIONS")) {
+    const std::uint64_t v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/// Single-core spec with bench-appropriate run length.
+inline sim::ExperimentSpec bench_spec(const std::string& benchmark,
+                                      sim::MemoryMode mode,
+                                      std::uint64_t instructions) {
+  sim::ExperimentSpec spec = sim::single_core_spec(benchmark, mode);
+  spec.instructions_per_core = instructions;
+  return spec;
+}
+
+/// IPC of each benchmark running alone on a `ranks`-rank baseline memory
+/// with the given LLC — the denominator of weighted speedup (Eq. 4).
+/// Memoized per (benchmark, ranks, llc) because the LLC sweeps reuse it.
+class AloneIpcCache {
+ public:
+  double get(const std::string& benchmark, std::uint32_t ranks,
+             std::uint64_t llc_bytes, std::uint64_t instructions) {
+    const std::string key = benchmark + "/" + std::to_string(ranks) + "/" +
+                            std::to_string(llc_bytes);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    sim::ExperimentSpec spec;
+    spec.benchmarks = {benchmark};
+    spec.mode = sim::MemoryMode::kBaseline;
+    spec.ranks = ranks;
+    spec.llc_bytes = llc_bytes;
+    spec.instructions_per_core = instructions;
+    const double ipc = sim::run_experiment(spec).ipc();
+    cache_.emplace(key, ipc);
+    return ipc;
+  }
+
+  std::vector<double> for_mix(std::uint32_t wl, std::uint32_t ranks,
+                              std::uint64_t llc_bytes,
+                              std::uint64_t instructions) {
+    std::vector<double> out;
+    for (const auto& b : workload::workload_mix(wl)) {
+      out.push_back(get(b, ranks, llc_bytes, instructions));
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, double> cache_;
+};
+
+inline void print_paper_note(const char* what, const char* paper_says) {
+  std::printf("\npaper reference: %s\n%s\n", what, paper_says);
+}
+
+}  // namespace rop::bench

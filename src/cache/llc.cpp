@@ -1,0 +1,91 @@
+#include "cache/llc.h"
+
+#include <algorithm>
+
+namespace rop::cache {
+
+namespace {
+
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+Llc::Llc(const LlcConfig& cfg) : cfg_(cfg) {
+  ROP_ASSERT(cfg.associativity > 0);
+  ROP_ASSERT(cfg.size_bytes % (static_cast<std::uint64_t>(cfg.associativity) *
+                               kLineBytes) ==
+             0);
+  const std::uint64_t sets =
+      cfg.size_bytes / (static_cast<std::uint64_t>(cfg.associativity) *
+                        kLineBytes);
+  ROP_ASSERT(is_pow2(sets));
+  num_sets_ = static_cast<std::uint32_t>(sets);
+  ways_.resize(static_cast<std::size_t>(num_sets_) * cfg.associativity);
+}
+
+std::uint32_t Llc::set_index(Address addr) const {
+  return static_cast<std::uint32_t>((addr >> kLineShift) & (num_sets_ - 1));
+}
+
+std::uint64_t Llc::tag_of(Address addr) const {
+  return (addr >> kLineShift) / num_sets_;
+}
+
+bool Llc::contains(Address addr) const {
+  const std::uint32_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.associativity];
+  for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+LlcAccessResult Llc::access(Address addr, bool is_write) {
+  ++stats_.accesses;
+  ++clock_;
+  const std::uint32_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.associativity];
+
+  for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      ++stats_.hits;
+      base[w].lru = clock_;
+      if (is_write) base[w].dirty = true;
+      return LlcAccessResult{true, std::nullopt};
+    }
+  }
+
+  ++stats_.misses;
+  // Victim: first invalid way, else LRU.
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+
+  LlcAccessResult result{false, std::nullopt};
+  if (victim->valid && victim->dirty) {
+    ++stats_.writebacks;
+    const Address victim_line =
+        (victim->tag * num_sets_ + set) << kLineShift;
+    result.writeback = victim_line;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = clock_;
+  victim->dirty = is_write;
+  return result;
+}
+
+void Llc::reset() {
+  std::fill(ways_.begin(), ways_.end(), Way{});
+  clock_ = 0;
+  stats_ = LlcStats{};
+}
+
+}  // namespace rop::cache

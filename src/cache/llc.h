@@ -1,0 +1,77 @@
+// Last-level cache model: set-associative, write-back, write-allocate, LRU.
+//
+// The LLC filters core traffic before it reaches the memory system — the
+// paper's §V-C3 sensitivity study sweeps its size (1/2/4/8 MB) to show how
+// filtering changes refresh exposure. Timing is not modeled here (hits are
+// folded into the core's compute stream); only the miss/writeback traffic
+// matters to the memory system.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rop::cache {
+
+struct LlcConfig {
+  std::uint64_t size_bytes = 2ull << 20;  // 2 MB (single-core default)
+  std::uint32_t associativity = 16;
+};
+
+struct LlcAccessResult {
+  bool hit = false;
+  /// Dirty victim line address evicted by this access's fill, if any.
+  std::optional<Address> writeback;
+};
+
+struct LlcStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    return accesses ? static_cast<double>(hits) / static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+class Llc {
+ public:
+  explicit Llc(const LlcConfig& cfg);
+
+  /// Access a byte address. On a miss the line is allocated immediately
+  /// (hit-under-miss is implicit; the fill's DRAM latency is modeled by the
+  /// memory system through the core's outstanding-miss tracking).
+  LlcAccessResult access(Address addr, bool is_write);
+
+  /// Probe without allocation or LRU update.
+  [[nodiscard]] bool contains(Address addr) const;
+
+  [[nodiscard]] const LlcStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t num_sets() const { return num_sets_; }
+  [[nodiscard]] const LlcConfig& config() const { return cfg_; }
+
+  void reset();
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // larger = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] std::uint32_t set_index(Address addr) const;
+  [[nodiscard]] std::uint64_t tag_of(Address addr) const;
+
+  LlcConfig cfg_;
+  std::uint32_t num_sets_;
+  std::vector<Way> ways_;  // num_sets_ * associativity, row-major by set
+  std::uint64_t clock_ = 0;
+  LlcStats stats_;
+};
+
+}  // namespace rop::cache

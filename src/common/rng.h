@@ -1,0 +1,98 @@
+// Deterministic pseudo-random number generation.
+//
+// Simulation runs must be bit-reproducible across machines and reruns, so we
+// implement xoshiro256** (public-domain algorithm by Blackman & Vigna)
+// seeded through SplitMix64 instead of relying on std::mt19937 parameters or
+// platform-dependent distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace rop {
+
+/// SplitMix64 — used to expand a single 64-bit seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 is invalid.
+  std::uint64_t next_below(std::uint64_t bound) {
+    ROP_ASSERT(bound > 0);
+    // Debiased via rejection sampling on the top of the range.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+  /// Geometric-ish gap: returns k >= 1 with mean approximately `mean`.
+  std::uint64_t next_gap(double mean) {
+    if (mean <= 1.0) return 1;
+    // Inverse-CDF sampling of a geometric distribution with success
+    // probability 1/mean, shifted to be >= 1.
+    const double p = 1.0 / mean;
+    double u = next_double();
+    if (u >= 1.0) u = 0.9999999999999999;
+    const double g = __builtin_log1p(-u) / __builtin_log1p(-p);
+    const auto out = static_cast<std::uint64_t>(g) + 1;
+    return out == 0 ? 1 : out;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace rop

@@ -1,0 +1,61 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace rop {
+
+Counter& StatRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Scalar& StatRegistry::scalar(const std::string& name) {
+  return scalars_[name];
+}
+
+Histogram& StatRegistry::histogram(const std::string& name,
+                                   std::uint64_t bucket_width,
+                                   std::size_t num_buckets) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(bucket_width, num_buckets)).first;
+  }
+  return it->second;
+}
+
+std::uint64_t StatRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+const Scalar* StatRegistry::find_scalar(const std::string& name) const {
+  const auto it = scalars_.find(name);
+  return it == scalars_.end() ? nullptr : &it->second;
+}
+
+const Histogram* StatRegistry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void StatRegistry::reset_all() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, s] : scalars_) s.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+std::string StatRegistry::report() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << ' ' << c.value() << '\n';
+  }
+  for (const auto& [name, s] : scalars_) {
+    os << name << " count=" << s.count() << " mean=" << s.mean()
+       << " min=" << s.min() << " max=" << s.max() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << " count=" << h.count() << " mean=" << h.mean() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rop

@@ -1,0 +1,133 @@
+// Statistics framework: named counters, scalar gauges, and histograms that
+// every subsystem registers into a shared StatRegistry. Benches and tests
+// read results by name; nothing in the hot path allocates after setup.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rop {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Running scalar statistics (count / sum / min / max / mean).
+class Scalar {
+ public:
+  void record(double v) {
+    ++count_;
+    sum_ += v;
+    min_ = (count_ == 1) ? v : std::min(min_, v);
+    max_ = (count_ == 1) ? v : std::max(max_, v);
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  void reset() { *this = Scalar{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [0, bucket_width * num_buckets), with an
+/// overflow bucket at the top.
+class Histogram {
+ public:
+  Histogram() : Histogram(1, 16) {}
+  Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+      : width_(bucket_width), buckets_(num_buckets + 1, 0) {
+    ROP_ASSERT(bucket_width > 0);
+    ROP_ASSERT(num_buckets > 0);
+  }
+
+  void record(std::uint64_t v) {
+    const std::size_t idx =
+        std::min<std::size_t>(v / width_, buckets_.size() - 1);
+    ++buckets_[idx];
+    ++count_;
+    sum_ += v;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_.at(i);
+  }
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t bucket_width() const { return width_; }
+
+  /// Smallest v such that at least `q` fraction of samples are <= v
+  /// (bucket-upper-bound approximation).
+  [[nodiscard]] std::uint64_t quantile(double q) const {
+    if (count_ == 0) return 0;
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      acc += buckets_[i];
+      if (acc >= target) return (i + 1) * width_;
+    }
+    return buckets_.size() * width_;
+  }
+
+  void reset() {
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+  }
+
+ private:
+  std::uint64_t width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Name → stat registry. Ownership lives here; subsystems hold pointers.
+/// Names are hierarchical by convention, e.g. "mem.reads", "rop.buffer.hits".
+class StatRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Scalar& scalar(const std::string& name);
+  Histogram& histogram(const std::string& name, std::uint64_t bucket_width,
+                       std::size_t num_buckets);
+
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+  [[nodiscard]] const Scalar* find_scalar(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  void reset_all();
+
+  /// Render "name value" lines, sorted by name, for debugging dumps.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Scalar> scalars_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace rop

@@ -1,0 +1,34 @@
+// Plain-text table rendering for bench harness output: every figure/table
+// reproduction prints rows through this so output stays uniform and easy to
+// diff against EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rop {
+
+/// Column-aligned text table with a title, header row and data rows.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string fmt(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);
+
+  [[nodiscard]] std::string render() const;
+  void print() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rop

@@ -1,0 +1,56 @@
+// Core vocabulary types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstdio>
+#include <limits>
+
+namespace rop {
+
+/// Physical byte address.
+using Address = std::uint64_t;
+
+/// Simulation time in DRAM-controller clock cycles (tCK granularity).
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no cycle" / "never".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Identifier types. Plain integers are enough, but we name them so
+/// signatures stay readable.
+using CoreId = std::uint32_t;
+using ChannelId = std::uint32_t;
+using RankId = std::uint32_t;
+using BankId = std::uint32_t;
+using RowId = std::uint32_t;
+using ColumnId = std::uint32_t;
+using RequestId = std::uint64_t;
+
+/// Cache line size used throughout (bytes). DDR4 burst of 8 on a x64
+/// channel transfers exactly one 64 B line.
+inline constexpr std::uint32_t kLineBytes = 64;
+inline constexpr std::uint32_t kLineShift = 6;
+
+/// Fully decomposed DRAM coordinate of a cache line.
+struct DramCoord {
+  ChannelId channel = 0;
+  RankId rank = 0;
+  BankId bank = 0;
+  RowId row = 0;
+  ColumnId column = 0;
+
+  bool operator==(const DramCoord&) const = default;
+};
+
+/// Lightweight always-on assertion (simulators must not silently corrupt
+/// state in release builds).
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "ROP_ASSERT failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+#define ROP_ASSERT(expr) \
+  ((expr) ? (void)0 : ::rop::assert_fail(#expr, __FILE__, __LINE__))
+
+}  // namespace rop

@@ -1,0 +1,91 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+
+namespace rop::cpu {
+
+Core::Core(CoreId id, const CoreConfig& cfg, const cache::LlcConfig& llc_cfg,
+           workload::TraceSource& trace, MemoryPort& port)
+    : id_(id),
+      cfg_(cfg),
+      private_llc_(llc_cfg),
+      trace_(trace),
+      port_(port),
+      rng_(cfg.seed ^ (0x9e3779b97f4a7c15ULL * (id + 1))) {
+  ROP_ASSERT(cfg.issue_width > 0);
+  ROP_ASSERT(cfg.max_outstanding > 0);
+}
+
+bool Core::do_mem_op() {
+  // A dirty writeback from a previous fill must drain first (it holds the
+  // single writeback buffer slot).
+  if (pending_writeback_) {
+    if (!port_.issue_write(id_, *pending_writeback_)) return false;
+    ++stats_.mem_writebacks;
+    pending_writeback_.reset();
+  }
+
+  cache::Llc& llc = active_llc();
+  if (!mem_op_pending_) {
+    const cache::LlcAccessResult res = llc.access(current_.addr,
+                                                  current_.is_write);
+    if (res.writeback) pending_writeback_ = *res.writeback;
+    if (res.hit) {
+      return true;  // LLC hit: retires with no memory traffic
+    }
+    mem_op_pending_ = true;  // a fill read must reach memory
+  }
+
+  // The fill occupies an outstanding-miss slot regardless of load/store.
+  if (outstanding_ >= cfg_.max_outstanding) return false;
+  const auto id = port_.issue_read(id_, current_.addr);
+  if (!id) return false;
+  ++outstanding_;
+  if (current_.is_write) {
+    ++stats_.mem_fills;
+  } else {
+    ++stats_.mem_reads;
+    // A critical load's value is needed right away: retirement blocks
+    // until the fill returns.
+    if (rng_.next_bool(cfg_.critical_load_fraction)) {
+      critical_pending_ = *id;
+    }
+  }
+  mem_op_pending_ = false;
+  return true;
+}
+
+void Core::cycle() {
+  ++stats_.cycles;
+  if (critical_pending_) {
+    ++stats_.stall_cycles;
+    return;  // blocked on an outstanding critical load
+  }
+  std::uint32_t budget = cfg_.issue_width;
+  const std::uint64_t retired_before = stats_.instructions;
+
+  while (budget > 0) {
+    if (!have_record_) {
+      current_ = trace_.next();
+      have_record_ = true;
+      remaining_gap_ = current_.gap;
+    }
+    if (remaining_gap_ > 0) {
+      const std::uint32_t take = std::min(budget, remaining_gap_);
+      remaining_gap_ -= take;
+      budget -= take;
+      stats_.instructions += take;
+      continue;
+    }
+    // Compute gap consumed: the record's memory operation is next.
+    if (!do_mem_op()) break;  // stalled on MLP budget or full memory queue
+    stats_.instructions += 1;  // the memory instruction itself
+    budget -= 1;
+    have_record_ = false;
+    if (critical_pending_) break;  // the load's value gates retirement
+  }
+
+  if (stats_.instructions == retired_before) ++stats_.stall_cycles;
+}
+
+}  // namespace rop::cpu

@@ -1,0 +1,113 @@
+// Trace-driven core model.
+//
+// The core retires up to `issue_width` instructions per CPU cycle from the
+// compute gaps in its trace. Memory reads that miss the LLC become memory
+// requests; the core keeps executing past outstanding misses up to
+// `max_outstanding` (a bounded-MLP approximation of an out-of-order window)
+// and stalls when the budget is exhausted. Stores retire immediately
+// (write-allocate fills and dirty writebacks generate memory traffic but do
+// not stall retirement beyond the same MLP budget).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cache/llc.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "workload/trace.h"
+
+namespace rop::cpu {
+
+struct CoreConfig {
+  std::uint32_t issue_width = 4;
+  std::uint32_t max_outstanding = 8;  // in-flight LLC miss budget (MLP)
+  /// Fraction of LLC-miss loads whose value feeds the instruction window
+  /// immediately: the core stalls until their data returns. This models
+  /// dependency chains an out-of-order window cannot hide and is what
+  /// makes the core latency-sensitive (without it, bounded MLP alone
+  /// hides nearly all memory latency).
+  double critical_load_fraction = 0.35;
+  std::uint64_t seed = 0xC0DEULL;  // criticality draw
+};
+
+struct CoreStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t stall_cycles = 0;   // cycles with zero retirement
+  std::uint64_t mem_reads = 0;      // LLC read misses sent to memory
+  std::uint64_t mem_fills = 0;      // write-allocate fills sent to memory
+  std::uint64_t mem_writebacks = 0;
+
+  [[nodiscard]] double ipc() const {
+    return cycles ? static_cast<double>(instructions) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+};
+
+/// Callback the core uses to push a request into the memory hierarchy.
+/// Returns false when the memory cannot accept it this cycle (retry next).
+class MemoryPort {
+ public:
+  virtual ~MemoryPort() = default;
+  /// Returns the request id on acceptance, nullopt when the memory cannot
+  /// take the request this cycle (retry next).
+  virtual std::optional<RequestId> issue_read(CoreId core, Address addr) = 0;
+  virtual bool issue_write(CoreId core, Address addr) = 0;
+};
+
+class Core {
+ public:
+  Core(CoreId id, const CoreConfig& cfg, const cache::LlcConfig& llc_cfg,
+       workload::TraceSource& trace, MemoryPort& port);
+
+  /// If true, this core shares an external LLC (multi-core); its private
+  /// LLC is bypassed. Must be set before the first cycle.
+  void set_shared_llc(cache::Llc* shared) { shared_llc_ = shared; }
+
+  /// Advance one CPU cycle.
+  void cycle();
+
+  /// A read this core issued has completed.
+  void on_read_complete(RequestId id) {
+    ROP_ASSERT(outstanding_ > 0);
+    --outstanding_;
+    if (critical_pending_ && *critical_pending_ == id) {
+      critical_pending_.reset();
+    }
+  }
+
+  [[nodiscard]] const CoreStats& stats() const { return stats_; }
+  [[nodiscard]] CoreId id() const { return id_; }
+  [[nodiscard]] std::uint32_t outstanding() const { return outstanding_; }
+  [[nodiscard]] const cache::Llc& llc() const { return private_llc_; }
+
+ private:
+  /// Attempt the memory operation of the current record. Returns true when
+  /// it retired (the core may advance to the next record).
+  bool do_mem_op();
+  [[nodiscard]] cache::Llc& active_llc() {
+    return shared_llc_ != nullptr ? *shared_llc_ : private_llc_;
+  }
+
+  CoreId id_;
+  CoreConfig cfg_;
+  cache::Llc private_llc_;
+  cache::Llc* shared_llc_ = nullptr;
+  workload::TraceSource& trace_;
+  MemoryPort& port_;
+
+  workload::TraceRecord current_{};
+  bool have_record_ = false;
+  std::uint32_t remaining_gap_ = 0;
+  std::optional<Address> pending_writeback_;
+  bool mem_op_pending_ = false;  // current record's op could not issue yet
+
+  std::uint32_t outstanding_ = 0;
+  std::optional<RequestId> critical_pending_;
+  Rng rng_;
+  CoreStats stats_;
+};
+
+}  // namespace rop::cpu

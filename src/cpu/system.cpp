@@ -1,0 +1,103 @@
+#include "cpu/system.h"
+
+namespace rop::cpu {
+
+System::System(const SystemConfig& cfg, mem::MemorySystem& memory,
+               std::vector<workload::TraceSource*> traces)
+    : cfg_(cfg), memory_(memory), shared_llc_(cfg.llc) {
+  ROP_ASSERT(!traces.empty());
+  ROP_ASSERT(cfg.cpu_ratio >= 1);
+  const bool share = cfg.shared_llc && traces.size() > 1;
+  cores_.reserve(traces.size());
+  for (CoreId c = 0; c < traces.size(); ++c) {
+    ROP_ASSERT(traces[c] != nullptr);
+    cores_.push_back(
+        std::make_unique<Core>(c, cfg.core, cfg.llc, *traces[c], *this));
+    if (share) cores_.back()->set_shared_llc(&shared_llc_);
+  }
+}
+
+Address System::relocate(CoreId core, Address local) const {
+  const auto& map = memory_.address_map();
+  const std::uint64_t local_line = local >> kLineShift;
+  if (cfg_.rank_partition) {
+    const std::uint32_t ranks = map.organization().ranks;
+    return map.compose_in_rank(core % ranks, local_line);
+  }
+  // Flat layout: carve the physical space into equal per-core regions so
+  // footprints never alias. Every region spans all ranks/banks (the default
+  // interleaving cycles through them in the low address bits).
+  const std::uint64_t total_lines = map.organization().total_lines();
+  const std::uint64_t region_lines = total_lines / cores_.size();
+  const std::uint64_t line =
+      static_cast<std::uint64_t>(core) * region_lines +
+      (local_line % region_lines);
+  return line << kLineShift;
+}
+
+std::optional<RequestId> System::issue_read(CoreId core, Address addr) {
+  const Address phys = relocate(core, addr);
+  if (!memory_.can_accept(phys, mem::ReqType::kRead)) return std::nullopt;
+  return memory_.enqueue(phys, mem::ReqType::kRead, core, mem_now_);
+}
+
+bool System::issue_write(CoreId core, Address addr) {
+  const Address phys = relocate(core, addr);
+  if (!memory_.can_accept(phys, mem::ReqType::kWrite)) return false;
+  return memory_.enqueue(phys, mem::ReqType::kWrite, core, mem_now_)
+      .has_value();
+}
+
+RunResult System::run(std::uint64_t target_instructions,
+                      std::uint64_t max_cpu_cycles) {
+  RunResult result;
+  result.cores.resize(cores_.size());
+  std::vector<bool> crossed(cores_.size(), false);
+  std::size_t remaining = cores_.size();
+
+  std::uint64_t cpu_cycle = 0;
+  for (; cpu_cycle < max_cpu_cycles && remaining > 0; ++cpu_cycle) {
+    if (cpu_cycle % cfg_.cpu_ratio == 0) {
+      mem_now_ = cpu_cycle / cfg_.cpu_ratio;
+      memory_.tick(mem_now_);
+      for (const mem::Request& req : memory_.drain_completed()) {
+        cores_.at(req.core)->on_read_complete(req.id);
+      }
+    }
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+      cores_[c]->cycle();
+      if (!crossed[c] &&
+          cores_[c]->stats().instructions >= target_instructions) {
+        crossed[c] = true;
+        --remaining;
+        CoreResult& r = result.cores[c];
+        const CoreStats& s = cores_[c]->stats();
+        r.instructions = s.instructions;
+        r.cpu_cycles = s.cycles;
+        r.ipc = s.ipc();
+        r.mem_reads = s.mem_reads + s.mem_fills;
+        r.mem_writebacks = s.mem_writebacks;
+      }
+    }
+  }
+
+  result.hit_cycle_limit = remaining > 0;
+  // Freeze any core that never crossed (cycle-limit safety net).
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    if (crossed[c]) continue;
+    CoreResult& r = result.cores[c];
+    const CoreStats& s = cores_[c]->stats();
+    r.instructions = s.instructions;
+    r.cpu_cycles = s.cycles;
+    r.ipc = s.ipc();
+    r.mem_reads = s.mem_reads + s.mem_fills;
+    r.mem_writebacks = s.mem_writebacks;
+  }
+
+  result.cpu_cycles = cpu_cycle;
+  result.mem_cycles = cpu_cycle / cfg_.cpu_ratio;
+  memory_.finalize(result.mem_cycles);
+  return result;
+}
+
+}  // namespace rop::cpu

@@ -1,0 +1,82 @@
+// Multi-core system assembly: cores + LLC + the memory system, with clock
+// coupling (the CPU runs `cpu_ratio` cycles per controller cycle) and
+// physical address relocation (flat per-core regions, or rank partitioning
+// per the paper's 4-core methodology).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/llc.h"
+#include "common/types.h"
+#include "cpu/core.h"
+#include "mem/memory_system.h"
+#include "workload/trace.h"
+
+namespace rop::cpu {
+
+struct SystemConfig {
+  std::uint32_t cpu_ratio = 4;  // 3.2 GHz cores over an 800 MHz controller
+  CoreConfig core{};
+  cache::LlcConfig llc{};
+  bool shared_llc = true;   // multi-core: one LLC shared by all cores
+  bool rank_partition = false;  // paper §IV-A rank-aware mapping
+};
+
+/// Per-core results frozen the cycle the core crossed its instruction
+/// target (standard multi-programmed methodology: the run continues so
+/// contention stays realistic, but metrics stop accumulating).
+struct CoreResult {
+  std::uint64_t instructions = 0;
+  std::uint64_t cpu_cycles = 0;
+  double ipc = 0.0;
+  std::uint64_t mem_reads = 0;
+  std::uint64_t mem_writebacks = 0;
+};
+
+struct RunResult {
+  std::vector<CoreResult> cores;
+  std::uint64_t cpu_cycles = 0;  // cycles until every core crossed target
+  Cycle mem_cycles = 0;
+  bool hit_cycle_limit = false;
+
+  [[nodiscard]] double ipc(std::size_t core) const { return cores.at(core).ipc; }
+};
+
+class System final : public MemoryPort {
+ public:
+  /// `traces` supplies one source per core; all pointers must outlive the
+  /// system. The memory system must be configured with enough ranks when
+  /// rank partitioning is on.
+  System(const SystemConfig& cfg, mem::MemorySystem& memory,
+         std::vector<workload::TraceSource*> traces);
+
+  /// Run until every core has retired `target_instructions` (or the cycle
+  /// limit is reached). Returns frozen per-core metrics.
+  RunResult run(std::uint64_t target_instructions,
+                std::uint64_t max_cpu_cycles);
+
+  // MemoryPort
+  std::optional<RequestId> issue_read(CoreId core, Address addr) override;
+  bool issue_write(CoreId core, Address addr) override;
+
+  [[nodiscard]] std::uint32_t num_cores() const {
+    return static_cast<std::uint32_t>(cores_.size());
+  }
+  [[nodiscard]] const Core& core(CoreId c) const { return *cores_.at(c); }
+  [[nodiscard]] const cache::Llc& shared_llc() const { return shared_llc_; }
+  [[nodiscard]] Cycle mem_now() const { return mem_now_; }
+
+ private:
+  /// Relocate a core-local address into the physical address space.
+  [[nodiscard]] Address relocate(CoreId core, Address local) const;
+
+  SystemConfig cfg_;
+  mem::MemorySystem& memory_;
+  cache::Llc shared_llc_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  Cycle mem_now_ = 0;
+};
+
+}  // namespace rop::cpu

@@ -1,0 +1,76 @@
+#include "dram/bank.h"
+
+#include <algorithm>
+
+namespace rop::dram {
+
+bool Bank::can_issue(CmdType type, RowId row, Cycle now) const {
+  switch (type) {
+    case CmdType::kActivate:
+      return state_ == BankState::kPrecharged && now >= next_activate_;
+    case CmdType::kPrecharge:
+      // PRE on an already-precharged bank is a harmless no-op electrically,
+      // but we treat it as illegal to catch controller bugs.
+      return state_ == BankState::kActive && now >= next_precharge_;
+    case CmdType::kRead:
+      return state_ == BankState::kActive && open_row_ &&
+             *open_row_ == row && now >= next_read_;
+    case CmdType::kWrite:
+      return state_ == BankState::kActive && open_row_ &&
+             *open_row_ == row && now >= next_write_;
+    case CmdType::kRefresh:
+    case CmdType::kRefreshBank:
+      // REF legality is a rank-scope decision; at bank scope it requires
+      // the bank to be precharged and past its precharge-to-activate time.
+      return state_ == BankState::kPrecharged && now >= next_activate_;
+  }
+  return false;
+}
+
+void Bank::issue(CmdType type, RowId row, Cycle now, const DramTimings& t) {
+  ROP_ASSERT(can_issue(type, row, now));
+  switch (type) {
+    case CmdType::kActivate:
+      state_ = BankState::kActive;
+      open_row_ = row;
+      next_activate_ = now + t.tRC;
+      next_read_ = std::max(next_read_, now + t.tRCD);
+      next_write_ = std::max(next_write_, now + t.tRCD);
+      next_precharge_ = std::max(next_precharge_, now + t.tRAS);
+      break;
+    case CmdType::kPrecharge:
+      state_ = BankState::kPrecharged;
+      open_row_.reset();
+      next_activate_ = std::max(next_activate_, now + t.tRP);
+      break;
+    case CmdType::kRead:
+      next_precharge_ = std::max(next_precharge_, now + t.tRTP);
+      break;
+    case CmdType::kWrite:
+      // The written row may be precharged only after write recovery
+      // following the end of the data burst.
+      next_precharge_ =
+          std::max(next_precharge_, t.write_data_done(now) + t.tWR);
+      break;
+    case CmdType::kRefresh:
+      begin_refresh(now, t.tRFC);
+      break;
+    case CmdType::kRefreshBank:
+      begin_refresh(now, t.tRFCpb);
+      break;
+  }
+}
+
+void Bank::begin_refresh(Cycle now, Cycle duration) {
+  ROP_ASSERT(state_ == BankState::kPrecharged && now >= next_activate_);
+  state_ = BankState::kRefreshing;
+  next_activate_ = std::max(next_activate_, now + duration);
+}
+
+void Bank::complete_refresh(Cycle refresh_done) {
+  ROP_ASSERT(state_ == BankState::kRefreshing);
+  state_ = BankState::kPrecharged;
+  next_activate_ = std::max(next_activate_, refresh_done);
+}
+
+}  // namespace rop::dram

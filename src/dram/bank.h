@@ -1,0 +1,69 @@
+// Per-bank state machine with earliest-issue constraint tracking.
+//
+// The bank records, for each command class, the earliest cycle at which that
+// command may legally be issued, updating the constraints whenever a command
+// is accepted. This is the classic DRAMSim-style formulation: legality is a
+// pure function of (state, constraint registers, now).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.h"
+#include "dram/command.h"
+#include "dram/timing.h"
+
+namespace rop::dram {
+
+enum class BankState : std::uint8_t {
+  kPrecharged,  // no row open (also covers "precharging" until next_activate)
+  kActive,      // a row is open in the row buffer
+  kRefreshing,  // locked by an in-flight REF (tracked at rank scope too)
+};
+
+class Bank {
+ public:
+  Bank() = default;
+
+  [[nodiscard]] BankState state() const { return state_; }
+  [[nodiscard]] std::optional<RowId> open_row() const { return open_row_; }
+
+  /// Earliest legal issue cycles, considering only *this bank's* history.
+  /// Rank- and channel-scope constraints (tRRD, tFAW, bus) layer on top.
+  [[nodiscard]] Cycle next_activate() const { return next_activate_; }
+  [[nodiscard]] Cycle next_read() const { return next_read_; }
+  [[nodiscard]] Cycle next_write() const { return next_write_; }
+  [[nodiscard]] Cycle next_precharge() const { return next_precharge_; }
+
+  /// Would `cmd` targeting this bank be legal at `now` (bank scope only)?
+  [[nodiscard]] bool can_issue(CmdType type, RowId row, Cycle now) const;
+
+  /// Apply `cmd` at `now`, updating state and constraints. The caller must
+  /// have checked legality; violations abort (simulator bug, not workload
+  /// behaviour).
+  void issue(CmdType type, RowId row, Cycle now, const DramTimings& t);
+
+  /// Begin a refresh lock of `duration` cycles (used for full-rank REF,
+  /// per-bank REFpb, and the segments of Refresh Pausing). Legality is the
+  /// same as CmdType::kRefresh.
+  void begin_refresh(Cycle now, Cycle duration);
+
+  /// Rank-level refresh completion releases the bank.
+  void complete_refresh(Cycle refresh_done);
+
+  /// Used by WR issue on *sibling* banks in the same rank: defer reads by
+  /// the write-to-read turnaround.
+  void defer_read_until(Cycle c) { next_read_ = std::max(next_read_, c); }
+  /// And the symmetric case for read-to-write turnaround.
+  void defer_write_until(Cycle c) { next_write_ = std::max(next_write_, c); }
+
+ private:
+  BankState state_ = BankState::kPrecharged;
+  std::optional<RowId> open_row_;
+  Cycle next_activate_ = 0;
+  Cycle next_read_ = 0;
+  Cycle next_write_ = 0;
+  Cycle next_precharge_ = 0;
+};
+
+}  // namespace rop::dram

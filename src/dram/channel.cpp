@@ -1,0 +1,88 @@
+#include "dram/channel.h"
+
+#include <algorithm>
+
+namespace rop::dram {
+
+Channel::Channel(const DramTimings& timings, const DramOrganization& org)
+    : t_(timings) {
+  ROP_ASSERT(validate(timings));
+  ranks_.reserve(org.ranks);
+  for (std::uint32_t r = 0; r < org.ranks; ++r) {
+    ranks_.emplace_back(t_, org.banks);
+  }
+}
+
+Cycle Channel::data_bus_free(CmdType type, RankId rank) const {
+  if (!bus_used_) return 0;
+  Cycle free = bus_busy_until_;
+  // Switching drivers (rank change) or direction (read<->write) needs a
+  // switch gap on top of plain occupancy.
+  if (rank != last_bus_rank_ || type != last_bus_op_) free += t_.tRTRS;
+  return free;
+}
+
+bool Channel::can_issue(const Command& cmd, Cycle now) const {
+  const Rank& rank = ranks_.at(cmd.coord.rank);
+  if (!rank.can_issue(cmd, now)) return false;
+  if (cmd.is_column()) {
+    const Cycle data_start =
+        cmd.type == CmdType::kRead ? now + t_.CL : now + t_.CWL;
+    if (data_start < data_bus_free(cmd.type, cmd.coord.rank)) return false;
+  }
+  return true;
+}
+
+Cycle Channel::issue(const Command& cmd, Cycle now) {
+  ROP_ASSERT(can_issue(cmd, now));
+  Rank& rank = ranks_.at(cmd.coord.rank);
+  rank.issue(cmd, now);
+  switch (cmd.type) {
+    case CmdType::kActivate:
+      ++events_.activates;
+      return now;
+    case CmdType::kPrecharge:
+      ++events_.precharges;
+      return now;
+    case CmdType::kRead: {
+      ++events_.reads;
+      const Cycle done = t_.read_data_done(now);
+      bus_busy_until_ = done;
+      last_bus_op_ = CmdType::kRead;
+      last_bus_rank_ = cmd.coord.rank;
+      bus_used_ = true;
+      return done;
+    }
+    case CmdType::kWrite: {
+      ++events_.writes;
+      const Cycle done = t_.write_data_done(now);
+      bus_busy_until_ = done;
+      last_bus_op_ = CmdType::kWrite;
+      last_bus_rank_ = cmd.coord.rank;
+      bus_used_ = true;
+      return done;
+    }
+    case CmdType::kRefresh:
+      ++events_.refreshes;
+      return now + t_.tRFC;
+    case CmdType::kRefreshBank:
+      ++events_.bank_refreshes;
+      return now + t_.tRFCpb;
+  }
+  return now;
+}
+
+void Channel::begin_refresh_segment(RankId rank, Cycle now, Cycle duration) {
+  ++events_.refresh_segments;
+  ranks_.at(rank).begin_refresh_segment(now, duration);
+}
+
+void Channel::tick(Cycle now) {
+  for (Rank& r : ranks_) r.tick(now);
+}
+
+void Channel::settle_accounting(Cycle now) {
+  for (Rank& r : ranks_) r.settle_accounting(now);
+}
+
+}  // namespace rop::dram

@@ -1,0 +1,76 @@
+// Channel model: ranks sharing a command bus and a bidirectional data bus.
+//
+// The controller issues at most one command per cycle per channel (command
+// bus serialization); the channel enforces data-bus occupancy, rank-to-rank
+// switch penalties and read/write turnaround, and tallies command counts for
+// the energy model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/command.h"
+#include "dram/rank.h"
+#include "dram/timing.h"
+
+namespace rop::dram {
+
+/// Event counts the energy model charges per command.
+struct ChannelEvents {
+  std::uint64_t activates = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t refreshes = 0;       // full-rank REF commands
+  std::uint64_t bank_refreshes = 0;  // per-bank REFpb commands
+  std::uint64_t refresh_segments = 0;  // Refresh Pausing segments
+};
+
+class Channel {
+ public:
+  Channel(const DramTimings& timings, const DramOrganization& org);
+
+  [[nodiscard]] std::uint32_t num_ranks() const {
+    return static_cast<std::uint32_t>(ranks_.size());
+  }
+  [[nodiscard]] const Rank& rank(RankId r) const { return ranks_.at(r); }
+  [[nodiscard]] Rank& rank(RankId r) { return ranks_.at(r); }
+
+  /// Full legality check: bank + rank + data-bus scope.
+  [[nodiscard]] bool can_issue(const Command& cmd, Cycle now) const;
+
+  /// Issue the command; returns the cycle at which its data burst completes
+  /// (reads/writes) or the command's completion cycle (REF) or `now` for
+  /// ACT/PRE.
+  Cycle issue(const Command& cmd, Cycle now);
+
+  /// Begin a Refresh Pausing segment on `rank` (see Rank).
+  void begin_refresh_segment(RankId rank, Cycle now, Cycle duration);
+
+  /// Advance per-rank bookkeeping (refresh completion).
+  void tick(Cycle now);
+
+  void settle_accounting(Cycle now);
+  [[nodiscard]] const ChannelEvents& events() const { return events_; }
+
+  [[nodiscard]] const DramTimings& timings() const { return t_; }
+
+ private:
+  /// First cycle at which a new burst by `type` on `rank` may occupy the
+  /// data bus.
+  [[nodiscard]] Cycle data_bus_free(CmdType type, RankId rank) const;
+
+  const DramTimings& t_;
+  std::vector<Rank> ranks_;
+
+  // Data-bus state.
+  Cycle bus_busy_until_ = 0;
+  CmdType last_bus_op_ = CmdType::kRead;
+  RankId last_bus_rank_ = 0;
+  bool bus_used_ = false;
+
+  ChannelEvents events_;
+};
+
+}  // namespace rop::dram

@@ -1,0 +1,142 @@
+#include "dram/rank.h"
+
+#include <algorithm>
+
+namespace rop::dram {
+
+Rank::Rank(const DramTimings& timings, std::uint32_t num_banks)
+    : t_(timings), banks_(num_banks) {
+  ROP_ASSERT(num_banks > 0);
+}
+
+bool Rank::all_banks_precharged() const {
+  return std::all_of(banks_.begin(), banks_.end(), [](const Bank& b) {
+    return b.state() == BankState::kPrecharged;
+  });
+}
+
+bool Rank::any_bank_active() const {
+  return std::any_of(banks_.begin(), banks_.end(), [](const Bank& b) {
+    return b.state() == BankState::kActive;
+  });
+}
+
+bool Rank::can_issue(const Command& cmd, Cycle now) const {
+  if (refreshing_ && now < refresh_done_) return false;
+  const Bank& bank = banks_.at(cmd.coord.bank);
+  switch (cmd.type) {
+    case CmdType::kActivate: {
+      if (now < next_activate_) return false;
+      // tFAW: at most 4 activates within any rolling tFAW window.
+      if (recent_activates_.size() >= 4 &&
+          now < recent_activates_.front() + t_.tFAW) {
+        return false;
+      }
+      return bank.can_issue(cmd.type, cmd.coord.row, now);
+    }
+    case CmdType::kRead:
+    case CmdType::kWrite:
+      if (now < next_column_) return false;
+      return bank.can_issue(cmd.type, cmd.coord.row, now);
+    case CmdType::kPrecharge:
+      return bank.can_issue(cmd.type, cmd.coord.row, now);
+    case CmdType::kRefresh: {
+      if (!all_banks_precharged()) return false;
+      // Every bank must be past its precharge-recovery point.
+      return std::all_of(banks_.begin(), banks_.end(), [now](const Bank& b) {
+        return now >= b.next_activate();
+      });
+    }
+    case CmdType::kRefreshBank:
+      return bank.can_issue(cmd.type, 0, now);
+  }
+  return false;
+}
+
+void Rank::issue(const Command& cmd, Cycle now) {
+  ROP_ASSERT(can_issue(cmd, now));
+  account_until(now);
+  Bank& bank = banks_.at(cmd.coord.bank);
+  switch (cmd.type) {
+    case CmdType::kActivate:
+      bank.issue(cmd.type, cmd.coord.row, now, t_);
+      next_activate_ = std::max(next_activate_, now + t_.tRRD);
+      recent_activates_.push_back(now);
+      while (recent_activates_.size() > 4) recent_activates_.pop_front();
+      break;
+    case CmdType::kPrecharge:
+      bank.issue(cmd.type, cmd.coord.row, now, t_);
+      break;
+    case CmdType::kRead:
+      bank.issue(cmd.type, cmd.coord.row, now, t_);
+      next_column_ = std::max(next_column_, now + t_.tCCD);
+      break;
+    case CmdType::kWrite: {
+      bank.issue(cmd.type, cmd.coord.row, now, t_);
+      next_column_ = std::max(next_column_, now + t_.tCCD);
+      // Write-to-read turnaround applies rank-wide.
+      const Cycle rd_ok = t_.write_data_done(now) + t_.tWTR;
+      for (Bank& b : banks_) b.defer_read_until(rd_ok);
+      break;
+    }
+    case CmdType::kRefresh:
+      for (Bank& b : banks_) b.issue(CmdType::kRefresh, 0, now, t_);
+      refreshing_ = true;
+      refresh_done_ = now + t_.tRFC;
+      break;
+    case CmdType::kRefreshBank:
+      bank.issue(CmdType::kRefreshBank, 0, now, t_);
+      activity_.bank_refresh_cycles += t_.tRFCpb;
+      break;
+  }
+}
+
+void Rank::begin_refresh_segment(Cycle now, Cycle duration) {
+  ROP_ASSERT(can_issue(Command{CmdType::kRefresh, DramCoord{}, 0}, now));
+  account_until(now);
+  for (Bank& b : banks_) b.begin_refresh(now, duration);
+  refreshing_ = true;
+  refresh_done_ = now + duration;
+}
+
+void Rank::tick(Cycle now) {
+  if (refreshing_ && now >= refresh_done_) {
+    account_until(refresh_done_);
+    refreshing_ = false;
+    for (Bank& b : banks_) b.complete_refresh(refresh_done_);
+    return;
+  }
+  if (!refreshing_) {
+    // Release any per-bank refresh locks that have elapsed (REFpb).
+    for (Bank& b : banks_) {
+      if (b.state() == BankState::kRefreshing && now >= b.next_activate()) {
+        b.complete_refresh(b.next_activate());
+      }
+    }
+  }
+}
+
+void Rank::settle_accounting(Cycle now) { account_until(now); }
+
+void Rank::account_until(Cycle now) {
+  if (now <= accounted_until_) return;
+  const std::uint64_t span = now - accounted_until_;
+  if (refreshing_) {
+    // Split the span at refresh completion when it straddles it; the
+    // caller's tick() normally prevents straddles, but settle_accounting
+    // at end-of-run may not.
+    if (now <= refresh_done_) {
+      activity_.refresh_cycles += span;
+    } else {
+      activity_.refresh_cycles += refresh_done_ - accounted_until_;
+      activity_.precharged_cycles += now - refresh_done_;
+    }
+  } else if (any_bank_active()) {
+    activity_.active_cycles += span;
+  } else {
+    activity_.precharged_cycles += span;
+  }
+  accounted_until_ = now;
+}
+
+}  // namespace rop::dram

@@ -1,0 +1,85 @@
+// Rank model: a set of banks operating in lockstep plus rank-scope timing
+// constraints (tRRD, tFAW, tCCD, write-to-read turnaround) and the refresh
+// lockout that freezes every bank for tRFC.
+//
+// The rank also integrates busy/idle/refresh cycle counts, which the energy
+// model turns into background power.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/bank.h"
+#include "dram/command.h"
+#include "dram/timing.h"
+
+namespace rop::dram {
+
+/// Cycle-count breakdown used by the background-power model.
+struct RankActivity {
+  std::uint64_t active_cycles = 0;      // >= 1 bank active (IDD3N regime)
+  std::uint64_t precharged_cycles = 0;  // all banks precharged (IDD2N regime)
+  std::uint64_t refresh_cycles = 0;     // rank-level REF in flight (IDD5)
+  /// Bank-cycles spent in per-bank refresh locks (REFpb). These overlap
+  /// the active/precharged integration above; the power model charges them
+  /// as an IDD5 surcharge scaled by 1/banks.
+  std::uint64_t bank_refresh_cycles = 0;
+};
+
+class Rank {
+ public:
+  Rank(const DramTimings& timings, std::uint32_t num_banks);
+
+  [[nodiscard]] std::uint32_t num_banks() const {
+    return static_cast<std::uint32_t>(banks_.size());
+  }
+  [[nodiscard]] const Bank& bank(BankId b) const { return banks_.at(b); }
+  [[nodiscard]] Bank& bank(BankId b) { return banks_.at(b); }
+
+  /// True while a REF command is executing (banks frozen).
+  [[nodiscard]] bool refreshing() const { return refreshing_; }
+  [[nodiscard]] Cycle refresh_done() const { return refresh_done_; }
+
+  [[nodiscard]] bool all_banks_precharged() const;
+
+  /// Rank-scope legality for a command at `now` (bank-scope already layered
+  /// in; channel-scope data-bus checks layer on top).
+  [[nodiscard]] bool can_issue(const Command& cmd, Cycle now) const;
+
+  /// Apply the command. Aborts on illegality.
+  void issue(const Command& cmd, Cycle now);
+
+  /// Begin a partial refresh of `duration` cycles (Refresh Pausing
+  /// segments). Same legality as a full REF.
+  void begin_refresh_segment(Cycle now, Cycle duration);
+
+  /// Release the refresh lockout once `now` has reached refresh_done().
+  /// Called every controller tick; cheap when nothing changes.
+  void tick(Cycle now);
+
+  /// Finalize activity accounting up to `now` (call once at end of run or
+  /// whenever a consistent snapshot is needed).
+  void settle_accounting(Cycle now);
+  [[nodiscard]] const RankActivity& activity() const { return activity_; }
+
+ private:
+  void account_until(Cycle now);
+  [[nodiscard]] bool any_bank_active() const;
+
+  const DramTimings& t_;
+  std::vector<Bank> banks_;
+
+  Cycle next_activate_ = 0;  // tRRD constraint across banks
+  Cycle next_column_ = 0;    // tCCD constraint across banks
+  std::deque<Cycle> recent_activates_;  // for the tFAW window
+
+  bool refreshing_ = false;
+  Cycle refresh_done_ = 0;
+
+  Cycle accounted_until_ = 0;
+  RankActivity activity_;
+};
+
+}  // namespace rop::dram

@@ -1,0 +1,33 @@
+#include "dram/timing.h"
+
+namespace rop::dram {
+
+DramTimings make_ddr4_1600_timings(RefreshMode mode) {
+  DramTimings t;  // defaults are the 1x numbers
+  switch (mode) {
+    case RefreshMode::k1x:
+      break;
+    case RefreshMode::k2x:
+      t.tREFI = 3120;                  // 3.9 us
+      t.tRFC = static_cast<std::uint32_t>(t.ns_to_cycles(260.0));  // 260 ns
+      break;
+    case RefreshMode::k4x:
+      t.tREFI = 1560;                  // 1.95 us
+      t.tRFC = static_cast<std::uint32_t>(t.ns_to_cycles(160.0));  // 160 ns
+      break;
+  }
+  return t;
+}
+
+bool validate(const DramTimings& t) {
+  if (t.tCK_ps == 0 || t.tBL == 0) return false;
+  if (t.tRC != t.tRAS + t.tRP) return false;
+  if (t.tREFI == 0 || t.tRFC == 0) return false;
+  if (t.tRFC >= t.tREFI) return false;  // refresh duty cycle must be < 1
+  if (t.tRFCpb == 0 || t.tRFCpb >= t.tRFC) return false;
+  if (t.tRCD == 0 || t.tRP == 0 || t.CL == 0 || t.CWL == 0) return false;
+  if (t.tFAW < t.tRRD) return false;
+  return true;
+}
+
+}  // namespace rop::dram

@@ -1,0 +1,95 @@
+// DDR4 timing and organization parameters.
+//
+// All timing fields are expressed in DRAM controller clock cycles (tCK).
+// Defaults model DDR4-1600 with 8 Gb devices in 1x refresh mode, matching
+// Table III of the paper: tREFI = 7.8 us, tRFC = 350 ns.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace rop::dram {
+
+/// JEDEC DDR4 fine-grained refresh modes (paper §II-B / future work §VII).
+enum class RefreshMode : std::uint8_t {
+  k1x = 1,  // tREFI = 7.8 us, tRFC = 350 ns (8 Gb)
+  k2x = 2,  // tREFI = 3.9 us, tRFC = 260 ns
+  k4x = 4,  // tREFI = 1.95 us, tRFC = 160 ns
+};
+
+/// Timing parameters in controller clock cycles.
+struct DramTimings {
+  // Clock period in picoseconds: DDR4-1600 runs the command clock at
+  // 800 MHz (data rate 1600 MT/s).
+  std::uint32_t tCK_ps = 1250;
+
+  std::uint32_t CL = 11;    // read (CAS) latency
+  std::uint32_t CWL = 9;    // write (CAS write) latency
+  std::uint32_t tRCD = 11;  // ACT -> column command
+  std::uint32_t tRP = 11;   // PRE -> ACT
+  std::uint32_t tRAS = 28;  // ACT -> PRE (same bank)
+  std::uint32_t tRC = 39;   // ACT -> ACT (same bank) = tRAS + tRP
+  std::uint32_t tCCD = 4;   // column command -> column command (same rank)
+  std::uint32_t tRRD = 5;   // ACT -> ACT (different banks, same rank)
+  std::uint32_t tFAW = 20;  // rolling four-ACT window (same rank)
+  std::uint32_t tWR = 12;   // end of write data -> PRE
+  std::uint32_t tWTR = 6;   // end of write data -> RD (same rank)
+  std::uint32_t tRTP = 6;   // RD -> PRE
+  std::uint32_t tRTRS = 2;  // rank-to-rank data-bus switch penalty
+  std::uint32_t tBL = 4;    // data-bus beats per burst (BL8 / DDR)
+
+  std::uint32_t tREFI = 6240;  // average refresh interval (7.8 us / 1.25 ns)
+  std::uint32_t tRFC = 280;    // refresh cycle time (350 ns / 1.25 ns)
+  std::uint32_t tRFCpb = 72;   // per-bank refresh lock (90 ns, REFpb mode)
+
+  /// JEDEC DDR4 allows at most 8 refresh commands to be postponed as long
+  /// as the running average of one-per-tREFI is maintained.
+  std::uint32_t max_postponed_refreshes = 8;
+
+  /// Read latency from command issue to the *end* of the data burst.
+  [[nodiscard]] Cycle read_data_done(Cycle issue) const {
+    return issue + CL + tBL;
+  }
+  /// Write latency from command issue to the end of the data burst.
+  [[nodiscard]] Cycle write_data_done(Cycle issue) const {
+    return issue + CWL + tBL;
+  }
+
+  [[nodiscard]] double cycles_to_ns(Cycle c) const {
+    return static_cast<double>(c) * static_cast<double>(tCK_ps) / 1000.0;
+  }
+  [[nodiscard]] Cycle ns_to_cycles(double ns) const {
+    return static_cast<Cycle>(ns * 1000.0 / static_cast<double>(tCK_ps));
+  }
+};
+
+/// DRAM organization (Table III: DDR4-1600, 1 channel; 1 rank for
+/// single-core and 4 ranks for 4-core experiments).
+struct DramOrganization {
+  std::uint32_t channels = 1;
+  std::uint32_t ranks = 1;
+  std::uint32_t banks = 8;        // DDR4 x8: 8 banks (4 bank groups folded)
+  std::uint32_t rows = 1 << 16;   // 64 K rows per bank
+  std::uint32_t columns = 128;    // cache lines per row (8 KB row / 64 B)
+
+  [[nodiscard]] std::uint64_t lines_per_bank() const {
+    return static_cast<std::uint64_t>(rows) * columns;
+  }
+  [[nodiscard]] std::uint64_t total_lines() const {
+    return static_cast<std::uint64_t>(channels) * ranks * banks *
+           lines_per_bank();
+  }
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    return total_lines() * kLineBytes;
+  }
+};
+
+/// Build DDR4-1600 8 Gb timings for the given refresh mode.
+[[nodiscard]] DramTimings make_ddr4_1600_timings(RefreshMode mode = RefreshMode::k1x);
+
+/// Validate internal consistency (tRC = tRAS + tRP, non-zero periods, ...).
+/// Returns true when the timing set is usable.
+[[nodiscard]] bool validate(const DramTimings& t);
+
+}  // namespace rop::dram

@@ -1,0 +1,84 @@
+// DRAM energy model in the style of the Micron system power calculator
+// (TN-41-01), which the paper uses. Energy is split into
+//   * background power integrated over the rank activity breakdown
+//     (precharged standby IDD2N / active standby IDD3N),
+//   * activate/precharge pair energy per ACT (IDD0 derate),
+//   * read/write burst energy (IDD4R/IDD4W over the burst),
+//   * refresh energy ((IDD5B - IDD2N) over tRFC per REF),
+//   * I/O and termination energy per transferred bit.
+//
+// Because background power is integrated over *execution time*, anything
+// that shortens the run (like ROP) reduces total energy even without
+// removing refreshes — the paper's §V-B2 mechanism.
+#pragma once
+
+#include <cstdint>
+
+#include "dram/channel.h"
+#include "dram/timing.h"
+
+namespace rop::energy {
+
+/// DDR4-1600 8 Gb x8 device currents (datasheet-typical values).
+struct DramEnergyParams {
+  double vdd = 1.2;          // volts
+  double idd0_ma = 58.0;     // one-bank ACT-PRE current
+  double idd2n_ma = 44.0;    // precharged standby
+  double idd3n_ma = 52.0;    // active standby
+  double idd4r_ma = 140.0;   // read burst
+  double idd4w_ma = 130.0;   // write burst
+  double idd5b_ma = 190.0;   // burst refresh
+  std::uint32_t devices_per_rank = 8;  // x8 devices on a 64-bit channel
+  double io_pj_per_bit = 5.0;          // I/O + ODT energy per data bit
+};
+
+struct EnergyBreakdown {
+  double background_mj = 0.0;
+  double act_pre_mj = 0.0;
+  double read_mj = 0.0;
+  double write_mj = 0.0;
+  double refresh_mj = 0.0;
+  double io_mj = 0.0;
+  double sram_mj = 0.0;  // filled in by the experiment layer when ROP is on
+
+  [[nodiscard]] double total_mj() const {
+    return background_mj + act_pre_mj + read_mj + write_mj + refresh_mj +
+           io_mj + sram_mj;
+  }
+};
+
+class DramPowerModel {
+ public:
+  DramPowerModel(const DramEnergyParams& params,
+                 const dram::DramTimings& timings);
+
+  /// Compute the energy of everything a channel did. Requires
+  /// settle_accounting() to have been called (MemorySystem::finalize).
+  [[nodiscard]] EnergyBreakdown compute(const dram::Channel& channel) const;
+
+  [[nodiscard]] const DramEnergyParams& params() const { return params_; }
+
+ private:
+  [[nodiscard]] double cycle_seconds() const;
+
+  DramEnergyParams params_;
+  const dram::DramTimings& timings_;
+};
+
+/// SRAM prefetch buffer energy (paper Table III / CACTI 5.3).
+struct SramEnergyParams {
+  double access_nj = 0.0137;  // per lookup or fill
+  double leakage_mw = 2.0;    // while powered on
+
+  /// Table III values for the evaluated buffer capacities.
+  [[nodiscard]] static SramEnergyParams for_capacity(std::uint32_t lines);
+
+  /// Energy for `accesses` operations plus leakage over `on_seconds`.
+  [[nodiscard]] double energy_mj(std::uint64_t accesses,
+                                 double on_seconds) const {
+    return static_cast<double>(accesses) * access_nj * 1e-6 +
+           leakage_mw * on_seconds;
+  }
+};
+
+}  // namespace rop::energy

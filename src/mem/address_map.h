@@ -1,0 +1,91 @@
+// Physical-address interleaving schemes.
+//
+// The mapper translates line-granular physical addresses to DRAM coordinates
+// and back. Two schemes are provided:
+//
+//  * kRowColumnRankBank — line-interleaved across banks (the default, and
+//    what DRAMSim2-style controllers typically use): consecutive lines
+//    rotate through the banks, maximizing bank-level parallelism. A strided
+//    stream then leaves a clean small-delta trail in *every* bank's
+//    prediction-table entry, which is the regime the paper's per-bank
+//    table and Eq. 3 budget split are designed for.
+//  * kRowRankBankColumn — page-interleaved: consecutive lines fill a row
+//    inside one bank before moving to the next bank (stronger bank
+//    locality per [22], weaker parallelism).
+//  * kRowBankRankColumn — as page-interleaved but with rank below bank.
+//
+// Rank-aware mapping (paper §IV-A "Rank-aware Mapping") is expressed by
+// taking the rank not from address bits but from a per-core assignment; see
+// RankPartitioning below.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "dram/timing.h"
+
+namespace rop::mem {
+
+enum class MapScheme : std::uint8_t {
+  kRowRankBankColumn,  // [row | rank | bank | column | channel]
+  kRowBankRankColumn,  // [row | bank | rank | column | channel]
+  kRowColumnRankBank,  // [row | column | rank | bank | channel]
+};
+
+class AddressMap {
+ public:
+  AddressMap(const dram::DramOrganization& org,
+             MapScheme scheme = MapScheme::kRowRankBankColumn);
+
+  /// Decompose a byte address (any alignment; low 6 bits ignored).
+  [[nodiscard]] DramCoord map(Address byte_addr) const;
+
+  /// Rebuild the line-granular byte address from a coordinate.
+  [[nodiscard]] Address unmap(const DramCoord& coord) const;
+
+  /// Linear cache-line offset of `coord` within its bank — the LastAddr
+  /// representation used by the ROP prediction table.
+  [[nodiscard]] std::uint64_t line_offset_in_bank(const DramCoord& coord) const;
+
+  /// Inverse of line_offset_in_bank for a fixed channel/rank/bank. Offsets
+  /// beyond the bank wrap around (prefetch address generation may step past
+  /// the last row).
+  [[nodiscard]] DramCoord coord_from_bank_offset(ChannelId channel, RankId rank,
+                                                 BankId bank,
+                                                 std::uint64_t offset) const;
+
+  /// Rank-partitioned relocation: spread a rank-local line index over
+  /// channel/column/bank/row while pinning the rank — the physical address
+  /// layout used when rank partitioning confines a core to its home rank.
+  /// Bijective over one rank's capacity; indices beyond it wrap.
+  [[nodiscard]] Address compose_in_rank(RankId rank,
+                                        std::uint64_t local_line) const;
+
+  /// Cache lines addressable within one rank (wrap bound for the above).
+  [[nodiscard]] std::uint64_t lines_per_rank() const {
+    return static_cast<std::uint64_t>(org_.channels) * org_.banks *
+           org_.lines_per_bank();
+  }
+
+  [[nodiscard]] const dram::DramOrganization& organization() const {
+    return org_;
+  }
+  [[nodiscard]] MapScheme scheme() const { return scheme_; }
+
+ private:
+  dram::DramOrganization org_;
+  MapScheme scheme_;
+};
+
+/// Rank partitioning assigns each core a home rank; the system remaps the
+/// rank field of every address a core emits to its home rank, so concurrent
+/// applications do not interleave within a rank (paper §IV-A, §V-A).
+struct RankPartitioning {
+  bool enabled = false;
+
+  [[nodiscard]] RankId home_rank(CoreId core, std::uint32_t num_ranks) const {
+    return core % num_ranks;
+  }
+};
+
+}  // namespace rop::mem

@@ -1,0 +1,495 @@
+#include "mem/controller.h"
+
+#include <algorithm>
+#include <array>
+
+namespace rop::mem {
+
+Controller::Controller(ChannelId id, const dram::DramTimings& timings,
+                       const dram::DramOrganization& org, ControllerConfig cfg,
+                       StatRegistry* stats)
+    : id_(id),
+      cfg_(cfg),
+      channel_(timings, org),
+      rm_(timings, org.ranks, cfg.per_bank_refresh ? org.banks : 1),
+      scheduler_(cfg.sched),
+      blocking_(org.ranks, timings.tRFC),
+      stats_(stats),
+      phase_(org.ranks, RefreshPhase::kIdle),
+      locked_at_(org.ranks, kNeverCycle),
+      last_arrival_(org.ranks, 0),
+      refresh_remaining_(org.ranks, 0),
+      refresh_started_(org.ranks, false),
+      next_refresh_bank_(org.ranks, 0) {
+  ROP_ASSERT(stats != nullptr);
+  // Per-bank refresh replaces the whole-rank policies.
+  ROP_ASSERT(!cfg.per_bank_refresh ||
+             cfg.policy == RefreshPolicy::kAutoRefresh);
+}
+
+void Controller::record_read_latency(Cycle latency) {
+  stats_->scalar("mem.read_latency").record(static_cast<double>(latency));
+  // 8-cycle buckets out to 1024 cycles (beyond 2x tRFC), overflow above.
+  stats_->histogram("mem.read_latency_hist", 8, 128).record(latency);
+}
+
+bool Controller::can_accept(ReqType type) const {
+  switch (type) {
+    case ReqType::kRead:
+      return read_q_.size() < cfg_.sched.read_queue_capacity;
+    case ReqType::kWrite:
+      return write_q_.size() < cfg_.sched.write_queue_capacity;
+    case ReqType::kPrefetch:
+      return prefetch_q_.size() < cfg_.sched.read_queue_capacity;
+  }
+  return false;
+}
+
+bool Controller::enqueue(Request req, Cycle now) {
+  ROP_ASSERT(req.type != ReqType::kPrefetch);
+  req.arrival = now;
+  last_arrival_.at(req.coord.rank) = now;
+  if (req.type == ReqType::kRead) {
+    stats_->counter("mem.reads").inc();
+    blocking_.on_read_arrival(req.coord.rank, now);
+  } else {
+    stats_->counter("mem.writes").inc();
+  }
+
+  // The ROP engine observes every demand arrival; for reads it may service
+  // the request from the SRAM buffer while the rank is frozen.
+  if (listener_ != nullptr) {
+    if (const auto done = listener_->on_enqueue(req, now)) {
+      ROP_ASSERT(req.type == ReqType::kRead);
+      req.completion = *done;
+      req.serviced_by = ServicedBy::kSramBuffer;
+      stats_->counter("mem.sram_serviced").inc();
+      record_read_latency(*done - now);
+      completed_.push_back(req);
+      return true;
+    }
+  }
+
+  if (req.type == ReqType::kRead) {
+    // Read-after-write forwarding from the write queue.
+    const auto hit = std::find_if(
+        write_q_.begin(), write_q_.end(),
+        [&req](const Request& w) { return w.line_addr == req.line_addr; });
+    if (hit != write_q_.end()) {
+      req.completion = now + 1;
+      req.serviced_by = ServicedBy::kWriteForward;
+      stats_->counter("mem.read_forwarded").inc();
+      record_read_latency(1);
+      completed_.push_back(req);
+      return true;
+    }
+    if (read_q_.size() >= cfg_.sched.read_queue_capacity) return false;
+    read_q_.push_back(req);
+  } else {
+    if (write_q_.size() >= cfg_.sched.write_queue_capacity) return false;
+    // Coalesce repeated writes to the same line: keep the newest only.
+    const auto dup = std::find_if(
+        write_q_.begin(), write_q_.end(),
+        [&req](const Request& w) { return w.line_addr == req.line_addr; });
+    if (dup != write_q_.end()) {
+      stats_->counter("mem.write_coalesced").inc();
+      return true;
+    }
+    write_q_.push_back(req);
+  }
+  return true;
+}
+
+bool Controller::enqueue_prefetch(Request req, Cycle now) {
+  ROP_ASSERT(req.type == ReqType::kPrefetch);
+  if (prefetch_q_.size() >= cfg_.sched.read_queue_capacity) {
+    stats_->counter("rop.prefetch_dropped_queue_full").inc();
+    return false;
+  }
+  req.arrival = now;
+  stats_->counter("rop.prefetch_enqueued").inc();
+  prefetch_q_.push_back(req);
+  return true;
+}
+
+std::size_t Controller::pending_demand(RankId rank) const {
+  const auto in_rank = [rank](const Request& r) {
+    return r.coord.rank == rank;
+  };
+  return static_cast<std::size_t>(
+      std::count_if(read_q_.begin(), read_q_.end(), in_rank) +
+      std::count_if(write_q_.begin(), write_q_.end(), in_rank));
+}
+
+std::size_t Controller::pending_prefetches(RankId rank) const {
+  const auto in_rank = [rank](const Request& r) {
+    return r.coord.rank == rank;
+  };
+  return static_cast<std::size_t>(
+      std::count_if(prefetch_q_.begin(), prefetch_q_.end(), in_rank) +
+      std::count_if(in_flight_.begin(), in_flight_.end(),
+                    [&](const Request& r) {
+                      return r.type == ReqType::kPrefetch && in_rank(r);
+                    }));
+}
+
+std::size_t Controller::pending_drain(RankId rank) const {
+  // Only queued reads hold the refresh back: writes are posted (nobody
+  // waits on them) and retire from the write queue whenever convenient.
+  const Cycle lock = locked_at_.at(rank);
+  const auto drains = [rank, lock](const Request& r) {
+    return r.coord.rank == rank && r.arrival <= lock;
+  };
+  return static_cast<std::size_t>(
+      std::count_if(read_q_.begin(), read_q_.end(), drains));
+}
+
+void Controller::drop_prefetches(RankId rank) {
+  for (auto it = prefetch_q_.begin(); it != prefetch_q_.end();) {
+    if (it->coord.rank == rank) {
+      stats_->counter("rop.prefetch_dropped").inc();
+      it = prefetch_q_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Controller::complete_bursts(Cycle now) {
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (it->completion > now) {
+      ++it;
+      continue;
+    }
+    Request req = *it;
+    it = in_flight_.erase(it);
+    if (req.type == ReqType::kPrefetch) {
+      // Drop fills whose line has a newer pending write — the buffer must
+      // never hold data staler than the write queue.
+      const bool stale = std::any_of(
+          write_q_.begin(), write_q_.end(), [&req](const Request& w) {
+            return w.line_addr == req.line_addr;
+          });
+      if (stale) {
+        stats_->counter("rop.prefetch_dropped_stale").inc();
+      } else if (listener_ != nullptr) {
+        listener_->on_prefetch_filled(req, now);
+      }
+    } else {
+      record_read_latency(req.completion - req.arrival);
+      completed_.push_back(req);
+    }
+  }
+}
+
+bool Controller::issue_refresh_commands(RankId r, Cycle now) {
+  dram::Rank& rank = channel_.rank(r);
+  dram::Command ref{dram::CmdType::kRefresh, DramCoord{id_, r, 0, 0, 0}, 0};
+  if (channel_.can_issue(ref, now)) {
+    // Any prefetch that failed to issue before the seal is pointless now.
+    drop_prefetches(r);
+    channel_.issue(ref, now);
+    rm_.on_refresh_issued(r);
+    blocking_.on_refresh_start(r, now);
+    stats_->counter("mem.refreshes").inc();
+    phase_[r] = RefreshPhase::kIdle;
+    locked_at_[r] = kNeverCycle;
+    if (listener_ != nullptr) {
+      listener_->on_refresh_issued(r, now, rank.refresh_done());
+    }
+    return true;
+  }
+  // Close open banks so REF becomes legal.
+  for (BankId b = 0; b < rank.num_banks(); ++b) {
+    if (rank.bank(b).state() != dram::BankState::kActive) continue;
+    dram::Command pre{dram::CmdType::kPrecharge, DramCoord{id_, r, b, 0, 0},
+                      0};
+    if (channel_.can_issue(pre, now)) {
+      channel_.issue(pre, now);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Controller::manage_refresh(Cycle now) {
+  bool issued = false;
+  for (RankId r = 0; r < channel_.num_ranks(); ++r) {
+    dram::Rank& rank = channel_.rank(r);
+    if (rank.refreshing()) continue;
+    const std::uint32_t owed = rm_.owed(r, now);
+    if (owed == 0) continue;
+
+    const bool urgent = rm_.urgent(r, now);
+
+    if (phase_[r] == RefreshPhase::kIdle) {
+      switch (cfg_.policy) {
+        case RefreshPolicy::kAutoRefresh:
+          locked_at_[r] = now;
+          phase_[r] = RefreshPhase::kSealing;
+          break;
+        case RefreshPolicy::kElastic: {
+          // Wait for a rank-idle window whose required length shrinks as
+          // the postponement backlog grows; force at the JEDEC budget.
+          if (!urgent) {
+            const std::uint32_t budget =
+                channel_.timings().max_postponed_refreshes;
+            const std::uint32_t slack = owed >= budget ? 0 : budget - owed;
+            const Cycle threshold =
+                cfg_.elastic_base_idle * slack / budget;
+            if (now - last_arrival_[r] < threshold) continue;
+          }
+          locked_at_[r] = now;
+          phase_[r] = RefreshPhase::kSealing;
+          break;
+        }
+        case RefreshPolicy::kRopDrain:
+          locked_at_[r] = now;
+          phase_[r] = RefreshPhase::kDraining;
+          break;
+        case RefreshPolicy::kPausing:
+          ROP_ASSERT(false && "kPausing handled by manage_refresh_pausing");
+          break;
+      }
+    }
+
+    const bool within_bound = now < locked_at_[r] + cfg_.drain_bound;
+
+    if (phase_[r] == RefreshPhase::kDraining) {
+      if (!urgent && within_bound && pending_drain(r) > 0) {
+        continue;  // drain still in progress; demand keeps flowing
+      }
+      // Drain complete: seal the rank. Demand freezes here, which makes
+      // this the moment the ROP engine stages its prefetch round — the
+      // prediction tables reflect the final pre-refresh stream position.
+      phase_[r] = RefreshPhase::kSealing;
+      if (listener_ != nullptr) listener_->on_rank_locked(r, now);
+    }
+
+    // While sealing, staged prefetches own the bus for this rank; REF goes
+    // out once they land (or the budget runs out).
+    if (cfg_.policy == RefreshPolicy::kRopDrain && !urgent && within_bound &&
+        pending_prefetches(r) > 0) {
+      continue;
+    }
+    if (urgent) drop_prefetches(r);
+
+    if (issued) continue;  // command bus already used this cycle
+    issued = issue_refresh_commands(r, now);
+  }
+  return issued;
+}
+
+bool Controller::manage_refresh_pausing(Cycle now) {
+  bool issued = false;
+  for (RankId r = 0; r < channel_.num_ranks(); ++r) {
+    dram::Rank& rank = channel_.rank(r);
+    if (rank.refreshing()) continue;  // a segment is executing
+
+    if (refresh_remaining_[r] == 0) {
+      if (rm_.owed(r, now) == 0) continue;
+      refresh_remaining_[r] = channel_.timings().tRFC;
+      refresh_started_[r] = false;
+    }
+
+    const bool urgent = rm_.urgent(r, now);
+    // Pause: while demand is pending and the budget allows, the rank stays
+    // available and the scheduler services requests between segments. Each
+    // resume pays the re-lock overhead.
+    if (!urgent && pending_demand(r) > 0) {
+      if (refresh_started_[r]) {
+        stats_->counter("mem.refresh_pauses").inc();
+        refresh_remaining_[r] += cfg_.pause_overhead;
+        refresh_started_[r] = false;  // count one pause per gap
+      }
+      continue;
+    }
+
+    if (issued) continue;
+
+    // All banks must be precharged before a segment may begin.
+    dram::Command ref{dram::CmdType::kRefresh, DramCoord{id_, r, 0, 0, 0}, 0};
+    if (!channel_.can_issue(ref, now)) {
+      for (BankId b = 0; b < rank.num_banks(); ++b) {
+        if (rank.bank(b).state() != dram::BankState::kActive) continue;
+        dram::Command pre{dram::CmdType::kPrecharge,
+                          DramCoord{id_, r, b, 0, 0}, 0};
+        if (channel_.can_issue(pre, now)) {
+          channel_.issue(pre, now);
+          issued = true;
+          break;
+        }
+      }
+      continue;
+    }
+
+    const Cycle duration =
+        urgent ? refresh_remaining_[r]
+               : std::min<Cycle>(cfg_.pause_quantum, refresh_remaining_[r]);
+    if (!refresh_started_[r] && refresh_remaining_[r] ==
+                                    channel_.timings().tRFC) {
+      blocking_.on_refresh_start(r, now);
+    }
+    channel_.begin_refresh_segment(r, now, duration);
+    refresh_started_[r] = true;
+    refresh_remaining_[r] -= duration;
+    if (refresh_remaining_[r] == 0) {
+      rm_.on_refresh_issued(r);
+      stats_->counter("mem.refreshes").inc();
+      refresh_started_[r] = false;
+    }
+    issued = true;
+  }
+  return issued;
+}
+
+bool Controller::manage_refresh_per_bank(Cycle now) {
+  bool issued = false;
+  for (RankId r = 0; r < channel_.num_ranks(); ++r) {
+    dram::Rank& rank = channel_.rank(r);
+    if (rank.refreshing()) continue;
+    if (rm_.owed(r, now) == 0) continue;
+
+    const BankId b = next_refresh_bank_[r];
+    dram::Bank& bank = rank.bank(b);
+    if (bank.state() == dram::BankState::kRefreshing) continue;
+    if (issued) continue;
+
+    if (bank.state() == dram::BankState::kActive) {
+      dram::Command pre{dram::CmdType::kPrecharge, DramCoord{id_, r, b, 0, 0},
+                        0};
+      if (channel_.can_issue(pre, now)) {
+        channel_.issue(pre, now);
+        issued = true;
+      }
+      continue;
+    }
+    dram::Command refpb{dram::CmdType::kRefreshBank,
+                        DramCoord{id_, r, b, 0, 0}, 0};
+    if (channel_.can_issue(refpb, now)) {
+      channel_.issue(refpb, now);
+      rm_.on_refresh_issued(r);
+      stats_->counter("mem.bank_refreshes").inc();
+      next_refresh_bank_[r] =
+          static_cast<BankId>((b + 1) % rank.num_banks());
+      issued = true;
+    }
+  }
+  return issued;
+}
+
+void Controller::issue_pick(const SchedulerPick& pick, Cycle now) {
+  const Cycle done = channel_.issue(pick.cmd, now);
+  if (!pick.services_request()) return;
+
+  std::deque<Request>* q = nullptr;
+  switch (pick.queue_id) {
+    case 0: q = &read_q_; break;
+    case 1: q = &write_q_; break;
+    case 2: q = &prefetch_q_; break;
+    default: ROP_ASSERT(false);
+  }
+  Request req = (*q)[pick.request_index];
+  q->erase(q->begin() + static_cast<std::ptrdiff_t>(pick.request_index));
+
+  if (req.type != ReqType::kPrefetch && listener_ != nullptr) {
+    listener_->on_demand_serviced(req, now);
+  }
+
+  if (req.type == ReqType::kWrite) {
+    // Writes are posted: the data burst retires silently.
+    stats_->counter("mem.writes_issued").inc();
+    return;
+  }
+  req.completion = done;
+  in_flight_.push_back(req);
+  if (req.type == ReqType::kPrefetch) {
+    stats_->counter("rop.prefetch_issued").inc();
+  }
+}
+
+void Controller::tick(Cycle now) {
+  channel_.tick(now);
+  complete_bursts(now);
+  if (listener_ != nullptr) listener_->on_tick(now);
+
+  // Write-drain hysteresis.
+  if (write_q_.size() >= cfg_.sched.write_drain_high) draining_writes_ = true;
+  if (write_q_.size() <= cfg_.sched.write_drain_low) draining_writes_ = false;
+
+  if (cfg_.refresh_enabled) {
+    bool refresh_cmd = false;
+    if (cfg_.per_bank_refresh) {
+      refresh_cmd = manage_refresh_per_bank(now);
+    } else if (cfg_.policy == RefreshPolicy::kPausing) {
+      refresh_cmd = manage_refresh_pausing(now);
+    } else {
+      refresh_cmd = manage_refresh(now);
+    }
+    if (refresh_cmd) return;
+  }
+
+  const auto blocked = [this](const Request& req, int queue_id) {
+    const RankId r = req.coord.rank;
+    if (channel_.rank(r).refreshing()) return true;
+    // Prefetch reads flow through the whole lock window.
+    if (queue_id == 2) return false;
+    // Demand is held only while the rank seals for the REF command
+    // (baseline enters sealing immediately at due time).
+    return phase_[r] == RefreshPhase::kSealing;
+  };
+
+  // Outside drain mode writes are only serviced when no read work exists at
+  // all — opportunistic writes would otherwise pay bus-turnaround penalties
+  // against latency-critical reads.
+  std::vector<QueueView> views;
+  views.reserve(3);
+  if (draining_writes_) {
+    views.push_back(QueueView{&write_q_, 1});
+    views.push_back(QueueView{&read_q_, 0});
+  } else {
+    views.push_back(QueueView{&read_q_, 0});
+    if (read_q_.empty()) views.push_back(QueueView{&write_q_, 1});
+  }
+  views.push_back(QueueView{&prefetch_q_, 2});
+
+  if (const auto pick = scheduler_.pick(views, channel_, now, blocked)) {
+    issue_pick(*pick, now);
+  }
+}
+
+std::vector<Request> Controller::drain_completed() {
+  std::vector<Request> out;
+  out.swap(completed_);
+  return out;
+}
+
+void Controller::complete_matching_reads(
+    RankId rank,
+    const std::function<std::optional<Cycle>(const Request&)>& probe) {
+  for (auto it = read_q_.begin(); it != read_q_.end();) {
+    if (it->coord.rank != rank) {
+      ++it;
+      continue;
+    }
+    const auto done = probe(*it);
+    if (!done) {
+      ++it;
+      continue;
+    }
+    Request req = *it;
+    it = read_q_.erase(it);
+    req.completion = *done;
+    req.serviced_by = ServicedBy::kSramBuffer;
+    stats_->counter("mem.sram_serviced").inc();
+    record_read_latency(req.completion - req.arrival);
+    completed_.push_back(req);
+  }
+}
+
+void Controller::finalize(Cycle now) {
+  channel_.settle_accounting(now);
+  blocking_.finalize();
+}
+
+}  // namespace rop::mem

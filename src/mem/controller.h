@@ -1,0 +1,230 @@
+// Per-channel memory controller.
+//
+// Owns the DRAM channel, the transaction queues, the FR-FCFS scheduler and
+// the refresh manager, and exposes the hook interface the ROP engine plugs
+// into. One command is issued on the command bus per controller clock.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/channel.h"
+#include "mem/refresh_manager.h"
+#include "mem/refresh_stats.h"
+#include "mem/request.h"
+#include "mem/scheduler.h"
+
+namespace rop::mem {
+
+/// Hook interface implemented by the ROP engine (src/rop). The controller
+/// works identically with a null listener (baseline / no-refresh systems).
+class ControllerListener {
+ public:
+  virtual ~ControllerListener() = default;
+
+  /// A demand request is about to be enqueued. The listener may service a
+  /// read immediately (SRAM buffer hit while the rank is locked or
+  /// refreshing) by returning its completion cycle; writes always return
+  /// nullopt but give the listener the chance to invalidate buffered copies.
+  virtual std::optional<Cycle> on_enqueue(const Request& req, Cycle now) = 0;
+
+  /// A demand column command went on the bus. The prediction tables learn
+  /// from the *serviced* command stream, so that at staging time LastAddr
+  /// points at the last line actually read from DRAM and the generated
+  /// candidates start exactly at the still-queued blocked requests.
+  virtual void on_demand_serviced(const Request& req, Cycle now) = 0;
+
+  /// The rank sealed for its due refresh: queued demand has drained, new
+  /// demand is frozen. This is the moment the ROP engine takes its
+  /// prefetch decision and stages prefetch reads (paper §IV-D); REF goes
+  /// out once they land.
+  virtual void on_rank_locked(RankId rank, Cycle now) = 0;
+
+  /// REF command went on the bus; the rank is frozen during [start, done).
+  virtual void on_refresh_issued(RankId rank, Cycle start, Cycle done) = 0;
+
+  /// A prefetch read finished its data burst: fill the SRAM buffer.
+  virtual void on_prefetch_filled(const Request& req, Cycle now) = 0;
+
+  /// Called once per controller tick before scheduling, so the engine can
+  /// enqueue prefetch requests ahead of an imminent refresh.
+  virtual void on_tick(Cycle now) = 0;
+};
+
+/// How the controller schedules due refreshes. kAutoRefresh is the
+/// paper's baseline; kRopDrain is the ROP controller behaviour (§IV-D);
+/// kElastic and kPausing implement the two refresh-hiding schemes the
+/// paper's related work compares against conceptually (§VI).
+enum class RefreshPolicy : std::uint8_t {
+  /// Issue REF the moment it is due; the rank blocks immediately.
+  kAutoRefresh,
+  /// Elastic Refresh (Stuecheli et al., MICRO'10): postpone a due refresh
+  /// until the rank has been idle for a threshold that shrinks as the
+  /// postponement backlog grows; forced at the JEDEC budget.
+  kElastic,
+  /// Refresh Pausing (Nair et al., HPCA'13): execute the refresh in
+  /// segments; between segments, pending demand is serviced. Pausing adds
+  /// a small re-lock overhead per resume and is abandoned for a straight
+  /// finish when the postponement budget nears exhaustion.
+  kPausing,
+  /// ROP (paper §IV-D): drain queued demand, seal the rank, stage the
+  /// engine's prefetches, then refresh. Requires an attached RopEngine to
+  /// be useful (without one it degrades to drain-then-refresh).
+  kRopDrain,
+};
+
+struct ControllerConfig {
+  SchedulerConfig sched{};
+  /// false models the idealized no-refresh memory of Figs 1 and 7.
+  bool refresh_enabled = true;
+  RefreshPolicy policy = RefreshPolicy::kAutoRefresh;
+  /// kRopDrain: bound on the drain+staging window past due time.
+  Cycle drain_bound = 1024;
+  /// kElastic: rank-idle threshold at zero backlog; the threshold decays
+  /// linearly to zero as owed refreshes approach the JEDEC budget.
+  Cycle elastic_base_idle = 96;
+  /// kPausing: refresh segment length (~60 ns) and re-lock overhead per
+  /// resume.
+  Cycle pause_quantum = 48;
+  Cycle pause_overhead = 8;
+  /// Refresh one bank at a time (tRFCpb lock per bank, 8x the cadence)
+  /// instead of freezing the whole rank — the finer-granularity mode the
+  /// paper's future work (§VII) targets. Only meaningful with
+  /// kAutoRefresh; other banks keep servicing demand during the lock.
+  bool per_bank_refresh = false;
+};
+
+class Controller {
+ public:
+  Controller(ChannelId id, const dram::DramTimings& timings,
+             const dram::DramOrganization& org, ControllerConfig cfg,
+             StatRegistry* stats);
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  void set_listener(ControllerListener* listener) { listener_ = listener; }
+
+  [[nodiscard]] bool can_accept(ReqType type) const;
+
+  /// Enqueue a demand request. Returns false when the target queue is full
+  /// (the caller must retry). On acceptance the request id is recorded and
+  /// reads complete through drain_completed(); writes are posted.
+  bool enqueue(Request req, Cycle now);
+
+  /// Enqueue a prefetch read (ROP engine only). Prefetches are dropped
+  /// silently if the prefetch queue is full.
+  bool enqueue_prefetch(Request req, Cycle now);
+
+  /// Advance one controller clock: complete data bursts, manage refresh,
+  /// issue at most one command.
+  void tick(Cycle now);
+
+  /// Completed demand reads since the last drain (writes are posted and do
+  /// not appear here). The caller takes ownership.
+  std::vector<Request> drain_completed();
+
+  /// Remove queued demand reads to `rank` that `probe` can service (SRAM
+  /// buffer hits at refresh start); each serviced request completes at the
+  /// cycle `probe` returns.
+  void complete_matching_reads(
+      RankId rank,
+      const std::function<std::optional<Cycle>(const Request&)>& probe);
+
+  [[nodiscard]] const dram::Channel& channel() const { return channel_; }
+  [[nodiscard]] dram::Channel& channel() { return channel_; }
+  [[nodiscard]] const RefreshManager& refresh_manager() const { return rm_; }
+  [[nodiscard]] RefreshBlockingStats& blocking_stats() { return blocking_; }
+  [[nodiscard]] const RefreshBlockingStats& blocking_stats() const {
+    return blocking_;
+  }
+  [[nodiscard]] ChannelId id() const { return id_; }
+  [[nodiscard]] const ControllerConfig& config() const { return cfg_; }
+
+  [[nodiscard]] bool rank_refreshing(RankId rank) const {
+    return channel_.rank(rank).refreshing();
+  }
+  /// True from the refresh-due lock until REF issues.
+  [[nodiscard]] bool rank_locked(RankId rank) const {
+    return phase_.at(rank) != RefreshPhase::kIdle;
+  }
+  /// True while demand requests to the rank cannot be serviced from DRAM
+  /// (locked for refresh or refresh in flight) — the window during which
+  /// the SRAM buffer stands in.
+  [[nodiscard]] bool rank_unavailable(RankId rank) const {
+    return rank_refreshing(rank) || rank_locked(rank);
+  }
+  [[nodiscard]] std::size_t pending_demand(RankId rank) const;
+  [[nodiscard]] std::size_t pending_prefetches(RankId rank) const;
+  [[nodiscard]] std::size_t read_queue_depth() const { return read_q_.size(); }
+  [[nodiscard]] std::size_t write_queue_depth() const {
+    return write_q_.size();
+  }
+
+  /// True when no demand work is queued, in flight, or awaiting drain.
+  [[nodiscard]] bool idle() const {
+    return read_q_.empty() && write_q_.empty() && in_flight_.empty() &&
+           completed_.empty();
+  }
+
+  /// Settle cycle accounting (energy) at end of run.
+  void finalize(Cycle now);
+
+ private:
+  /// Returns true when a refresh-related command (PRE or REF) was issued.
+  bool manage_refresh(Cycle now);
+  void issue_pick(const SchedulerPick& pick, Cycle now);
+  void complete_bursts(Cycle now);
+  /// Demand requests queued before the lock that still await service.
+  [[nodiscard]] std::size_t pending_drain(RankId rank) const;
+  /// Flush queued prefetches for a rank (urgent refresh override).
+  void drop_prefetches(RankId rank);
+  void record_read_latency(Cycle latency);
+  /// Issue PRE for an open bank or the REF itself; true when a command
+  /// went out this cycle.
+  bool issue_refresh_commands(RankId rank, Cycle now);
+  bool manage_refresh_per_bank(Cycle now);
+  bool manage_refresh_pausing(Cycle now);
+
+  ChannelId id_;
+  ControllerConfig cfg_;
+  dram::Channel channel_;
+  RefreshManager rm_;
+  Scheduler scheduler_;
+  RefreshBlockingStats blocking_;
+  StatRegistry* stats_;
+  ControllerListener* listener_ = nullptr;
+
+  std::deque<Request> read_q_;
+  std::deque<Request> write_q_;
+  std::deque<Request> prefetch_q_;
+  std::vector<Request> in_flight_;  // reads/prefetches waiting on data
+  std::vector<Request> completed_;
+
+  bool draining_writes_ = false;
+
+  /// Per-rank refresh progression. kIdle: no refresh pending. kDraining
+  /// (ROP only): refresh due; demand keeps flowing while queued requests
+  /// drain and staged prefetches fill the buffer. kSealing: demand to the
+  /// rank is held while banks are precharged and REF goes out. Baseline
+  /// auto-refresh jumps straight from kIdle to kSealing at due time.
+  enum class RefreshPhase : std::uint8_t { kIdle, kDraining, kSealing };
+  std::vector<RefreshPhase> phase_;
+  /// Cycle the pending refresh came due (bounds the drain window).
+  std::vector<Cycle> locked_at_;
+  /// kElastic: last demand arrival per rank (idle detection).
+  std::vector<Cycle> last_arrival_;
+  /// kPausing: refresh work remaining per rank (0 = none in progress) and
+  /// whether the in-progress refresh has been paused at least once.
+  std::vector<Cycle> refresh_remaining_;
+  std::vector<bool> refresh_started_;
+  /// per_bank_refresh: round-robin cursor of the next bank to refresh.
+  std::vector<BankId> next_refresh_bank_;
+};
+
+}  // namespace rop::mem

@@ -1,0 +1,74 @@
+// Top-level memory system: address mapping + one controller per channel.
+//
+// This is the public substrate API the CPU layer and the examples talk to:
+// enqueue line-granular requests, tick once per controller clock, drain
+// completions.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/timing.h"
+#include "mem/address_map.h"
+#include "mem/controller.h"
+
+namespace rop::mem {
+
+struct MemoryConfig {
+  dram::DramTimings timings{};
+  dram::DramOrganization org{};
+  MapScheme scheme = MapScheme::kRowRankBankColumn;
+  ControllerConfig ctrl{};
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(const MemoryConfig& cfg, StatRegistry* stats);
+
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
+
+  /// Queue-space check for the channel `byte_addr` maps to.
+  [[nodiscard]] bool can_accept(Address byte_addr, ReqType type) const;
+
+  /// Enqueue a demand access. Returns the request id on acceptance, or
+  /// nullopt when the target queue is full (caller retries next cycle).
+  std::optional<RequestId> enqueue(Address byte_addr, ReqType type,
+                                   CoreId core, Cycle now);
+
+  /// Advance all channels one controller clock.
+  void tick(Cycle now);
+
+  /// All demand reads completed since the last call (any channel).
+  std::vector<Request> drain_completed();
+
+  [[nodiscard]] const AddressMap& address_map() const { return map_; }
+  [[nodiscard]] const MemoryConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint32_t num_channels() const {
+    return static_cast<std::uint32_t>(controllers_.size());
+  }
+  [[nodiscard]] Controller& controller(ChannelId ch) {
+    return *controllers_.at(ch);
+  }
+  [[nodiscard]] const Controller& controller(ChannelId ch) const {
+    return *controllers_.at(ch);
+  }
+
+  /// Settle energy/blocking accounting at end of run.
+  void finalize(Cycle now);
+
+  /// True when every queue and in-flight buffer is empty.
+  [[nodiscard]] bool idle() const;
+
+ private:
+  MemoryConfig cfg_;  // owns the timings the channels reference
+  AddressMap map_;
+  StatRegistry* stats_;
+  std::vector<std::unique_ptr<Controller>> controllers_;
+  RequestId next_id_ = 1;
+};
+
+}  // namespace rop::mem

@@ -1,0 +1,69 @@
+// Per-rank auto-refresh scheduling.
+//
+// JEDEC requires one REF per tREFI on average; up to 8 REFs may be postponed
+// (and later made up) as long as the running average holds. The baseline
+// memory issues refreshes as soon as they come due ("auto-refresh"); the ROP
+// controller defers them briefly to drain the target rank and slot in
+// prefetches (paper §IV-D), bounded by the postponement budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/timing.h"
+
+namespace rop::mem {
+
+class RefreshManager {
+ public:
+  /// `units_per_trefi` = 1 for full-rank REF (one unit per tREFI) or the
+  /// bank count for per-bank REFpb (8 units per tREFI, one per bank).
+  RefreshManager(const dram::DramTimings& timings, std::uint32_t num_ranks,
+                 std::uint32_t units_per_trefi = 1);
+
+  /// Number of refreshes currently owed by `rank` at `now` (scheduled
+  /// boundaries passed minus refreshes issued).
+  [[nodiscard]] std::uint32_t owed(RankId rank, Cycle now) const;
+
+  /// True once at least one refresh is due.
+  [[nodiscard]] bool due(RankId rank, Cycle now) const {
+    return owed(rank, now) > 0;
+  }
+
+  /// True when the postponement budget is exhausted: the controller must
+  /// prioritize this refresh over everything else.
+  [[nodiscard]] bool urgent(RankId rank, Cycle now) const {
+    return owed(rank, now) >= t_.max_postponed_refreshes;
+  }
+
+  /// The scheduled time of the next refresh boundary for `rank` — the
+  /// anchor for ROP's observational window.
+  [[nodiscard]] Cycle next_boundary(RankId rank, Cycle now) const;
+
+  /// Record an issued REF command.
+  void on_refresh_issued(RankId rank);
+
+  [[nodiscard]] std::uint64_t issued(RankId rank) const {
+    return issued_.at(rank);
+  }
+  [[nodiscard]] std::uint64_t total_issued() const;
+
+  /// Ranks refresh staggered: rank r's boundaries sit at
+  /// r * interval / num_ranks + k * interval, mirroring real controllers
+  /// that avoid refreshing all ranks at once.
+  [[nodiscard]] Cycle phase_offset(RankId rank) const;
+
+  /// Scheduling interval between refresh units (tREFI / units_per_trefi).
+  [[nodiscard]] Cycle interval() const {
+    return t_.tREFI / units_per_trefi_;
+  }
+
+ private:
+  const dram::DramTimings& t_;
+  std::vector<std::uint64_t> issued_;
+  std::uint32_t num_ranks_;
+  std::uint32_t units_per_trefi_;
+};
+
+}  // namespace rop::mem

@@ -1,0 +1,112 @@
+// Online refresh/request interaction statistics (paper §III-B, Figs 2–3).
+//
+// A read request is "blocked" by a refresh when it arrives inside the
+// examined window following the refresh start; the paper examines windows of
+// 1x, 2x and 4x the refresh cycle time (tRFC). A refresh with at least one
+// such arrival is a "blocking" refresh. The tracker keeps the small set of
+// still-open windows per rank and retires them lazily.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rop::mem {
+
+class RefreshBlockingStats {
+ public:
+  static constexpr std::array<std::uint32_t, 3> kExaminedMultiples{1, 2, 4};
+
+  RefreshBlockingStats(std::uint32_t num_ranks, Cycle trfc)
+      : trfc_(trfc), open_(num_ranks) {}
+
+  void on_refresh_start(RankId rank, Cycle start) {
+    retire_expired(rank, start);
+    open_.at(rank).push_back(Window{start, {}});
+    ++total_refreshes_;
+  }
+
+  void on_read_arrival(RankId rank, Cycle t) {
+    retire_expired(rank, t);
+    for (Window& w : open_.at(rank)) {
+      for (std::size_t k = 0; k < kExaminedMultiples.size(); ++k) {
+        if (t >= w.start && t < w.start + kExaminedMultiples[k] * trfc_) {
+          ++w.blocked[k];
+        }
+      }
+    }
+  }
+
+  /// Retire every still-open window (end of simulation).
+  void finalize() {
+    for (auto& q : open_) {
+      while (!q.empty()) {
+        retire(q.front());
+        q.pop_front();
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t total_refreshes() const {
+    return total_refreshes_;
+  }
+
+  /// Fraction of refreshes with zero blocked arrivals in examined window k.
+  [[nodiscard]] double non_blocking_fraction(std::size_t k) const {
+    if (total_refreshes_ == 0) return 1.0;
+    const std::uint64_t retired = retired_refreshes_;
+    if (retired == 0) return 1.0;
+    return static_cast<double>(retired - blocking_refreshes_[k]) /
+           static_cast<double>(retired);
+  }
+
+  /// Mean number of blocked requests per *blocking* refresh in window k.
+  [[nodiscard]] double mean_blocked_per_blocking_refresh(std::size_t k) const {
+    if (blocking_refreshes_[k] == 0) return 0.0;
+    return static_cast<double>(blocked_requests_[k]) /
+           static_cast<double>(blocking_refreshes_[k]);
+  }
+
+  [[nodiscard]] std::uint64_t max_blocked(std::size_t k) const {
+    return max_blocked_[k];
+  }
+
+ private:
+  struct Window {
+    Cycle start;
+    std::array<std::uint64_t, 3> blocked{};
+  };
+
+  void retire(const Window& w) {
+    ++retired_refreshes_;
+    for (std::size_t k = 0; k < kExaminedMultiples.size(); ++k) {
+      if (w.blocked[k] > 0) {
+        ++blocking_refreshes_[k];
+        blocked_requests_[k] += w.blocked[k];
+        max_blocked_[k] = std::max(max_blocked_[k], w.blocked[k]);
+      }
+    }
+  }
+
+  void retire_expired(RankId rank, Cycle now) {
+    auto& q = open_.at(rank);
+    const Cycle horizon = kExaminedMultiples.back() * trfc_;
+    while (!q.empty() && now >= q.front().start + horizon) {
+      retire(q.front());
+      q.pop_front();
+    }
+  }
+
+  Cycle trfc_;
+  std::vector<std::deque<Window>> open_;
+  std::uint64_t total_refreshes_ = 0;
+  std::uint64_t retired_refreshes_ = 0;
+  std::array<std::uint64_t, 3> blocking_refreshes_{};
+  std::array<std::uint64_t, 3> blocked_requests_{};
+  std::array<std::uint64_t, 3> max_blocked_{};
+};
+
+}  // namespace rop::mem

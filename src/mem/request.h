@@ -1,0 +1,37 @@
+// Memory transactions as seen by the controller.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace rop::mem {
+
+enum class ReqType : std::uint8_t {
+  kRead,      // demand read (LLC miss fill)
+  kWrite,     // writeback from the LLC
+  kPrefetch,  // ROP prefetch read into the SRAM buffer
+};
+
+/// How a completed request was serviced — the experiment layer uses this to
+/// split latency statistics.
+enum class ServicedBy : std::uint8_t {
+  kDram,
+  kSramBuffer,    // hit in the ROP SRAM buffer during a refresh
+  kWriteForward,  // read forwarded from a pending write in the write queue
+};
+
+struct Request {
+  RequestId id = 0;
+  ReqType type = ReqType::kRead;
+  Address line_addr = 0;  // line-granular byte address (low 6 bits zero)
+  DramCoord coord{};
+  CoreId core = 0;
+  Cycle arrival = 0;                 // controller clock
+  Cycle completion = kNeverCycle;    // set when serviced
+  ServicedBy serviced_by = ServicedBy::kDram;
+
+  [[nodiscard]] bool is_read() const { return type != ReqType::kWrite; }
+};
+
+}  // namespace rop::mem

@@ -1,0 +1,84 @@
+#include "mem/scheduler.h"
+
+#include <algorithm>
+
+namespace rop::mem {
+
+namespace {
+
+dram::CmdType column_cmd_for(const Request& req) {
+  return req.type == ReqType::kWrite ? dram::CmdType::kWrite
+                                     : dram::CmdType::kRead;
+}
+
+/// True when any request in any queue would row-hit bank `coord`'s
+/// currently open row (used to avoid closing rows that still have takers).
+bool open_row_has_taker(std::span<const QueueView> queues,
+                        const DramCoord& coord, RowId open_row) {
+  for (const QueueView& qv : queues) {
+    for (const Request& req : *qv.requests) {
+      if (req.coord.rank == coord.rank && req.coord.bank == coord.bank &&
+          req.coord.row == open_row) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<SchedulerPick> Scheduler::pick(
+    std::span<const QueueView> queues, const dram::Channel& channel,
+    Cycle now, const BlockedFn& blocked) const {
+  // Pass 1: first-ready column commands, in queue priority then age order.
+  for (const QueueView& qv : queues) {
+    for (std::size_t i = 0; i < qv.requests->size(); ++i) {
+      const Request& req = (*qv.requests)[i];
+      if (blocked(req, qv.id)) continue;
+      const dram::Bank& bank = channel.rank(req.coord.rank).bank(req.coord.bank);
+      if (bank.state() != dram::BankState::kActive || !bank.open_row() ||
+          *bank.open_row() != req.coord.row) {
+        continue;
+      }
+      dram::Command cmd{column_cmd_for(req), req.coord, req.id};
+      if (channel.can_issue(cmd, now)) {
+        return SchedulerPick{cmd, qv.id, i};
+      }
+    }
+  }
+
+  // Pass 2: row commands (ACT / PRE) for the oldest requests.
+  for (const QueueView& qv : queues) {
+    for (std::size_t i = 0; i < qv.requests->size(); ++i) {
+      const Request& req = (*qv.requests)[i];
+      if (blocked(req, qv.id)) continue;
+      const dram::Bank& bank = channel.rank(req.coord.rank).bank(req.coord.bank);
+      switch (bank.state()) {
+        case dram::BankState::kPrecharged: {
+          dram::Command act{dram::CmdType::kActivate, req.coord, req.id};
+          if (channel.can_issue(act, now)) {
+            return SchedulerPick{act, qv.id, i};
+          }
+          break;
+        }
+        case dram::BankState::kActive: {
+          // Row conflict: close the row, but only if nobody still wants it.
+          if (bank.open_row() && *bank.open_row() != req.coord.row &&
+              !open_row_has_taker(queues, req.coord, *bank.open_row())) {
+            dram::Command pre{dram::CmdType::kPrecharge, req.coord, 0};
+            if (channel.can_issue(pre, now)) {
+              return SchedulerPick{pre, qv.id, i};
+            }
+          }
+          break;
+        }
+        case dram::BankState::kRefreshing:
+          break;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rop::mem

@@ -1,0 +1,70 @@
+// FR-FCFS command scheduling (first-ready, first-come-first-served).
+//
+// Reads have priority over writes; writes are drained in batches once the
+// write queue crosses a high watermark (Table III: "writes are scheduled in
+// batches"). Prefetch reads are a third class that the ROP engine enqueues
+// shortly before a refresh; they are serviced behind demand requests but
+// coalesce with them on open rows (paper §IV-D).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "dram/channel.h"
+#include "dram/command.h"
+#include "mem/request.h"
+
+namespace rop::mem {
+
+struct SchedulerConfig {
+  std::size_t read_queue_capacity = 64;   // Table III: 64-entry read queue
+  std::size_t write_queue_capacity = 64;  // Table III: 64-entry write queue
+  std::size_t write_drain_high = 48;      // enter drain mode at this depth
+  std::size_t write_drain_low = 16;       // leave drain mode at this depth
+};
+
+/// The scheduler's decision: which command to put on the command bus, and —
+/// for column commands — which queued request it services.
+struct SchedulerPick {
+  dram::Command cmd;
+  int queue_id = -1;            // index into the QueueView span
+  std::size_t request_index = 0;  // index within that queue
+  [[nodiscard]] bool services_request() const { return cmd.is_column(); }
+};
+
+/// A queue the scheduler may draw from this cycle, in priority order.
+struct QueueView {
+  const std::deque<Request>* requests = nullptr;
+  int id = -1;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] const SchedulerConfig& config() const { return cfg_; }
+
+  /// Choose the next command. `blocked(request, queue_id)` masks requests
+  /// that must not be scheduled this cycle (rank refreshing, rank locked
+  /// for an imminent refresh, post-lock arrivals during a drain, ...).
+  ///
+  /// Selection order:
+  ///   1. the oldest request (scanning queues in priority order) whose
+  ///      column command is issuable right now (row hit, "first ready"),
+  ///   2. otherwise the oldest request that needs an ACT that is issuable,
+  ///   3. otherwise the oldest request that needs a PRE (row conflict) that
+  ///      is issuable — unless a same-priority request still row-hits the
+  ///      open row (keep the row open for it).
+  using BlockedFn = std::function<bool(const Request&, int queue_id)>;
+  [[nodiscard]] std::optional<SchedulerPick> pick(
+      std::span<const QueueView> queues, const dram::Channel& channel,
+      Cycle now, const BlockedFn& blocked) const;
+
+ private:
+  SchedulerConfig cfg_;
+};
+
+}  // namespace rop::mem

@@ -1,0 +1,94 @@
+#include "rop/pattern_profiler.h"
+
+namespace rop::engine {
+
+WindowCorrelator::WindowCorrelator(Cycle window, std::uint32_t num_ranks)
+    : window_(window), arrivals_(num_ranks), open_(num_ranks) {
+  ROP_ASSERT(window > 0);
+  ROP_ASSERT(num_ranks > 0);
+}
+
+void WindowCorrelator::close(const OpenWindow& w) {
+  const std::size_t idx = (w.b > 0 ? 0 : 2) + (w.a > 0 ? 0 : 1);
+  ++counts_.counts[idx];
+}
+
+void WindowCorrelator::advance(Cycle now) {
+  for (auto& q : open_) {
+    while (!q.empty() && now >= q.front().refresh_start + window_) {
+      close(q.front());
+      q.pop_front();
+    }
+  }
+}
+
+void WindowCorrelator::on_request(RankId rank, Cycle now, bool is_read) {
+  advance(now);
+  auto& hist = arrivals_.at(rank);
+  hist.push_back(now);
+  // Retain only what a future B-window can still see.
+  while (!hist.empty() && hist.front() + window_ <= now) hist.pop_front();
+  if (is_read) {
+    for (OpenWindow& w : open_.at(rank)) {
+      if (now >= w.refresh_start && now < w.refresh_start + window_) ++w.a;
+    }
+  }
+}
+
+void WindowCorrelator::on_refresh(RankId rank, Cycle now) {
+  advance(now);
+  const auto& hist = arrivals_.at(rank);
+  std::uint64_t b = 0;
+  for (auto it = hist.rbegin(); it != hist.rend(); ++it) {
+    if (*it + window_ <= now) break;
+    if (*it < now) ++b;
+  }
+  open_.at(rank).push_back(OpenWindow{now, b});
+}
+
+void WindowCorrelator::finalize() {
+  for (auto& q : open_) {
+    while (!q.empty()) {
+      close(q.front());
+      q.pop_front();
+    }
+  }
+}
+
+void WindowCorrelator::reset() {
+  for (auto& q : open_) q.clear();
+  for (auto& h : arrivals_) h.clear();
+  counts_ = CategoryCounts{};
+}
+
+PatternProfiler::PatternProfiler(Cycle window, std::uint32_t num_ranks,
+                                 std::uint32_t training_refreshes)
+    : correlator_(window, num_ranks), training_refreshes_(training_refreshes) {
+  ROP_ASSERT(training_refreshes > 0);
+}
+
+bool PatternProfiler::on_refresh(RankId rank, Cycle now) {
+  if (trained_) return false;
+  correlator_.on_refresh(rank, now);
+  ++seen_;
+  // Training completes once enough refreshes have been observed *and*
+  // their A-windows have closed (counts only include closed windows).
+  if (seen_ > training_refreshes_ &&
+      correlator_.counts().total() >= training_refreshes_) {
+    lambda_ = correlator_.counts().lambda();
+    beta_ = correlator_.counts().beta();
+    trained_ = true;
+    return true;
+  }
+  return false;
+}
+
+void PatternProfiler::restart() {
+  correlator_.reset();
+  seen_ = 0;
+  trained_ = false;
+  lambda_ = 1.0;
+  beta_ = 1.0;
+}
+
+}  // namespace rop::engine

@@ -1,0 +1,135 @@
+// Pattern Profiler (paper §IV-B) and the underlying window correlator.
+//
+// For each refresh at time T the correlator computes
+//   B = number of demand requests (reads + writes) in [T - W, T)
+//   A = number of demand reads in [T, T + W)
+// and classifies the refresh into one of four categories:
+//   (1) B>0 && A>0   (2) B>0 && A=0   (3) B=0 && A>0   (4) B=0 && A=0
+// from which the two conditional probabilities of Eqs. 1–2 follow:
+//   lambda = P{A>0 | B>0},  beta = P{A=0 | B=0}.
+//
+// The same machinery serves both the online ROP training phase (W = 1x
+// tREFI) and the offline-style analyses behind Fig. 4 and Table I (W = 1x,
+// 2x, 4x tREFI).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rop::engine {
+
+/// Aggregated refresh-category counts for one window length.
+struct CategoryCounts {
+  // Indexed as [B>0][A>0] flattened: 0: B>0,A>0  1: B>0,A=0
+  //                                  2: B=0,A>0  3: B=0,A=0
+  std::array<std::uint64_t, 4> counts{};
+
+  [[nodiscard]] std::uint64_t total() const {
+    return counts[0] + counts[1] + counts[2] + counts[3];
+  }
+  /// lambda = P{A>0 | B>0}; returns `fallback` when B>0 never occurred.
+  [[nodiscard]] double lambda(double fallback = 1.0) const {
+    const std::uint64_t denom = counts[0] + counts[1];
+    return denom ? static_cast<double>(counts[0]) / static_cast<double>(denom)
+                 : fallback;
+  }
+  /// beta = P{A=0 | B=0}; returns `fallback` when B=0 never occurred.
+  [[nodiscard]] double beta(double fallback = 1.0) const {
+    const std::uint64_t denom = counts[2] + counts[3];
+    return denom ? static_cast<double>(counts[3]) / static_cast<double>(denom)
+                 : fallback;
+  }
+  /// Fraction of refreshes in event E1 (B>0 && A>0).
+  [[nodiscard]] double e1_fraction() const {
+    const std::uint64_t t = total();
+    return t ? static_cast<double>(counts[0]) / static_cast<double>(t) : 0.0;
+  }
+  /// Fraction of refreshes in event E2 (B=0 && A=0).
+  [[nodiscard]] double e2_fraction() const {
+    const std::uint64_t t = total();
+    return t ? static_cast<double>(counts[3]) / static_cast<double>(t) : 0.0;
+  }
+};
+
+class WindowCorrelator {
+ public:
+  /// `window` is W in controller cycles; `num_ranks` sizes internal state.
+  WindowCorrelator(Cycle window, std::uint32_t num_ranks);
+
+  /// Record a demand request to `rank` at `now` (reads and writes feed the
+  /// B-windows; only reads feed the A-windows).
+  void on_request(RankId rank, Cycle now, bool is_read);
+
+  /// Record a refresh start on `rank`. B is evaluated immediately against
+  /// the retained arrival history; the A-window stays open for W cycles.
+  void on_refresh(RankId rank, Cycle now);
+
+  /// Close every A-window that ends at or before `now`.
+  void advance(Cycle now);
+
+  /// Close all windows unconditionally (end of run / end of training).
+  void finalize();
+
+  [[nodiscard]] const CategoryCounts& counts() const { return counts_; }
+  [[nodiscard]] Cycle window() const { return window_; }
+
+  void reset();
+
+ private:
+  struct OpenWindow {
+    Cycle refresh_start;
+    std::uint64_t b;
+    std::uint64_t a = 0;
+  };
+
+  void close(const OpenWindow& w);
+
+  Cycle window_;
+  std::vector<std::deque<Cycle>> arrivals_;   // per-rank B-window history
+  std::vector<std::deque<OpenWindow>> open_;  // per-rank open A-windows
+  CategoryCounts counts_;
+};
+
+/// The paper's Pattern Profiler: trains a WindowCorrelator over a fixed
+/// number of refreshes and then freezes lambda/beta.
+class PatternProfiler {
+ public:
+  PatternProfiler(Cycle window, std::uint32_t num_ranks,
+                  std::uint32_t training_refreshes);
+
+  void on_request(RankId rank, Cycle now, bool is_read) {
+    if (!trained_) correlator_.on_request(rank, now, is_read);
+  }
+
+  /// Returns true when this refresh completed the training period (the
+  /// caller transitions the engine to the Observing state).
+  bool on_refresh(RankId rank, Cycle now);
+
+  void advance(Cycle now) {
+    if (!trained_) correlator_.advance(now);
+  }
+
+  [[nodiscard]] bool trained() const { return trained_; }
+  [[nodiscard]] double lambda() const { return lambda_; }
+  [[nodiscard]] double beta() const { return beta_; }
+  [[nodiscard]] const CategoryCounts& counts() const {
+    return correlator_.counts();
+  }
+
+  /// Restart a fresh training phase (hit rate fell below threshold).
+  void restart();
+
+ private:
+  WindowCorrelator correlator_;
+  std::uint32_t training_refreshes_;
+  std::uint32_t seen_ = 0;
+  bool trained_ = false;
+  double lambda_ = 1.0;
+  double beta_ = 1.0;
+};
+
+}  // namespace rop::engine

@@ -1,0 +1,64 @@
+#include "rop/sram_buffer.h"
+
+#include <algorithm>
+
+namespace rop::engine {
+
+SramBuffer::SramBuffer(std::uint32_t capacity_lines)
+    : capacity_(capacity_lines) {
+  ROP_ASSERT(capacity_lines > 0);
+  lru_.reserve(capacity_lines);
+  map_.reserve(capacity_lines * 2);
+}
+
+void SramBuffer::begin_round(RankId rank) {
+  clear();
+  owner_ = rank;
+  ++stats_.rounds;
+}
+
+void SramBuffer::touch(Address line_addr) {
+  const auto it = std::find(lru_.begin(), lru_.end(), line_addr);
+  ROP_ASSERT(it != lru_.end());
+  lru_.erase(it);
+  lru_.push_back(line_addr);
+}
+
+bool SramBuffer::insert(Address line_addr) {
+  ++stats_.fills;
+  if (map_.find(line_addr) != map_.end()) {
+    touch(line_addr);
+    return false;
+  }
+  if (lru_.size() >= capacity_) {
+    map_.erase(lru_.front());
+    lru_.erase(lru_.begin());
+  }
+  lru_.push_back(line_addr);
+  map_.emplace(line_addr, true);
+  return true;
+}
+
+bool SramBuffer::lookup(Address line_addr) {
+  ++stats_.lookups;
+  if (map_.find(line_addr) == map_.end()) return false;
+  touch(line_addr);
+  ++stats_.hits;
+  return true;
+}
+
+void SramBuffer::invalidate(Address line_addr) {
+  const auto it = map_.find(line_addr);
+  if (it == map_.end()) return;
+  map_.erase(it);
+  lru_.erase(std::find(lru_.begin(), lru_.end(), line_addr));
+  ++stats_.invalidations;
+}
+
+void SramBuffer::clear() {
+  lru_.clear();
+  map_.clear();
+  owner_.reset();
+}
+
+}  // namespace rop::engine

@@ -1,0 +1,71 @@
+// Fully-associative SRAM prefetch buffer in the memory controller
+// (paper §IV-A). Sized in cache lines (16/32/64/128 in the evaluation).
+//
+// Ranks take turns using the buffer: a prefetch round clears it and tags it
+// with the owning rank. Lines are looked up by full line address; writes to
+// a buffered line invalidate it (the buffer must never return data staler
+// than the write queue). The buffer also keeps the access/energy counters
+// the SRAM power model consumes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rop::engine {
+
+struct SramBufferStats {
+  std::uint64_t fills = 0;        // prefetch lines written
+  std::uint64_t lookups = 0;      // probe operations while active
+  std::uint64_t hits = 0;         // successful probes
+  std::uint64_t invalidations = 0;
+  std::uint64_t rounds = 0;       // prefetch rounds (clears + re-own)
+};
+
+class SramBuffer {
+ public:
+  explicit SramBuffer(std::uint32_t capacity_lines);
+
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return lru_.size(); }
+  [[nodiscard]] std::optional<RankId> owner() const { return owner_; }
+
+  /// Start a prefetch round for `rank`: drop previous contents, re-own.
+  void begin_round(RankId rank);
+
+  /// Insert a prefetched line (LRU-evicts when full). Returns false when
+  /// the line was already present.
+  bool insert(Address line_addr);
+
+  /// Probe for a line; counts a lookup and (on success) a hit.
+  [[nodiscard]] bool lookup(Address line_addr);
+
+  /// Probe without disturbing statistics (used by tests/debug).
+  [[nodiscard]] bool contains(Address line_addr) const {
+    return map_.find(line_addr) != map_.end();
+  }
+
+  /// Drop a line if present (write coherence).
+  void invalidate(Address line_addr);
+
+  void clear();
+
+  [[nodiscard]] const SramBufferStats& stats() const { return stats_; }
+
+ private:
+  void touch(Address line_addr);
+
+  std::uint32_t capacity_;
+  std::optional<RankId> owner_;
+  // LRU order: front = least recently used. For <=128 lines a vector scan
+  // is faster than any pointer-chasing structure, but the map keeps lookup
+  // O(1) for the hot probe path.
+  std::vector<Address> lru_;
+  std::unordered_map<Address, bool> map_;
+  SramBufferStats stats_;
+};
+
+}  // namespace rop::engine

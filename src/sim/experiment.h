@@ -1,0 +1,75 @@
+// Experiment runner: assemble a full system (workloads -> cores -> LLC ->
+// controller [-> ROP engine] -> DRAM -> power model), run it, and return
+// the metric bundle every bench and example consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "cpu/system.h"
+#include "energy/dram_power.h"
+#include "rop/rop_engine.h"
+#include "sim/presets.h"
+#include "workload/spec_profiles.h"
+
+namespace rop::sim {
+
+struct ExperimentSpec {
+  /// One benchmark name per core (see workload::kBenchmarkNames).
+  std::vector<std::string> benchmarks;
+  MemoryMode mode = MemoryMode::kBaseline;
+  bool rank_partition = false;
+  std::uint32_t ranks = 1;
+  std::uint64_t llc_bytes = 2ull << 20;
+  engine::RopConfig rop{};  // consulted when mode == kRop
+  dram::RefreshMode refresh_mode = dram::RefreshMode::k1x;
+  std::uint64_t instructions_per_core = 5'000'000;
+  std::uint64_t max_cpu_cycles = 2'000'000'000;
+  std::uint64_t seed_salt = 0;
+};
+
+struct ExperimentResult {
+  cpu::RunResult run;
+  energy::EnergyBreakdown energy;
+  StatRegistry stats;
+
+  // ROP-specific metrics (zero/defaults for baseline and no-refresh).
+  double sram_hit_rate = 0.0;
+  double lambda = 1.0;
+  double beta = 1.0;
+  std::uint64_t refreshes = 0;
+
+  // Refresh blocking statistics (1x / 2x / 4x examined windows, Figs 2-3).
+  std::vector<double> nonblocking_fraction;
+  std::vector<double> mean_blocked_per_blocking_refresh;
+  std::vector<std::uint64_t> max_blocked;
+
+  [[nodiscard]] double ipc(std::size_t core = 0) const {
+    return run.cores.at(core).ipc;
+  }
+  [[nodiscard]] double total_energy_mj() const { return energy.total_mj(); }
+
+  /// Weighted-speedup helper (Eq. 4): sum over cores of
+  /// IPC_shared / IPC_alone, with IPC_alone supplied by the caller.
+  [[nodiscard]] double weighted_speedup(
+      const std::vector<double>& ipc_alone) const;
+};
+
+/// Run one experiment end to end. Deterministic for a fixed spec.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+/// Convenience for single-benchmark single-core specs.
+[[nodiscard]] ExperimentSpec single_core_spec(std::string benchmark,
+                                              MemoryMode mode,
+                                              std::uint64_t llc_bytes = 2ull
+                                                                        << 20);
+
+/// Spec for a 4-core workload mix WL1..WL6 on a 4-rank memory.
+[[nodiscard]] ExperimentSpec multi_core_spec(std::uint32_t wl, MemoryMode mode,
+                                             bool rank_partition,
+                                             std::uint64_t llc_bytes = 4ull
+                                                                       << 20);
+
+}  // namespace rop::sim

@@ -1,0 +1,51 @@
+#include "sim/presets.h"
+
+namespace rop::sim {
+
+mem::MemoryConfig make_memory_config(std::uint32_t ranks, MemoryMode mode,
+                                     dram::RefreshMode refresh_mode) {
+  mem::MemoryConfig cfg;
+  cfg.timings = dram::make_ddr4_1600_timings(refresh_mode);
+  cfg.org.channels = 1;
+  cfg.org.ranks = ranks;
+  cfg.org.banks = 8;
+    // Page-interleaved: a stream resides in one bank for a whole row (128
+  // lines), so concurrent streams separate into different banks and each
+  // per-bank prediction-table entry sees a clean single-stream delta trail
+  // (the "bank locality" the paper's table organization relies on, §IV-C).
+  cfg.scheme = mem::MapScheme::kRowRankBankColumn;
+  cfg.ctrl.refresh_enabled = mode != MemoryMode::kNoRefresh;
+  switch (mode) {
+    case MemoryMode::kRop:
+      cfg.ctrl.policy = mem::RefreshPolicy::kRopDrain;
+      break;
+    case MemoryMode::kElastic:
+      cfg.ctrl.policy = mem::RefreshPolicy::kElastic;
+      break;
+    case MemoryMode::kPausing:
+      cfg.ctrl.policy = mem::RefreshPolicy::kPausing;
+      break;
+    case MemoryMode::kPerBank:
+      cfg.ctrl.per_bank_refresh = true;
+      break;
+    case MemoryMode::kBaseline:
+    case MemoryMode::kNoRefresh:
+      break;
+  }
+  return cfg;
+}
+
+cpu::SystemConfig make_system_config(std::uint64_t llc_bytes,
+                                     bool rank_partition) {
+  cpu::SystemConfig cfg;
+  cfg.cpu_ratio = 4;  // 3.2 GHz cores / 800 MHz controller
+  cfg.core.issue_width = 4;
+  cfg.core.max_outstanding = 16;
+  cfg.llc.size_bytes = llc_bytes;
+  cfg.llc.associativity = 16;
+  cfg.shared_llc = true;
+  cfg.rank_partition = rank_partition;
+  return cfg;
+}
+
+}  // namespace rop::sim

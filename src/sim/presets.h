@@ -1,0 +1,36 @@
+// Canned system configurations from the paper's Table III.
+#pragma once
+
+#include <cstdint>
+
+#include "cpu/system.h"
+#include "dram/timing.h"
+#include "mem/memory_system.h"
+#include "rop/rop_engine.h"
+
+namespace rop::sim {
+
+/// Which memory system variant to run. The first three are the paper's
+/// §V-A comparison set; the rest are the related-work refresh schemes
+/// (§VI) and the finer-granularity mode of §VII, implemented here as
+/// additional baselines.
+enum class MemoryMode : std::uint8_t {
+  kBaseline,   // auto-refresh, refresh issued the moment it is due
+  kNoRefresh,  // idealized memory without refresh (upper bound)
+  kRop,        // auto-refresh + ROP engine (drain + prefetch + SRAM buffer)
+  kElastic,    // Elastic Refresh (Stuecheli et al., MICRO'10)
+  kPausing,    // Refresh Pausing (Nair et al., HPCA'13)
+  kPerBank,    // per-bank refresh (REFpb), 8x cadence at tRFCpb per bank
+};
+
+/// DDR4-1600, 1 channel, `ranks` ranks of 8 banks (Table III).
+[[nodiscard]] mem::MemoryConfig make_memory_config(
+    std::uint32_t ranks, MemoryMode mode,
+    dram::RefreshMode refresh_mode = dram::RefreshMode::k1x);
+
+/// Out-of-order-approximation cores at 4x the controller clock with an LLC
+/// of `llc_bytes` (2 MB single-core / 4 MB 4-core in the paper).
+[[nodiscard]] cpu::SystemConfig make_system_config(std::uint64_t llc_bytes,
+                                                   bool rank_partition);
+
+}  // namespace rop::sim

@@ -1,0 +1,86 @@
+#include "workload/synthetic.h"
+
+namespace rop::workload {
+
+SyntheticTrace::SyntheticTrace(const SyntheticConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+  ROP_ASSERT(!cfg_.streams.empty());
+  ROP_ASSERT(cfg_.footprint_lines > 0);
+  ROP_ASSERT(cfg_.mean_gap >= 0.0);
+  reset();
+}
+
+void SyntheticTrace::reset() {
+  rng_.reseed(cfg_.seed);
+  positions_.assign(cfg_.streams.size(), 0);
+  delta_idx_.assign(cfg_.streams.size(), 0);
+  credits_.assign(cfg_.streams.size(), 0.0);
+  total_weight_ = 0.0;
+  for (std::size_t s = 0; s < cfg_.streams.size(); ++s) {
+    ROP_ASSERT(!cfg_.streams[s].deltas.empty());
+    ROP_ASSERT(cfg_.streams[s].weight > 0.0);
+    total_weight_ += cfg_.streams[s].weight;
+    // Spread stream start positions over the footprint deterministically.
+    // The odd per-stream stagger keeps equal-stride streams from walking
+    // the same DRAM bank in lockstep forever (real arrays are not
+    // bank-aligned relative to each other).
+    positions_[s] =
+        ((cfg_.footprint_lines / cfg_.streams.size()) * s + 131 * s) %
+        cfg_.footprint_lines;
+  }
+  ops_until_idle_ =
+      cfg_.burst_ops > 0 ? rng_.next_gap(cfg_.burst_ops) : 0;
+}
+
+TraceRecord SyntheticTrace::next() {
+  TraceRecord rec;
+  std::uint64_t gap =
+      cfg_.mean_gap > 0 ? rng_.next_gap(cfg_.mean_gap) - 1 : 0;
+
+  // Burst phase accounting: when the busy phase ends, splice in a long
+  // idle compute period before the next access.
+  if (cfg_.burst_ops > 0 && cfg_.idle_instructions > 0) {
+    if (ops_until_idle_ == 0) {
+      gap += rng_.next_gap(cfg_.idle_instructions);
+      ops_until_idle_ = rng_.next_gap(cfg_.burst_ops);
+    } else {
+      --ops_until_idle_;
+    }
+  }
+
+  rec.gap = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(gap, 0x7FFFFFFFull));
+  rec.is_write = rng_.next_bool(cfg_.write_fraction);
+
+  std::uint64_t line;
+  if (rng_.next_bool(cfg_.random_fraction)) {
+    line = rng_.next_below(cfg_.footprint_lines);
+  } else {
+    // Streams interleave deterministically in proportion to their weights
+    // (weighted round-robin), the way a loop body walks its arrays in a
+    // fixed order each iteration. A random pick per access would destroy
+    // the periodic multi-delta signature real code exposes.
+    std::size_t s = 0;
+    double best = -1.0;
+    for (std::size_t i = 0; i < cfg_.streams.size(); ++i) {
+      credits_[i] += cfg_.streams[i].weight;
+      if (credits_[i] > best) {
+        best = credits_[i];
+        s = i;
+      }
+    }
+    credits_[s] -= total_weight_;
+    const StreamSpec& spec = cfg_.streams[s];
+    const std::int64_t d = spec.deltas[delta_idx_[s]];
+    delta_idx_[s] = (delta_idx_[s] + 1) % spec.deltas.size();
+    std::int64_t pos = static_cast<std::int64_t>(positions_[s]) + d;
+    const auto fp = static_cast<std::int64_t>(cfg_.footprint_lines);
+    pos %= fp;
+    if (pos < 0) pos += fp;
+    positions_[s] = static_cast<std::uint64_t>(pos);
+    line = positions_[s];
+  }
+  rec.addr = line << kLineShift;
+  return rec;
+}
+
+}  // namespace rop::workload

@@ -1,0 +1,68 @@
+// Parameterised synthetic workload generator.
+//
+// Substitutes the paper's SPEC CPU2006 traces (see DESIGN.md §1). Traces are
+// modeled at the post-L2 level: each record is an LLC access plus the
+// compute gap before it. The generator controls exactly the axes ROP is
+// sensitive to:
+//   * intensity        — mean compute gap between LLC accesses,
+//   * spatial locality — weighted strided streams with multi-delta
+//                        patterns (what the VLDP-style table predicts),
+//   * irregularity     — a fraction of uniform-random accesses,
+//   * footprint        — reuse distance vs. LLC size (miss filtering),
+//   * burstiness       — busy phases separated by long idle gaps (what
+//                        makes B=0 windows and high beta),
+//   * read/write mix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "workload/trace.h"
+
+namespace rop::workload {
+
+/// A strided walker. `deltas` is a cyclic line-granular delta sequence —
+/// {+1} is a unit stream, {+1,+1,+130} is the kind of multi-delta pattern
+/// VLDP exploits.
+struct StreamSpec {
+  std::vector<std::int64_t> deltas;
+  double weight = 1.0;
+};
+
+struct SyntheticConfig {
+  std::string name = "synthetic";
+  double mean_gap = 50.0;          // mean instructions between LLC accesses
+  double write_fraction = 0.25;
+  std::uint64_t footprint_lines = 1ull << 20;  // 64 MB default
+  std::vector<StreamSpec> streams{{{+1}, 1.0}};
+  double random_fraction = 0.1;    // uniform-random accesses in footprint
+  /// Burstiness: after ~`burst_ops` memory operations, insert an idle gap
+  /// of ~`idle_instructions` instructions. 0 idle = steady traffic.
+  double burst_ops = 0.0;
+  double idle_instructions = 0.0;
+  std::uint64_t seed = 7;
+};
+
+class SyntheticTrace final : public TraceSource {
+ public:
+  explicit SyntheticTrace(const SyntheticConfig& cfg);
+
+  TraceRecord next() override;
+  void reset() override;
+
+  [[nodiscard]] const SyntheticConfig& config() const { return cfg_; }
+
+ private:
+  SyntheticConfig cfg_;
+  Rng rng_;
+  std::vector<std::uint64_t> positions_;  // per-stream line cursor
+  std::vector<std::size_t> delta_idx_;    // per-stream cursor into deltas
+  std::vector<double> credits_;  // weighted round-robin selection state
+  double total_weight_ = 0.0;
+  std::uint64_t ops_until_idle_ = 0;
+};
+
+}  // namespace rop::workload

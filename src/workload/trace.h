@@ -1,0 +1,29 @@
+// Trace record and source interface shared by the CPU model and the
+// workload generators.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace rop::workload {
+
+/// One memory operation plus the number of non-memory instructions the core
+/// executes before it.
+struct TraceRecord {
+  std::uint32_t gap = 0;  // non-memory instructions preceding the access
+  bool is_write = false;
+  Address addr = 0;  // core-local byte address (the system relocates it)
+};
+
+/// Infinite stream of trace records. Generators wrap around; file readers
+/// loop the file.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  virtual TraceRecord next() = 0;
+  /// Restart the stream from the beginning (deterministic replay).
+  virtual void reset() = 0;
+};
+
+}  // namespace rop::workload

@@ -1,0 +1,63 @@
+#include "workload/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rop::workload {
+
+std::vector<TraceRecord> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  std::vector<TraceRecord> records;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    TraceRecord rec;
+    std::string op, addr;
+    if (!(ls >> rec.gap >> op >> addr) || (op != "R" && op != "W")) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": malformed trace record");
+    }
+    rec.is_write = op == "W";
+    try {
+      rec.addr = std::stoull(addr, nullptr, 0);
+    } catch (const std::exception&) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": bad address: " + addr);
+    }
+    records.push_back(rec);
+  }
+  if (records.empty()) {
+    throw std::runtime_error("trace file has no records: " + path);
+  }
+  return records;
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<TraceRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot create trace file: " + path);
+  out << "# rop trace: <gap> <R|W> <hex-address>\n";
+  for (const TraceRecord& rec : records) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%u %c 0x%" PRIx64 "\n", rec.gap,
+                  rec.is_write ? 'W' : 'R', rec.addr);
+    out << buf;
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<TraceRecord> capture(TraceSource& source, std::size_t count) {
+  std::vector<TraceRecord> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(source.next());
+  return out;
+}
+
+}  // namespace rop::workload

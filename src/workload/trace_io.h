@@ -1,0 +1,54 @@
+// Text trace format read/write.
+//
+// Format, one record per line:
+//   <gap> <R|W> <hex-address>
+// e.g. "42 R 0x1fc0". Lines beginning with '#' are comments. A trace file
+// replayed through FileTrace loops forever (the CPU model expects an
+// infinite stream); MemoryTrace replays an in-memory vector the same way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace rop::workload {
+
+/// Replay an in-memory record vector, looping.
+class MemoryTrace final : public TraceSource {
+ public:
+  explicit MemoryTrace(std::vector<TraceRecord> records)
+      : records_(std::move(records)) {
+    ROP_ASSERT(!records_.empty());
+  }
+
+  TraceRecord next() override {
+    const TraceRecord& r = records_[pos_];
+    pos_ = (pos_ + 1) % records_.size();
+    return r;
+  }
+  void reset() override { pos_ = 0; }
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::size_t pos_ = 0;
+};
+
+/// Parse a trace file into records. Throws std::runtime_error on malformed
+/// input (line number included in the message).
+[[nodiscard]] std::vector<TraceRecord> read_trace_file(
+    const std::string& path);
+
+/// Serialize records to a trace file. Throws std::runtime_error on I/O
+/// failure.
+void write_trace_file(const std::string& path,
+                      const std::vector<TraceRecord>& records);
+
+/// Capture `count` records from any source into a vector (e.g. to snapshot
+/// a synthetic generator into a replayable trace).
+[[nodiscard]] std::vector<TraceRecord> capture(TraceSource& source,
+                                               std::size_t count);
+
+}  // namespace rop::workload

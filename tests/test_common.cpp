@@ -1,0 +1,182 @@
+// Unit tests for the common substrate: RNG, statistics, table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace rop {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const std::uint64_t first = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(r.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng r(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.next_bool(0.0));
+    EXPECT_TRUE(r.next_bool(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng r(11);
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (r.next_bool(0.3)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricGapMeanApproximatesTarget) {
+  Rng r(13);
+  for (double mean : {2.0, 10.0, 100.0}) {
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(r.next_gap(mean));
+    EXPECT_NEAR(sum / n, mean, mean * 0.1);
+  }
+}
+
+TEST(Rng, GapIsAtLeastOne) {
+  Rng r(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.next_gap(1.5), 1u);
+  }
+  // Degenerate mean collapses to 1.
+  EXPECT_EQ(r.next_gap(0.5), 1u);
+}
+
+TEST(Stats, CounterAccumulates) {
+  StatRegistry reg;
+  reg.counter("a").inc();
+  reg.counter("a").inc(4);
+  EXPECT_EQ(reg.counter_value("a"), 5u);
+  EXPECT_EQ(reg.counter_value("missing"), 0u);
+}
+
+TEST(Stats, ScalarTracksMoments) {
+  StatRegistry reg;
+  auto& s = reg.scalar("lat");
+  s.record(10.0);
+  s.record(20.0);
+  s.record(30.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 30.0);
+}
+
+TEST(Stats, EmptyScalarIsZero) {
+  Scalar s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow) {
+  Histogram h(10, 4);  // buckets [0,10) [10,20) [20,30) [30,40) + overflow
+  h.record(0);
+  h.record(9);
+  h.record(10);
+  h.record(39);
+  h.record(1000);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);  // overflow
+}
+
+TEST(Stats, HistogramQuantileMonotone) {
+  Histogram h(1, 100);
+  for (std::uint64_t v = 0; v < 100; ++v) h.record(v);
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.9), h.quantile(1.0));
+}
+
+TEST(Stats, ResetAllClearsEverything) {
+  StatRegistry reg;
+  reg.counter("c").inc(3);
+  reg.scalar("s").record(1.0);
+  reg.histogram("h", 1, 4).record(2);
+  reg.reset_all();
+  EXPECT_EQ(reg.counter_value("c"), 0u);
+  EXPECT_EQ(reg.find_scalar("s")->count(), 0u);
+  EXPECT_EQ(reg.find_histogram("h")->count(), 0u);
+}
+
+TEST(Stats, ReportContainsNames) {
+  StatRegistry reg;
+  reg.counter("mem.reads").inc(7);
+  const std::string report = reg.report();
+  EXPECT_NE(report.find("mem.reads 7"), std::string::npos);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  TextTable t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::pct(0.5, 1), "50.0%");
+}
+
+}  // namespace
+}  // namespace rop

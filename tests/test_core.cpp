@@ -1,0 +1,202 @@
+// Trace-driven core tests with a scripted memory port.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "cpu/core.h"
+
+namespace rop::cpu {
+namespace {
+
+/// Scripted port: accepts everything (unless told not to) and lets the
+/// test complete reads explicitly.
+class FakePort final : public MemoryPort {
+ public:
+  std::optional<RequestId> issue_read(CoreId, Address addr) override {
+    if (!accept_reads) return std::nullopt;
+    reads.push_back(addr);
+    return next_id++;
+  }
+  bool issue_write(CoreId, Address addr) override {
+    if (!accept_writes) return false;
+    writes.push_back(addr);
+    return true;
+  }
+
+  bool accept_reads = true;
+  bool accept_writes = true;
+  std::vector<Address> reads, writes;
+  RequestId next_id = 1;
+};
+
+/// Fixed scripted trace, looping.
+class ScriptTrace final : public workload::TraceSource {
+ public:
+  explicit ScriptTrace(std::vector<workload::TraceRecord> recs)
+      : recs_(std::move(recs)) {}
+  workload::TraceRecord next() override {
+    auto r = recs_[pos_];
+    pos_ = (pos_ + 1) % recs_.size();
+    return r;
+  }
+  void reset() override { pos_ = 0; }
+
+ private:
+  std::vector<workload::TraceRecord> recs_;
+  std::size_t pos_ = 0;
+};
+
+cache::LlcConfig tiny_llc() {
+  cache::LlcConfig cfg;
+  cfg.size_bytes = 8 * 1024;  // 128 lines
+  cfg.associativity = 2;
+  return cfg;
+}
+
+CoreConfig no_critical() {
+  CoreConfig cfg;
+  cfg.critical_load_fraction = 0.0;
+  return cfg;
+}
+
+TEST(Core, RetiresGapInstructionsAtIssueWidth) {
+  FakePort port;
+  // One record: 40 compute instructions then a read.
+  ScriptTrace trace({{40, false, 0x0}});
+  Core core(0, no_critical(), tiny_llc(), trace, port);
+  core.cycle();  // retires 4
+  EXPECT_EQ(core.stats().instructions, 4u);
+  for (int i = 0; i < 9; ++i) core.cycle();
+  // 40 gap instructions + the memory instruction itself at cycle 10+.
+  EXPECT_GE(core.stats().instructions, 40u);
+}
+
+TEST(Core, LlcMissIssuesMemoryRead) {
+  FakePort port;
+  ScriptTrace trace({{0, false, 0x0}, {0, false, 64 * 1024}});
+  Core core(0, no_critical(), tiny_llc(), trace, port);
+  core.cycle();
+  EXPECT_GE(port.reads.size(), 1u);
+  EXPECT_EQ(core.outstanding(), port.reads.size());
+}
+
+TEST(Core, LlcHitGeneratesNoTraffic) {
+  FakePort port;
+  // Two accesses to the same line: second is a hit.
+  ScriptTrace trace({{0, false, 0x0}, {0, false, 0x0}, {1000, false, 0x0}});
+  CoreConfig cfg = no_critical();
+  Core core(0, cfg, tiny_llc(), trace, port);
+  core.cycle();
+  const std::size_t after_first = port.reads.size();
+  EXPECT_EQ(after_first, 1u);  // only the cold miss
+}
+
+TEST(Core, MlpBudgetStallsCore) {
+  FakePort port;
+  // Endless stream of distinct lines, no compute.
+  std::vector<workload::TraceRecord> recs;
+  for (int i = 0; i < 64; ++i) {
+    recs.push_back({0, false, static_cast<Address>(i) * 64 * 1024});
+  }
+  CoreConfig cfg = no_critical();
+  cfg.max_outstanding = 4;
+  ScriptTrace trace(recs);
+  Core core(0, cfg, tiny_llc(), trace, port);
+  for (int i = 0; i < 20; ++i) core.cycle();
+  EXPECT_EQ(core.outstanding(), 4u);
+  const auto issued = port.reads.size();
+  EXPECT_EQ(issued, 4u);
+  core.on_read_complete(1);
+  core.cycle();
+  EXPECT_EQ(port.reads.size(), 5u);
+}
+
+TEST(Core, CriticalLoadBlocksUntilCompletion) {
+  FakePort port;
+  std::vector<workload::TraceRecord> recs;
+  for (int i = 0; i < 64; ++i) {
+    recs.push_back({0, false, static_cast<Address>(i) * 64 * 1024});
+  }
+  CoreConfig cfg;
+  cfg.critical_load_fraction = 1.0;  // every miss is critical
+  cfg.max_outstanding = 8;
+  ScriptTrace trace(recs);
+  Core core(0, cfg, tiny_llc(), trace, port);
+  core.cycle();
+  ASSERT_EQ(port.reads.size(), 1u);
+  const std::uint64_t retired = core.stats().instructions;
+  for (int i = 0; i < 10; ++i) core.cycle();
+  EXPECT_EQ(core.stats().instructions, retired);  // fully blocked
+  EXPECT_GE(core.stats().stall_cycles, 10u);
+  core.on_read_complete(1);
+  core.cycle();
+  EXPECT_GT(core.stats().instructions, retired);
+}
+
+TEST(Core, WriteMissGeneratesFillAndLaterWriteback) {
+  FakePort port;
+  // Direct-mapped-ish tiny cache: write 0x0 (fill), then conflict line
+  // evicts it dirty (writeback).
+  cache::LlcConfig cfg;
+  cfg.size_bytes = 2 * kLineBytes;  // 1 set, 2 ways
+  cfg.associativity = 2;
+  ScriptTrace trace({{0, true, 0x0},
+                     {0, false, 1 * 64},
+                     {0, false, 2 * 64},
+                     {40, false, 0x0}});
+  Core core(0, no_critical(), cfg, trace, port);
+  for (int i = 0; i < 100; ++i) {
+    core.cycle();
+    // Complete all outstanding reads promptly.
+    while (core.outstanding() > 0) core.on_read_complete(0);
+  }
+  // Fill for the write + 2 read fills; the third access evicted dirty 0x0.
+  EXPECT_GE(port.reads.size(), 3u);
+  ASSERT_GE(port.writes.size(), 1u);
+  EXPECT_EQ(port.writes[0], 0x0u);
+}
+
+TEST(Core, RetriesWhenPortRejects) {
+  FakePort port;
+  port.accept_reads = false;
+  ScriptTrace trace({{0, false, 0x0}});
+  Core core(0, no_critical(), tiny_llc(), trace, port);
+  for (int i = 0; i < 5; ++i) core.cycle();
+  EXPECT_TRUE(port.reads.empty());
+  EXPECT_GE(core.stats().stall_cycles, 4u);
+  port.accept_reads = true;
+  core.cycle();
+  EXPECT_EQ(port.reads.size(), 1u);
+}
+
+TEST(Core, IpcComputation) {
+  FakePort port;
+  ScriptTrace trace({{400, false, 0x0}});
+  Core core(0, no_critical(), tiny_llc(), trace, port);
+  for (int i = 0; i < 100; ++i) {
+    core.cycle();
+    while (core.outstanding() > 0) core.on_read_complete(0);
+  }
+  EXPECT_NEAR(core.stats().ipc(), 4.0, 0.2);
+}
+
+TEST(Core, OnReadCompleteWrongIdKeepsCriticalBlocked) {
+  FakePort port;
+  std::vector<workload::TraceRecord> recs{{0, false, 0x0},
+                                          {0, false, 64 * 1024}};
+  CoreConfig cfg;
+  cfg.critical_load_fraction = 1.0;
+  ScriptTrace trace(recs);
+  Core core(0, cfg, tiny_llc(), trace, port);
+  core.cycle();
+  ASSERT_EQ(port.reads.size(), 1u);
+  // A completion for some other id must not unblock the critical wait
+  // (ids start at 1 in FakePort).
+  core.on_read_complete(999);
+  const std::uint64_t retired = core.stats().instructions;
+  core.cycle();
+  EXPECT_EQ(core.stats().instructions, retired);
+}
+
+}  // namespace
+}  // namespace rop::cpu

@@ -1,0 +1,99 @@
+// Bank state-machine tests: command legality and timing constraints.
+#include <gtest/gtest.h>
+
+#include "dram/bank.h"
+
+namespace rop::dram {
+namespace {
+
+class BankTest : public ::testing::Test {
+ protected:
+  DramTimings t = make_ddr4_1600_timings();
+  Bank bank;
+};
+
+TEST_F(BankTest, StartsPrechargedAndActivatable) {
+  EXPECT_EQ(bank.state(), BankState::kPrecharged);
+  EXPECT_FALSE(bank.open_row().has_value());
+  EXPECT_TRUE(bank.can_issue(CmdType::kActivate, 5, 0));
+  EXPECT_FALSE(bank.can_issue(CmdType::kRead, 5, 0));
+  EXPECT_FALSE(bank.can_issue(CmdType::kWrite, 5, 0));
+  EXPECT_FALSE(bank.can_issue(CmdType::kPrecharge, 0, 0));
+}
+
+TEST_F(BankTest, ActivateOpensRowAndSetsConstraints) {
+  bank.issue(CmdType::kActivate, 42, 100, t);
+  EXPECT_EQ(bank.state(), BankState::kActive);
+  ASSERT_TRUE(bank.open_row().has_value());
+  EXPECT_EQ(*bank.open_row(), 42u);
+  EXPECT_EQ(bank.next_read(), 100 + t.tRCD);
+  EXPECT_EQ(bank.next_write(), 100 + t.tRCD);
+  EXPECT_EQ(bank.next_precharge(), 100 + t.tRAS);
+  EXPECT_EQ(bank.next_activate(), 100 + t.tRC);
+}
+
+TEST_F(BankTest, ReadRequiresRowMatchAndTrcd) {
+  bank.issue(CmdType::kActivate, 42, 100, t);
+  EXPECT_FALSE(bank.can_issue(CmdType::kRead, 42, 100 + t.tRCD - 1));
+  EXPECT_TRUE(bank.can_issue(CmdType::kRead, 42, 100 + t.tRCD));
+  EXPECT_FALSE(bank.can_issue(CmdType::kRead, 43, 100 + t.tRCD));
+}
+
+TEST_F(BankTest, PrechargeRespectsTras) {
+  bank.issue(CmdType::kActivate, 7, 0, t);
+  EXPECT_FALSE(bank.can_issue(CmdType::kPrecharge, 0, t.tRAS - 1));
+  EXPECT_TRUE(bank.can_issue(CmdType::kPrecharge, 0, t.tRAS));
+  bank.issue(CmdType::kPrecharge, 0, t.tRAS, t);
+  EXPECT_EQ(bank.state(), BankState::kPrecharged);
+  EXPECT_FALSE(bank.open_row().has_value());
+  // tRP before the next activate.
+  EXPECT_FALSE(bank.can_issue(CmdType::kActivate, 9, t.tRAS + t.tRP - 1));
+  EXPECT_TRUE(bank.can_issue(CmdType::kActivate, 9, t.tRAS + t.tRP));
+}
+
+TEST_F(BankTest, ReadExtendsPrechargePoint) {
+  bank.issue(CmdType::kActivate, 1, 0, t);
+  const Cycle rd_at = t.tRAS - 2;  // a late read pushes tRTP past tRAS
+  bank.issue(CmdType::kRead, 1, rd_at, t);
+  EXPECT_EQ(bank.next_precharge(), std::max<Cycle>(t.tRAS, rd_at + t.tRTP));
+}
+
+TEST_F(BankTest, WriteRecoveryDelaysPrecharge) {
+  bank.issue(CmdType::kActivate, 1, 0, t);
+  bank.issue(CmdType::kWrite, 1, t.tRCD, t);
+  const Cycle expected = t.write_data_done(t.tRCD) + t.tWR;
+  EXPECT_EQ(bank.next_precharge(), std::max<Cycle>(t.tRAS, expected));
+}
+
+TEST_F(BankTest, BackToBackActivatesRespectTrc) {
+  bank.issue(CmdType::kActivate, 1, 0, t);
+  bank.issue(CmdType::kPrecharge, 0, t.tRAS, t);
+  // tRC from the first ACT dominates tRAS + tRP here (tRC = tRAS + tRP).
+  EXPECT_FALSE(bank.can_issue(CmdType::kActivate, 2, t.tRC - 1));
+  EXPECT_TRUE(bank.can_issue(CmdType::kActivate, 2, t.tRC));
+}
+
+TEST_F(BankTest, RefreshLocksBankForTrfc) {
+  bank.issue(CmdType::kRefresh, 0, 50, t);
+  EXPECT_EQ(bank.state(), BankState::kRefreshing);
+  EXPECT_FALSE(bank.can_issue(CmdType::kActivate, 1, 50 + t.tRFC + 10));
+  bank.complete_refresh(50 + t.tRFC);
+  EXPECT_EQ(bank.state(), BankState::kPrecharged);
+  EXPECT_FALSE(bank.can_issue(CmdType::kActivate, 1, 50 + t.tRFC - 1));
+  EXPECT_TRUE(bank.can_issue(CmdType::kActivate, 1, 50 + t.tRFC));
+}
+
+TEST_F(BankTest, DeferHelpersOnlyTighten) {
+  bank.issue(CmdType::kActivate, 1, 0, t);
+  const Cycle before = bank.next_read();
+  bank.defer_read_until(before - 1);  // looser: must not relax
+  EXPECT_EQ(bank.next_read(), before);
+  bank.defer_read_until(before + 100);
+  EXPECT_EQ(bank.next_read(), before + 100);
+  const Cycle wr_before = bank.next_write();
+  bank.defer_write_until(wr_before + 7);
+  EXPECT_EQ(bank.next_write(), wr_before + 7);
+}
+
+}  // namespace
+}  // namespace rop::dram

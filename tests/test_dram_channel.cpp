@@ -1,0 +1,115 @@
+// Channel tests: data-bus occupancy, rank-to-rank switching, event counts.
+#include <gtest/gtest.h>
+
+#include "dram/channel.h"
+
+namespace rop::dram {
+namespace {
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  ChannelTest() : t(make_ddr4_1600_timings()) {
+    org.channels = 1;
+    org.ranks = 2;
+    org.banks = 8;
+  }
+
+  Command act(RankId r, BankId b, RowId row) {
+    return Command{CmdType::kActivate, DramCoord{0, r, b, row, 0}, 0};
+  }
+  Command rd(RankId r, BankId b, RowId row) {
+    return Command{CmdType::kRead, DramCoord{0, r, b, row, 0}, 0};
+  }
+  Command wr(RankId r, BankId b, RowId row) {
+    return Command{CmdType::kWrite, DramCoord{0, r, b, row, 0}, 0};
+  }
+
+  DramTimings t;
+  DramOrganization org;
+};
+
+TEST_F(ChannelTest, ConstructsRanks) {
+  Channel ch(t, org);
+  EXPECT_EQ(ch.num_ranks(), 2u);
+}
+
+TEST_F(ChannelTest, ReadReturnsDataDoneCycle) {
+  Channel ch(t, org);
+  ch.issue(act(0, 0, 1), 0);
+  const Cycle done = ch.issue(rd(0, 0, 1), t.tRCD);
+  EXPECT_EQ(done, t.read_data_done(t.tRCD));
+}
+
+TEST_F(ChannelTest, DataBusSerializesBursts) {
+  Channel ch(t, org);
+  ch.issue(act(0, 0, 1), 0);
+  ch.issue(act(0, 1, 1), t.tRRD);
+  const Cycle first = t.tRRD + t.tRCD;
+  ch.issue(rd(0, 0, 1), first);
+  // Same rank, same direction: tCCD (= burst length) is the limiter and
+  // exactly back-to-back bursts are legal.
+  EXPECT_FALSE(ch.can_issue(rd(0, 1, 1), first + t.tCCD - 1));
+  EXPECT_TRUE(ch.can_issue(rd(0, 1, 1), first + t.tCCD));
+}
+
+TEST_F(ChannelTest, RankSwitchAddsTrtrs) {
+  Channel ch(t, org);
+  ch.issue(act(0, 0, 1), 0);
+  ch.issue(act(1, 0, 1), 1);
+  const Cycle first = 1 + t.tRCD;
+  const Cycle done = ch.issue(rd(0, 0, 1), first);
+  // A read on the other rank must leave a tRTRS gap after the burst.
+  // Earliest command time c satisfies c + CL >= done + tRTRS.
+  const Cycle earliest = done + t.tRTRS - t.CL;
+  EXPECT_FALSE(ch.can_issue(rd(1, 0, 1), earliest - 1));
+  EXPECT_TRUE(ch.can_issue(rd(1, 0, 1), earliest));
+}
+
+TEST_F(ChannelTest, DirectionSwitchAddsTrtrs) {
+  Channel ch(t, org);
+  ch.issue(act(0, 0, 1), 0);
+  const Cycle rd_at = t.tRCD;
+  const Cycle done = ch.issue(rd(0, 0, 1), rd_at);
+  // Write after read on the same rank: gap on the bus.
+  const Cycle earliest = done + t.tRTRS - t.CWL;
+  EXPECT_FALSE(ch.can_issue(wr(0, 0, 1), earliest - 1));
+  EXPECT_TRUE(ch.can_issue(wr(0, 0, 1), earliest));
+}
+
+TEST_F(ChannelTest, EventCountsAccumulate) {
+  Channel ch(t, org);
+  ch.issue(act(0, 0, 1), 0);
+  ch.issue(rd(0, 0, 1), t.tRCD);
+  ch.issue(wr(0, 0, 1), t.tRCD + t.tCCD + t.tRTRS + t.CL);
+  const ChannelEvents& ev = ch.events();
+  EXPECT_EQ(ev.activates, 1u);
+  EXPECT_EQ(ev.reads, 1u);
+  EXPECT_EQ(ev.writes, 1u);
+  EXPECT_EQ(ev.refreshes, 0u);
+}
+
+TEST_F(ChannelTest, RefreshCountsAndCompletes) {
+  Channel ch(t, org);
+  const Cycle done = ch.issue(Command{CmdType::kRefresh,
+                                      DramCoord{0, 1, 0, 0, 0}, 0}, 5);
+  EXPECT_EQ(done, 5 + t.tRFC);
+  EXPECT_EQ(ch.events().refreshes, 1u);
+  EXPECT_TRUE(ch.rank(1).refreshing());
+  // Rank 0 is unaffected by rank 1's refresh.
+  EXPECT_TRUE(ch.can_issue(act(0, 0, 1), 6));
+  ch.tick(done);
+  EXPECT_FALSE(ch.rank(1).refreshing());
+}
+
+TEST_F(ChannelTest, SettleAccountingCoversAllRanks) {
+  Channel ch(t, org);
+  ch.issue(act(0, 0, 1), 0);
+  ch.settle_accounting(500);
+  const auto& a0 = ch.rank(0).activity();
+  const auto& a1 = ch.rank(1).activity();
+  EXPECT_EQ(a0.active_cycles + a0.precharged_cycles + a0.refresh_cycles, 500u);
+  EXPECT_EQ(a1.precharged_cycles, 500u);
+}
+
+}  // namespace
+}  // namespace rop::dram

@@ -1,0 +1,83 @@
+// DDR4 timing parameter tests.
+#include <gtest/gtest.h>
+
+#include "dram/timing.h"
+
+namespace rop::dram {
+namespace {
+
+TEST(Timing, Ddr4DefaultsMatchTableIII) {
+  const DramTimings t = make_ddr4_1600_timings();
+  // DDR4-1600: 800 MHz command clock.
+  EXPECT_EQ(t.tCK_ps, 1250u);
+  // Table III: tREFI = 7.8 us -> 6240 cycles; tRFC = 350 ns -> 280 cycles.
+  EXPECT_EQ(t.tREFI, 6240u);
+  EXPECT_EQ(t.tRFC, 280u);
+  EXPECT_TRUE(validate(t));
+}
+
+TEST(Timing, FineGrainedRefreshModes) {
+  const DramTimings t1 = make_ddr4_1600_timings(RefreshMode::k1x);
+  const DramTimings t2 = make_ddr4_1600_timings(RefreshMode::k2x);
+  const DramTimings t4 = make_ddr4_1600_timings(RefreshMode::k4x);
+  EXPECT_EQ(t2.tREFI, t1.tREFI / 2);
+  EXPECT_EQ(t4.tREFI, t1.tREFI / 4);
+  // JEDEC: tRFC shrinks with FGR but NOT proportionally (the refresh duty
+  // cycle worsens at finer granularity).
+  EXPECT_LT(t2.tRFC, t1.tRFC);
+  EXPECT_LT(t4.tRFC, t2.tRFC);
+  EXPECT_GT(t2.tRFC, t1.tRFC / 2);
+  EXPECT_GT(t4.tRFC, t1.tRFC / 4);
+  EXPECT_TRUE(validate(t2));
+  EXPECT_TRUE(validate(t4));
+}
+
+TEST(Timing, ValidateRejectsInconsistentSets) {
+  DramTimings t = make_ddr4_1600_timings();
+  t.tRC = t.tRAS + t.tRP + 1;
+  EXPECT_FALSE(validate(t));
+
+  t = make_ddr4_1600_timings();
+  t.tRFC = t.tREFI;  // duty cycle 1: memory never available
+  EXPECT_FALSE(validate(t));
+
+  t = make_ddr4_1600_timings();
+  t.tCK_ps = 0;
+  EXPECT_FALSE(validate(t));
+
+  t = make_ddr4_1600_timings();
+  t.tFAW = t.tRRD - 1;
+  EXPECT_FALSE(validate(t));
+}
+
+TEST(Timing, DataDoneLatencies) {
+  const DramTimings t = make_ddr4_1600_timings();
+  EXPECT_EQ(t.read_data_done(100), 100 + t.CL + t.tBL);
+  EXPECT_EQ(t.write_data_done(100), 100 + t.CWL + t.tBL);
+  EXPECT_GT(t.read_data_done(0), t.write_data_done(0) - t.CWL);
+}
+
+TEST(Timing, UnitConversionRoundTrip) {
+  const DramTimings t = make_ddr4_1600_timings();
+  EXPECT_DOUBLE_EQ(t.cycles_to_ns(800), 1000.0);  // 800 cycles @1.25ns = 1us
+  EXPECT_EQ(t.ns_to_cycles(350.0), 280u);
+  EXPECT_EQ(t.ns_to_cycles(t.cycles_to_ns(123)), 123u);
+}
+
+TEST(Timing, OrganizationCapacity) {
+  DramOrganization org;  // defaults: 1ch, 1 rank, 8 banks, 64K rows, 128 col
+  EXPECT_EQ(org.lines_per_bank(), 64ull * 1024 * 128);
+  EXPECT_EQ(org.total_lines(), org.lines_per_bank() * 8);
+  EXPECT_EQ(org.capacity_bytes(), org.total_lines() * kLineBytes);  // 4 GiB
+  EXPECT_EQ(org.capacity_bytes(), 4ull << 30);
+}
+
+TEST(Timing, RefreshDutyCycleBelowFivePercent) {
+  const DramTimings t = make_ddr4_1600_timings();
+  const double duty = static_cast<double>(t.tRFC) / t.tREFI;
+  EXPECT_GT(duty, 0.03);
+  EXPECT_LT(duty, 0.05);
+}
+
+}  // namespace
+}  // namespace rop::dram

@@ -1,0 +1,134 @@
+// Energy model tests: accounting identities and directional behaviour.
+#include <gtest/gtest.h>
+
+#include "energy/dram_power.h"
+
+namespace rop::energy {
+namespace {
+
+class EnergyTest : public ::testing::Test {
+ protected:
+  EnergyTest() : t(dram::make_ddr4_1600_timings()) {
+    org.ranks = 1;
+    org.banks = 8;
+  }
+
+  dram::Command act(BankId b, RowId row) {
+    return {dram::CmdType::kActivate, DramCoord{0, 0, b, row, 0}, 0};
+  }
+  dram::Command rd(BankId b, RowId row) {
+    return {dram::CmdType::kRead, DramCoord{0, 0, b, row, 0}, 0};
+  }
+  dram::Command pre(BankId b) {
+    return {dram::CmdType::kPrecharge, DramCoord{0, 0, b, 0, 0}, 0};
+  }
+
+  dram::DramTimings t;
+  dram::DramOrganization org;
+};
+
+TEST_F(EnergyTest, IdleChannelHasOnlyBackground) {
+  dram::Channel ch(t, org);
+  ch.settle_accounting(100000);
+  const DramPowerModel model({}, t);
+  const EnergyBreakdown e = model.compute(ch);
+  EXPECT_GT(e.background_mj, 0.0);
+  EXPECT_DOUBLE_EQ(e.act_pre_mj, 0.0);
+  EXPECT_DOUBLE_EQ(e.read_mj, 0.0);
+  EXPECT_DOUBLE_EQ(e.write_mj, 0.0);
+  EXPECT_DOUBLE_EQ(e.refresh_mj, 0.0);
+  EXPECT_DOUBLE_EQ(e.io_mj, 0.0);
+  EXPECT_DOUBLE_EQ(e.total_mj(), e.background_mj);
+}
+
+TEST_F(EnergyTest, BackgroundScalesWithTime) {
+  dram::Channel a(t, org), b(t, org);
+  a.settle_accounting(1000);
+  b.settle_accounting(2000);
+  const DramPowerModel model({}, t);
+  EXPECT_NEAR(model.compute(b).background_mj,
+              2.0 * model.compute(a).background_mj, 1e-9);
+}
+
+TEST_F(EnergyTest, ActiveStandbyCostsMoreThanPrecharged) {
+  dram::Channel busy(t, org), idle(t, org);
+  busy.issue(act(0, 1), 0);  // row stays open the whole time
+  busy.settle_accounting(10000);
+  idle.settle_accounting(10000);
+  const DramPowerModel model({}, t);
+  EXPECT_GT(model.compute(busy).background_mj,
+            model.compute(idle).background_mj);
+}
+
+TEST_F(EnergyTest, EventEnergiesAreChargedPerEvent) {
+  dram::Channel ch(t, org);
+  ch.issue(act(0, 1), 0);
+  ch.issue(rd(0, 1), t.tRCD);
+  ch.issue(rd(0, 1), t.tRCD + t.tCCD);
+  ch.settle_accounting(1000);
+  const DramPowerModel model({}, t);
+  const EnergyBreakdown e = model.compute(ch);
+  EXPECT_GT(e.act_pre_mj, 0.0);
+  EXPECT_GT(e.read_mj, 0.0);
+  EXPECT_GT(e.io_mj, 0.0);
+  // Two reads cost exactly twice one read's burst energy.
+  dram::Channel one(t, org);
+  one.issue(act(0, 1), 0);
+  one.issue(rd(0, 1), t.tRCD);
+  one.settle_accounting(1000);
+  EXPECT_NEAR(e.read_mj, 2.0 * model.compute(one).read_mj, 1e-12);
+}
+
+TEST_F(EnergyTest, RefreshEnergyPerRef) {
+  dram::Channel ch(t, org);
+  ch.issue({dram::CmdType::kRefresh, DramCoord{0, 0, 0, 0, 0}, 0}, 0);
+  ch.tick(t.tRFC);
+  ch.issue({dram::CmdType::kRefresh, DramCoord{0, 0, 0, 0, 0}, 0},
+           t.tREFI);
+  ch.tick(t.tREFI + t.tRFC);
+  ch.settle_accounting(2 * t.tREFI);
+  const DramPowerModel model({}, t);
+  const EnergyBreakdown e = model.compute(ch);
+  EXPECT_GT(e.refresh_mj, 0.0);
+  // Refreshing memory costs more than idle memory over the same time.
+  dram::Channel idle(t, org);
+  idle.settle_accounting(2 * t.tREFI);
+  EXPECT_GT(e.total_mj(), model.compute(idle).total_mj());
+}
+
+TEST_F(EnergyTest, WriteBurstCheaperThanReadBurst) {
+  // IDD4W < IDD4R in the default parameter set.
+  dram::Channel r(t, org), w(t, org);
+  r.issue(act(0, 1), 0);
+  r.issue(rd(0, 1), t.tRCD);
+  w.issue(act(0, 1), 0);
+  w.issue({dram::CmdType::kWrite, DramCoord{0, 0, 0, 1, 0}, 0}, t.tRCD);
+  r.settle_accounting(1000);
+  w.settle_accounting(1000);
+  const DramPowerModel model({}, t);
+  EXPECT_GT(model.compute(r).read_mj, model.compute(w).write_mj);
+}
+
+TEST(SramEnergy, TableIIIValuesByCapacity) {
+  EXPECT_DOUBLE_EQ(SramEnergyParams::for_capacity(16).access_nj, 0.0132);
+  EXPECT_DOUBLE_EQ(SramEnergyParams::for_capacity(32).access_nj, 0.0135);
+  EXPECT_DOUBLE_EQ(SramEnergyParams::for_capacity(64).access_nj, 0.0137);
+  EXPECT_DOUBLE_EQ(SramEnergyParams::for_capacity(128).access_nj, 0.0152);
+}
+
+TEST(SramEnergy, EnergyCombinesAccessAndLeakage) {
+  const SramEnergyParams p = SramEnergyParams::for_capacity(64);
+  const double access_only = p.energy_mj(1000, 0.0);
+  const double leak_only = p.energy_mj(0, 0.001);
+  EXPECT_NEAR(access_only, 1000 * 0.0137 * 1e-6, 1e-12);
+  EXPECT_NEAR(leak_only, p.leakage_mw * 0.001, 1e-12);
+  EXPECT_NEAR(p.energy_mj(1000, 0.001), access_only + leak_only, 1e-12);
+}
+
+TEST(SramEnergy, LargerBuffersLeakMore) {
+  EXPECT_LT(SramEnergyParams::for_capacity(16).leakage_mw,
+            SramEnergyParams::for_capacity(128).leakage_mw);
+}
+
+}  // namespace
+}  // namespace rop::energy

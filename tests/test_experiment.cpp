@@ -1,0 +1,108 @@
+// Experiment-layer tests: canned runners produce coherent metric bundles.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace rop::sim {
+namespace {
+
+ExperimentSpec quick(std::string bench, MemoryMode mode) {
+  ExperimentSpec spec = single_core_spec(std::move(bench), mode);
+  spec.instructions_per_core = 400'000;
+  return spec;
+}
+
+TEST(Experiment, BaselineRunProducesMetrics) {
+  const ExperimentResult res = run_experiment(quick("libquantum",
+                                                    MemoryMode::kBaseline));
+  EXPECT_GT(res.ipc(), 0.0);
+  EXPECT_GT(res.total_energy_mj(), 0.0);
+  EXPECT_GT(res.refreshes, 0u);
+  EXPECT_EQ(res.nonblocking_fraction.size(), 3u);
+  for (const double f : res.nonblocking_fraction) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(Experiment, NoRefreshHasZeroRefreshes) {
+  const ExperimentResult res = run_experiment(quick("bzip2",
+                                                    MemoryMode::kNoRefresh));
+  EXPECT_EQ(res.refreshes, 0u);
+  EXPECT_DOUBLE_EQ(res.energy.refresh_mj, 0.0);
+}
+
+TEST(Experiment, RopRunPopulatesRopMetrics) {
+  ExperimentSpec spec = quick("libquantum", MemoryMode::kRop);
+  spec.instructions_per_core = 2'000'000;
+  spec.rop.training_refreshes = 5;
+  const ExperimentResult res = run_experiment(spec);
+  EXPECT_GE(res.sram_hit_rate, 0.0);
+  EXPECT_LE(res.sram_hit_rate, 1.0);
+  EXPECT_GT(res.stats.counter_value("rop.decisions_prefetch") +
+                res.stats.counter_value("rop.decisions_skip") +
+                res.stats.counter_value("rop.skipped_saturated"),
+            0u);
+  EXPECT_GT(res.energy.sram_mj, 0.0);
+}
+
+TEST(Experiment, DeterministicForEqualSpecs) {
+  const ExperimentSpec spec = quick("gcc", MemoryMode::kBaseline);
+  const ExperimentResult a = run_experiment(spec);
+  const ExperimentResult b = run_experiment(spec);
+  EXPECT_DOUBLE_EQ(a.ipc(), b.ipc());
+  EXPECT_DOUBLE_EQ(a.total_energy_mj(), b.total_energy_mj());
+  EXPECT_EQ(a.refreshes, b.refreshes);
+}
+
+TEST(Experiment, SeedSaltChangesOutcome) {
+  ExperimentSpec a = quick("gcc", MemoryMode::kBaseline);
+  ExperimentSpec b = a;
+  b.seed_salt = 42;
+  EXPECT_NE(run_experiment(a).run.cpu_cycles,
+            run_experiment(b).run.cpu_cycles);
+}
+
+TEST(Experiment, MultiCoreSpecBuildsFourCores) {
+  ExperimentSpec spec = multi_core_spec(3, MemoryMode::kBaseline, true);
+  spec.instructions_per_core = 150'000;
+  const ExperimentResult res = run_experiment(spec);
+  EXPECT_EQ(res.run.cores.size(), 4u);
+  for (const auto& core : res.run.cores) {
+    EXPECT_GT(core.ipc, 0.0);
+  }
+}
+
+TEST(Experiment, WeightedSpeedupIdentityAgainstSelf) {
+  ExperimentSpec spec = multi_core_spec(6, MemoryMode::kBaseline, false);
+  spec.instructions_per_core = 150'000;
+  const ExperimentResult res = run_experiment(spec);
+  std::vector<double> alone;
+  for (const auto& c : res.run.cores) alone.push_back(c.ipc);
+  EXPECT_NEAR(res.weighted_speedup(alone), 4.0, 1e-9);
+}
+
+TEST(Experiment, NoRefreshBeatsBaselineOnIntensiveWorkload) {
+  ExperimentSpec base = quick("lbm", MemoryMode::kBaseline);
+  ExperimentSpec ideal = quick("lbm", MemoryMode::kNoRefresh);
+  base.instructions_per_core = 2'000'000;
+  ideal.instructions_per_core = 2'000'000;
+  EXPECT_GT(run_experiment(ideal).ipc(), run_experiment(base).ipc());
+}
+
+TEST(Experiment, FgrModesChangeRefreshCount) {
+  ExperimentSpec x1 = quick("libquantum", MemoryMode::kBaseline);
+  ExperimentSpec x4 = x1;
+  x4.refresh_mode = dram::RefreshMode::k4x;
+  const auto r1 = run_experiment(x1);
+  const auto r4 = run_experiment(x4);
+  // 4x mode refreshes ~4x as often (per elapsed cycle).
+  const double rate1 = static_cast<double>(r1.refreshes) /
+                       static_cast<double>(r1.run.mem_cycles);
+  const double rate4 = static_cast<double>(r4.refreshes) /
+                       static_cast<double>(r4.run.mem_cycles);
+  EXPECT_NEAR(rate4 / rate1, 4.0, 0.5);
+}
+
+}  // namespace
+}  // namespace rop::sim

@@ -1,0 +1,163 @@
+// LLC tests: hits/misses, LRU, write-back behaviour, against a reference
+// model for randomized sequences.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+
+#include "cache/llc.h"
+#include "common/rng.h"
+
+namespace rop::cache {
+namespace {
+
+LlcConfig tiny(std::uint32_t assoc = 2, std::uint64_t sets = 4) {
+  LlcConfig cfg;
+  cfg.associativity = assoc;
+  cfg.size_bytes = static_cast<std::uint64_t>(assoc) * sets * kLineBytes;
+  return cfg;
+}
+
+TEST(Llc, ColdMissThenHit) {
+  Llc llc(tiny());
+  EXPECT_FALSE(llc.access(0x1000, false).hit);
+  EXPECT_TRUE(llc.access(0x1000, false).hit);
+  EXPECT_TRUE(llc.access(0x1000 + 63, false).hit);  // same line
+  EXPECT_EQ(llc.stats().hits, 2u);
+  EXPECT_EQ(llc.stats().misses, 1u);
+}
+
+TEST(Llc, LruEvictionOrder) {
+  Llc llc(tiny(2, 4));  // 2-way, 4 sets: set stride is 4 lines
+  const Address a = 0;                       // set 0
+  const Address b = 4 * kLineBytes;          // set 0
+  const Address c = 8 * kLineBytes;          // set 0
+  llc.access(a, false);
+  llc.access(b, false);
+  llc.access(a, false);      // a is MRU
+  llc.access(c, false);      // evicts b (LRU)
+  EXPECT_TRUE(llc.contains(a));
+  EXPECT_FALSE(llc.contains(b));
+  EXPECT_TRUE(llc.contains(c));
+}
+
+TEST(Llc, CleanEvictionProducesNoWriteback) {
+  Llc llc(tiny(1, 1));
+  llc.access(0x0, false);
+  const auto res = llc.access(0x40, false);
+  EXPECT_FALSE(res.hit);
+  EXPECT_FALSE(res.writeback.has_value());
+  EXPECT_EQ(llc.stats().writebacks, 0u);
+}
+
+TEST(Llc, DirtyEvictionReturnsVictimAddress) {
+  Llc llc(tiny(1, 2));  // direct-mapped, 2 sets
+  llc.access(0x0, true);               // set 0, dirty
+  const auto res = llc.access(0x80, false);  // set 0 again (stride 2 lines)
+  EXPECT_FALSE(res.hit);
+  ASSERT_TRUE(res.writeback.has_value());
+  EXPECT_EQ(*res.writeback, 0x0u);
+  EXPECT_EQ(llc.stats().writebacks, 1u);
+}
+
+TEST(Llc, WriteHitMarksDirtyWithoutWriteback) {
+  Llc llc(tiny(1, 2));
+  llc.access(0x0, false);
+  llc.access(0x0, true);  // hit, now dirty
+  const auto res = llc.access(0x80, false);
+  ASSERT_TRUE(res.writeback.has_value());
+  EXPECT_EQ(*res.writeback, 0x0u);
+}
+
+TEST(Llc, ResetClearsContents) {
+  Llc llc(tiny());
+  llc.access(0x0, true);
+  llc.reset();
+  EXPECT_FALSE(llc.contains(0x0));
+  EXPECT_EQ(llc.stats().accesses, 0u);
+}
+
+/// Reference model: per-set list of {tag, dirty}, front = LRU.
+class ReferenceCache {
+ public:
+  ReferenceCache(std::uint32_t assoc, std::uint32_t sets)
+      : assoc_(assoc), sets_(sets), data_(sets) {}
+
+  LlcAccessResult access(Address addr, bool is_write) {
+    const std::uint64_t line = addr >> kLineShift;
+    const std::uint32_t set = static_cast<std::uint32_t>(line % sets_);
+    const std::uint64_t tag = line / sets_;
+    auto& ways = data_[set];
+    for (auto it = ways.begin(); it != ways.end(); ++it) {
+      if (it->tag == tag) {
+        auto entry = *it;
+        entry.dirty |= is_write;
+        ways.erase(it);
+        ways.push_back(entry);
+        return {true, std::nullopt};
+      }
+    }
+    LlcAccessResult res{false, std::nullopt};
+    if (ways.size() >= assoc_) {
+      if (ways.front().dirty) {
+        res.writeback = (ways.front().tag * sets_ + set) << kLineShift;
+      }
+      ways.pop_front();
+    }
+    ways.push_back({tag, is_write});
+    return res;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t tag;
+    bool dirty;
+  };
+  std::uint32_t assoc_;
+  std::uint32_t sets_;
+  std::vector<std::list<Entry>> data_;
+};
+
+struct LlcSweepParams {
+  std::uint32_t assoc;
+  std::uint32_t sets;
+  double write_fraction;
+};
+
+class LlcPropertyTest : public ::testing::TestWithParam<LlcSweepParams> {};
+
+TEST_P(LlcPropertyTest, MatchesReferenceModelOnRandomTraffic) {
+  const auto p = GetParam();
+  Llc llc(tiny(p.assoc, p.sets));
+  ReferenceCache ref(p.assoc, p.sets);
+  Rng rng(p.assoc * 1000 + p.sets);
+  const std::uint64_t footprint = p.assoc * p.sets * 4;  // 4x capacity
+  for (int i = 0; i < 20000; ++i) {
+    const Address addr = rng.next_below(footprint) << kLineShift;
+    const bool is_write = rng.next_bool(p.write_fraction);
+    const auto got = llc.access(addr, is_write);
+    const auto want = ref.access(addr, is_write);
+    ASSERT_EQ(got.hit, want.hit) << "iteration " << i;
+    ASSERT_EQ(got.writeback.has_value(), want.writeback.has_value());
+    if (got.writeback) {
+      ASSERT_EQ(*got.writeback, *want.writeback);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LlcPropertyTest,
+    ::testing::Values(LlcSweepParams{1, 8, 0.3}, LlcSweepParams{2, 4, 0.3},
+                      LlcSweepParams{4, 16, 0.5}, LlcSweepParams{8, 64, 0.2},
+                      LlcSweepParams{16, 128, 0.4}));
+
+TEST(Llc, RealisticConfigSizes) {
+  LlcConfig cfg;
+  cfg.size_bytes = 2ull << 20;
+  cfg.associativity = 16;
+  Llc llc(cfg);
+  EXPECT_EQ(llc.num_sets(), (2ull << 20) / (16 * kLineBytes));
+}
+
+}  // namespace
+}  // namespace rop::cache

@@ -1,0 +1,185 @@
+// Window correlator and Pattern Profiler tests (Eqs. 1-2, Fig. 4, Table I).
+#include <gtest/gtest.h>
+
+#include "rop/pattern_profiler.h"
+
+namespace rop::engine {
+namespace {
+
+constexpr Cycle kW = 1000;
+
+TEST(WindowCorrelator, CategorizesAllFourCases) {
+  WindowCorrelator wc(kW, 1);
+  // Case 1: B>0 && A>0.
+  wc.on_request(0, 900, true);
+  wc.on_refresh(0, 1000);
+  wc.on_request(0, 1500, true);
+  // Case 2: B>0 && A=0 (request before, nothing after).
+  wc.on_request(0, 9900, false);
+  wc.on_refresh(0, 10000);
+  // Case 3: B=0 && A>0.
+  wc.on_refresh(0, 20000);
+  wc.on_request(0, 20500, true);
+  // Case 4: B=0 && A=0.
+  wc.on_refresh(0, 30000);
+  wc.finalize();
+  const CategoryCounts& c = wc.counts();
+  EXPECT_EQ(c.counts[0], 1u);
+  EXPECT_EQ(c.counts[1], 1u);
+  EXPECT_EQ(c.counts[2], 1u);
+  EXPECT_EQ(c.counts[3], 1u);
+  EXPECT_EQ(c.total(), 4u);
+  EXPECT_DOUBLE_EQ(c.lambda(), 0.5);
+  EXPECT_DOUBLE_EQ(c.beta(), 0.5);
+  EXPECT_DOUBLE_EQ(c.e1_fraction(), 0.25);
+  EXPECT_DOUBLE_EQ(c.e2_fraction(), 0.25);
+}
+
+TEST(WindowCorrelator, WindowBoundariesAreHalfOpen) {
+  WindowCorrelator wc(kW, 1);
+  // Arrival exactly W before the refresh is OUTSIDE the B-window
+  // ([T-W, T) retains arrivals with t + W > T).
+  wc.on_request(0, 0, true);
+  wc.on_refresh(0, kW);
+  // Arrival exactly at T+W is outside the A-window.
+  wc.on_request(0, 2 * kW, true);
+  wc.finalize();
+  // B=0 for this refresh; the arrival at 2W opened... no window there.
+  EXPECT_EQ(wc.counts().counts[3], 1u);  // B=0 && A=0
+}
+
+TEST(WindowCorrelator, ArrivalJustInsideWindowsCounts) {
+  WindowCorrelator wc(kW, 1);
+  wc.on_request(0, 1, true);        // inside [T-W, T) for T = kW
+  wc.on_refresh(0, kW);
+  wc.on_request(0, 2 * kW - 1, true);  // inside [T, T+W)
+  wc.finalize();
+  EXPECT_EQ(wc.counts().counts[0], 1u);  // B>0 && A>0
+}
+
+TEST(WindowCorrelator, WritesCountTowardBOnly) {
+  WindowCorrelator wc(kW, 1);
+  wc.on_request(0, 500, false);  // write before
+  wc.on_refresh(0, 1000);
+  wc.on_request(0, 1500, false);  // write after: must NOT count as A
+  wc.finalize();
+  EXPECT_EQ(wc.counts().counts[1], 1u);  // B>0 && A=0
+}
+
+TEST(WindowCorrelator, RanksAreIndependent) {
+  WindowCorrelator wc(kW, 2);
+  wc.on_request(1, 900, true);
+  wc.on_refresh(0, 1000);  // rank 0 refresh: rank 1 traffic irrelevant
+  wc.finalize();
+  EXPECT_EQ(wc.counts().counts[3], 1u);
+}
+
+TEST(WindowCorrelator, OverlappingAWindowsBothCount) {
+  WindowCorrelator wc(kW, 1);
+  wc.on_refresh(0, 1000);
+  wc.on_refresh(0, 1500);  // windows [1000,2000) and [1500,2500) overlap
+  wc.on_request(0, 1700, true);
+  wc.finalize();
+  // The arrival lands in both A-windows; it is also a B-arrival for the
+  // second refresh? No: B is evaluated at refresh time (1500), before the
+  // arrival at 1700.
+  EXPECT_EQ(wc.counts().counts[2], 2u);  // both refreshes: B=0, A>0
+}
+
+TEST(WindowCorrelator, ResetClearsState) {
+  WindowCorrelator wc(kW, 1);
+  wc.on_request(0, 10, true);
+  wc.on_refresh(0, 100);
+  wc.reset();
+  wc.finalize();
+  EXPECT_EQ(wc.counts().total(), 0u);
+}
+
+TEST(WindowCorrelator, LambdaBetaFallbacksWhenUndefined) {
+  CategoryCounts c;  // empty
+  EXPECT_DOUBLE_EQ(c.lambda(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.beta(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(c.e1_fraction(), 0.0);
+}
+
+TEST(WindowCorrelator, SteadyTrafficGivesLambdaOneBetaZero) {
+  // Continuous requests: every refresh sees B>0 and A>0 -> lambda = 1;
+  // B=0 never occurs so beta falls back.
+  WindowCorrelator wc(kW, 1);
+  Cycle now = 0;
+  for (int r = 0; r < 50; ++r) {
+    const Cycle t_ref = (r + 1) * 2 * kW;
+    for (; now < t_ref; now += 50) wc.on_request(0, now, true);
+    wc.on_refresh(0, t_ref);
+  }
+  for (; now < 200 * kW; now += 50) wc.on_request(0, now, true);
+  wc.finalize();
+  EXPECT_DOUBLE_EQ(wc.counts().lambda(), 1.0);
+  EXPECT_EQ(wc.counts().counts[2] + wc.counts().counts[3], 0u);
+}
+
+TEST(PatternProfiler, TrainsAfterConfiguredRefreshes) {
+  PatternProfiler p(kW, 1, 5);
+  Cycle now = 0;
+  int refreshes = 0;
+  while (!p.trained() && refreshes < 50) {
+    p.on_request(0, now + 10, true);
+    p.on_refresh(0, now + 500);
+    p.on_request(0, now + 600, true);  // inside the A-window
+    now += 3 * kW;
+    p.advance(now);
+    ++refreshes;
+  }
+  EXPECT_TRUE(p.trained());
+  // Training needs > 5 refreshes seen AND >= 5 closed windows.
+  EXPECT_GE(refreshes, 6);
+  EXPECT_LE(refreshes, 10);
+  EXPECT_DOUBLE_EQ(p.lambda(), 1.0);
+}
+
+TEST(PatternProfiler, FrozenAfterTraining) {
+  PatternProfiler p(kW, 1, 3);
+  Cycle now = 0;
+  while (!p.trained()) {
+    p.on_request(0, now + 10, true);
+    p.on_refresh(0, now + 500);
+    p.on_request(0, now + 600, true);
+    now += 3 * kW;
+    p.advance(now);
+  }
+  const double lambda = p.lambda();
+  // Feed contradictory behaviour: nothing changes once frozen.
+  for (int i = 0; i < 20; ++i) {
+    p.on_refresh(0, now);
+    now += 3 * kW;
+    p.advance(now);
+  }
+  EXPECT_DOUBLE_EQ(p.lambda(), lambda);
+}
+
+TEST(PatternProfiler, RestartRetrains) {
+  PatternProfiler p(kW, 1, 3);
+  Cycle now = 0;
+  while (!p.trained()) {
+    p.on_request(0, now + 10, true);
+    p.on_refresh(0, now + 500);
+    p.on_request(0, now + 600, true);
+    now += 3 * kW;
+    p.advance(now);
+  }
+  p.restart();
+  EXPECT_FALSE(p.trained());
+  EXPECT_DOUBLE_EQ(p.lambda(), 1.0);
+  EXPECT_DOUBLE_EQ(p.beta(), 1.0);
+  // Retrains with quiet windows: beta becomes 1 (B=0 && A=0 dominant),
+  // lambda falls back (B>0 never seen).
+  while (!p.trained()) {
+    p.on_refresh(0, now + 500);
+    now += 3 * kW;
+    p.advance(now);
+  }
+  EXPECT_DOUBLE_EQ(p.beta(), 1.0);
+}
+
+}  // namespace
+}  // namespace rop::engine

@@ -1,0 +1,84 @@
+// Refresh manager tests: cadence, postponement budget, stagger.
+#include <gtest/gtest.h>
+
+#include "mem/refresh_manager.h"
+
+namespace rop::mem {
+namespace {
+
+class RefreshManagerTest : public ::testing::Test {
+ protected:
+  dram::DramTimings t = dram::make_ddr4_1600_timings();
+};
+
+TEST_F(RefreshManagerTest, FirstRefreshDueAtFirstBoundary) {
+  RefreshManager rm(t, 1);
+  EXPECT_EQ(rm.owed(0, 0), 1u);  // boundary at phase offset 0
+  rm.on_refresh_issued(0);
+  EXPECT_EQ(rm.owed(0, 0), 0u);
+  EXPECT_EQ(rm.owed(0, t.tREFI - 1), 0u);
+  EXPECT_EQ(rm.owed(0, t.tREFI), 1u);
+}
+
+TEST_F(RefreshManagerTest, OwedAccumulatesWhenPostponed) {
+  RefreshManager rm(t, 1);
+  // Never issue: after k boundaries, k refreshes are owed.
+  EXPECT_EQ(rm.owed(0, 3 * t.tREFI), 4u);  // boundaries at 0,1,2,3 x tREFI
+}
+
+TEST_F(RefreshManagerTest, UrgentAtPostponementBudget) {
+  RefreshManager rm(t, 1);
+  const Cycle almost = (t.max_postponed_refreshes - 1) * t.tREFI;
+  EXPECT_FALSE(rm.urgent(0, almost - 1));
+  EXPECT_TRUE(rm.urgent(0, almost));  // 8 boundaries passed, none issued
+}
+
+TEST_F(RefreshManagerTest, CatchUpClearsBacklog) {
+  RefreshManager rm(t, 1);
+  const Cycle now = 3 * t.tREFI;  // 4 owed
+  for (int i = 0; i < 4; ++i) rm.on_refresh_issued(0);
+  EXPECT_EQ(rm.owed(0, now), 0u);
+  EXPECT_EQ(rm.issued(0), 4u);
+  EXPECT_EQ(rm.total_issued(), 4u);
+}
+
+TEST_F(RefreshManagerTest, RanksAreStaggered) {
+  RefreshManager rm(t, 4);
+  EXPECT_EQ(rm.phase_offset(0), 0u);
+  EXPECT_EQ(rm.phase_offset(1), t.tREFI / 4);
+  EXPECT_EQ(rm.phase_offset(3), 3u * t.tREFI / 4);
+  // Before its phase offset, a rank owes nothing.
+  EXPECT_EQ(rm.owed(3, rm.phase_offset(3) - 1), 0u);
+  EXPECT_EQ(rm.owed(3, rm.phase_offset(3)), 1u);
+}
+
+TEST_F(RefreshManagerTest, NextBoundaryAdvancesWithIssues) {
+  RefreshManager rm(t, 2);
+  EXPECT_EQ(rm.next_boundary(0, 0), 0u);
+  rm.on_refresh_issued(0);
+  EXPECT_EQ(rm.next_boundary(0, 10), static_cast<Cycle>(t.tREFI));
+  rm.on_refresh_issued(0);
+  EXPECT_EQ(rm.next_boundary(0, 10), static_cast<Cycle>(2 * t.tREFI));
+  // Rank 1 boundaries sit at its phase offset.
+  EXPECT_EQ(rm.next_boundary(1, 0), rm.phase_offset(1));
+}
+
+TEST_F(RefreshManagerTest, LongRunAverageOnePerTrefi) {
+  RefreshManager rm(t, 1);
+  Cycle now = 0;
+  std::uint64_t issued = 0;
+  // Issue as soon as due for 1000 intervals.
+  for (int i = 0; i < 1000; ++i) {
+    while (rm.owed(0, now) == 0) now += 13;
+    rm.on_refresh_issued(0);
+    ++issued;
+  }
+  EXPECT_EQ(issued, 1000u);
+  // Elapsed time ~ 999 x tREFI (first due at 0).
+  EXPECT_NEAR(static_cast<double>(now),
+              999.0 * static_cast<double>(t.tREFI),
+              static_cast<double>(t.tREFI));
+}
+
+}  // namespace
+}  // namespace rop::mem

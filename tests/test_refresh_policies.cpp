@@ -1,0 +1,190 @@
+// Tests for the alternative refresh schemes: Elastic Refresh, Refresh
+// Pausing, and per-bank refresh (REFpb).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mem/memory_system.h"
+
+namespace rop::mem {
+namespace {
+
+class RefreshPolicyTest : public ::testing::Test {
+ protected:
+  MemoryConfig config(RefreshPolicy policy, bool per_bank = false) {
+    MemoryConfig cfg;
+    cfg.timings = dram::make_ddr4_1600_timings();
+    cfg.org.ranks = 1;
+    cfg.ctrl.policy = policy;
+    cfg.ctrl.per_bank_refresh = per_bank;
+    return cfg;
+  }
+
+  /// Run with a steady read stream; returns (completed, mean latency).
+  struct Outcome {
+    std::uint64_t completed = 0;
+    std::uint64_t accepted = 0;
+    double mean_latency = 0;
+  };
+  Outcome run_stream(MemorySystem& mem, StatRegistry& stats, Cycle horizon,
+                     Cycle interarrival) {
+    Outcome out;
+    std::uint64_t line = 0;
+    for (Cycle now = 0; now < horizon; ++now) {
+      if (now % interarrival == 0 &&
+          mem.can_accept(line << kLineShift, ReqType::kRead)) {
+        if (mem.enqueue(line << kLineShift, ReqType::kRead, 0, now)) {
+          ++out.accepted;
+          ++line;
+        }
+      }
+      mem.tick(now);
+      out.completed += mem.drain_completed().size();
+    }
+    for (Cycle now = horizon;
+         out.completed < out.accepted && now < horizon + 100'000; ++now) {
+      mem.tick(now);
+      out.completed += mem.drain_completed().size();
+    }
+    if (const auto* lat = stats.find_scalar("mem.read_latency")) {
+      out.mean_latency = lat->mean();
+    }
+    return out;
+  }
+};
+
+TEST_F(RefreshPolicyTest, ElasticMaintainsRefreshAverage) {
+  StatRegistry stats;
+  MemorySystem mem(config(RefreshPolicy::kElastic), &stats);
+  const Cycle trefi = mem.config().timings.tREFI;
+  const auto out = run_stream(mem, stats, 20 * trefi, 15);
+  EXPECT_EQ(out.completed, out.accepted);
+  // The running average must hold: ~20 refreshes over 20 tREFI (elastic
+  // may briefly lag by up to the postponement budget).
+  const auto issued = mem.controller(0).refresh_manager().issued(0);
+  EXPECT_GE(issued, 20u - mem.config().timings.max_postponed_refreshes);
+  EXPECT_LE(issued, 22u);
+}
+
+TEST_F(RefreshPolicyTest, ElasticDefersUnderLoadThenForcedByBudget) {
+  StatRegistry stats;
+  MemorySystem mem(config(RefreshPolicy::kElastic), &stats);
+  const Cycle trefi = mem.config().timings.tREFI;
+  // Saturating traffic: the rank is never idle, so elastic postpones until
+  // the budget forces refreshes.
+  std::uint64_t line = 0;
+  Cycle first_refresh = 0;
+  for (Cycle now = 0; now < 9 * trefi; ++now) {
+    if (now % 5 == 0 && mem.can_accept(line << kLineShift, ReqType::kRead)) {
+      if (mem.enqueue(line << kLineShift, ReqType::kRead, 0, now)) ++line;
+    }
+    mem.tick(now);
+    mem.drain_completed();
+    if (first_refresh == 0 &&
+        mem.controller(0).refresh_manager().issued(0) > 0) {
+      first_refresh = now;
+    }
+  }
+  // Under constant load, the first refresh lands well after its boundary
+  // (deferred) but before the budget would be violated.
+  EXPECT_GT(first_refresh, trefi / 2);
+  EXPECT_GT(mem.controller(0).refresh_manager().issued(0), 0u);
+}
+
+TEST_F(RefreshPolicyTest, PausingCompletesRefreshWorkInSegments) {
+  StatRegistry stats;
+  MemorySystem mem(config(RefreshPolicy::kPausing), &stats);
+  const Cycle trefi = mem.config().timings.tREFI;
+  const auto out = run_stream(mem, stats, 20 * trefi, 40);
+  EXPECT_EQ(out.completed, out.accepted);
+  const auto issued = mem.controller(0).refresh_manager().issued(0);
+  EXPECT_GE(issued, 18u);
+  // Refresh work actually executed in segments.
+  EXPECT_GT(mem.controller(0).channel().events().refresh_segments,
+            issued);
+}
+
+TEST_F(RefreshPolicyTest, PausingImprovesTailLatencyOverAutoRefresh) {
+  StatRegistry stats_auto, stats_pause;
+  MemorySystem auto_mem(config(RefreshPolicy::kAutoRefresh), &stats_auto);
+  MemorySystem pause_mem(config(RefreshPolicy::kPausing), &stats_pause);
+  const Cycle trefi = auto_mem.config().timings.tREFI;
+  run_stream(auto_mem, stats_auto, 30 * trefi, 60);
+  run_stream(pause_mem, stats_pause, 30 * trefi, 60);
+  const double max_auto = stats_auto.find_scalar("mem.read_latency")->max();
+  const double max_pause =
+      stats_pause.find_scalar("mem.read_latency")->max();
+  // A read can wait out a whole tRFC under auto-refresh, but at most a
+  // segment (plus service) under pausing.
+  EXPECT_LT(max_pause, max_auto);
+}
+
+TEST_F(RefreshPolicyTest, PerBankRefreshesEveryBankRoundRobin) {
+  StatRegistry stats;
+  MemorySystem mem(config(RefreshPolicy::kAutoRefresh, true), &stats);
+  const Cycle trefi = mem.config().timings.tREFI;
+  for (Cycle now = 0; now < 2 * trefi; ++now) {
+    mem.tick(now);
+  }
+  // 8 bank-refreshes per tREFI: about 16 units over two intervals.
+  const auto units = mem.controller(0).refresh_manager().issued(0);
+  EXPECT_GE(units, 14u);
+  EXPECT_LE(units, 18u);
+  EXPECT_EQ(stats.counter_value("mem.bank_refreshes"), units);
+  EXPECT_EQ(stats.counter_value("mem.refreshes"), 0u);  // no full REF
+}
+
+TEST_F(RefreshPolicyTest, PerBankKeepsOtherBanksAvailable) {
+  StatRegistry stats;
+  MemorySystem mem(config(RefreshPolicy::kAutoRefresh, true), &stats);
+  const Cycle trefi = mem.config().timings.tREFI;
+  const auto out = run_stream(mem, stats, 10 * trefi, 25);
+  EXPECT_EQ(out.completed, out.accepted);
+  // Mean latency under per-bank refresh stays close to refresh-free
+  // service because 7 of 8 banks remain usable during each lock.
+  EXPECT_LT(out.mean_latency, 80.0);
+}
+
+TEST_F(RefreshPolicyTest, PerBankConservesRequestsUnderRandomLoad) {
+  StatRegistry stats;
+  MemoryConfig cfg = config(RefreshPolicy::kAutoRefresh, true);
+  cfg.org.ranks = 2;
+  MemorySystem mem(cfg, &stats);
+  Rng rng(99);
+  std::uint64_t accepted = 0, completed = 0;
+  const Cycle horizon = 6 * cfg.timings.tREFI;
+  for (Cycle now = 0; now < horizon; ++now) {
+    if (now % 9 == 0) {
+      const Address addr = rng.next_below(1 << 22) << kLineShift;
+      if (mem.can_accept(addr, ReqType::kRead) &&
+          mem.enqueue(addr, ReqType::kRead, 0, now)) {
+        ++accepted;
+      }
+    }
+    mem.tick(now);
+    completed += mem.drain_completed().size();
+  }
+  for (Cycle now = horizon; completed < accepted && now < horizon + 100'000;
+       ++now) {
+    mem.tick(now);
+    completed += mem.drain_completed().size();
+  }
+  EXPECT_EQ(completed, accepted);
+}
+
+TEST_F(RefreshPolicyTest, AllPoliciesKeepRefreshAverageOverLongRun) {
+  for (const RefreshPolicy policy :
+       {RefreshPolicy::kAutoRefresh, RefreshPolicy::kElastic,
+        RefreshPolicy::kPausing, RefreshPolicy::kRopDrain}) {
+    StatRegistry stats;
+    MemorySystem mem(config(policy), &stats);
+    const Cycle trefi = mem.config().timings.tREFI;
+    run_stream(mem, stats, 40 * trefi, 30);
+    const auto issued = mem.controller(0).refresh_manager().issued(0);
+    EXPECT_GE(issued, 40u - mem.config().timings.max_postponed_refreshes)
+        << "policy " << static_cast<int>(policy);
+    EXPECT_LE(issued, 42u) << "policy " << static_cast<int>(policy);
+  }
+}
+
+}  // namespace
+}  // namespace rop::mem

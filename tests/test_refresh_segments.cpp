@@ -1,0 +1,123 @@
+// DRAM-level tests for the refresh extensions: pausing segments and
+// per-bank REFpb locks, plus their energy-accounting hooks.
+#include <gtest/gtest.h>
+
+#include "dram/channel.h"
+#include "energy/dram_power.h"
+
+namespace rop::dram {
+namespace {
+
+class SegmentTest : public ::testing::Test {
+ protected:
+  SegmentTest() : t(make_ddr4_1600_timings()) {
+    org.ranks = 1;
+    org.banks = 8;
+  }
+  Command act(BankId b, RowId row) {
+    return {CmdType::kActivate, DramCoord{0, 0, b, row, 0}, 0};
+  }
+  Command refpb(BankId b) {
+    return {CmdType::kRefreshBank, DramCoord{0, 0, b, 0, 0}, 0};
+  }
+
+  DramTimings t;
+  DramOrganization org;
+};
+
+TEST_F(SegmentTest, SegmentLocksRankForDurationOnly) {
+  Channel ch(t, org);
+  ch.begin_refresh_segment(0, 100, 48);
+  EXPECT_TRUE(ch.rank(0).refreshing());
+  EXPECT_EQ(ch.rank(0).refresh_done(), 148u);
+  EXPECT_FALSE(ch.can_issue(act(0, 1), 147));
+  ch.tick(148);
+  EXPECT_FALSE(ch.rank(0).refreshing());
+  EXPECT_TRUE(ch.can_issue(act(0, 1), 148));
+  EXPECT_EQ(ch.events().refresh_segments, 1u);
+}
+
+TEST_F(SegmentTest, SegmentRequiresPrechargedBanks) {
+  Channel ch(t, org);
+  ch.issue(act(3, 7), 0);
+  // An open row makes the segment illegal (same as a full REF); the rank
+  // must be precharged first.
+  EXPECT_FALSE(ch.rank(0).can_issue(
+      Command{CmdType::kRefresh, DramCoord{0, 0, 0, 0, 0}, 0}, 100));
+}
+
+TEST_F(SegmentTest, MultipleSegmentsAccumulateRefreshCycles) {
+  Channel ch(t, org);
+  ch.begin_refresh_segment(0, 0, 48);
+  ch.tick(48);
+  ch.begin_refresh_segment(0, 100, 48);
+  ch.tick(148);
+  ch.settle_accounting(1000);
+  EXPECT_EQ(ch.rank(0).activity().refresh_cycles, 96u);
+}
+
+TEST_F(SegmentTest, RefpbLocksSingleBank) {
+  Channel ch(t, org);
+  const Cycle done = ch.issue(refpb(2), 10);
+  EXPECT_EQ(done, 10 + t.tRFCpb);
+  EXPECT_EQ(ch.rank(0).bank(2).state(), BankState::kRefreshing);
+  EXPECT_FALSE(ch.rank(0).refreshing());  // rank-level flag untouched
+  // Other banks stay usable.
+  EXPECT_TRUE(ch.can_issue(act(3, 1), 11));
+  // The locked bank rejects everything until tRFCpb elapses.
+  EXPECT_FALSE(ch.can_issue(act(2, 1), 10 + t.tRFCpb - 1));
+  ch.tick(10 + t.tRFCpb);
+  EXPECT_EQ(ch.rank(0).bank(2).state(), BankState::kPrecharged);
+  EXPECT_TRUE(ch.can_issue(act(2, 1), 10 + t.tRFCpb));
+  EXPECT_EQ(ch.events().bank_refreshes, 1u);
+}
+
+TEST_F(SegmentTest, RefpbAccountsBankRefreshCycles) {
+  Channel ch(t, org);
+  ch.issue(refpb(0), 0);
+  ch.tick(t.tRFCpb);
+  ch.issue(refpb(1), 1000);
+  ch.tick(1000 + t.tRFCpb);
+  ch.settle_accounting(2000);
+  EXPECT_EQ(ch.rank(0).activity().bank_refresh_cycles,
+            2ull * t.tRFCpb);
+}
+
+TEST_F(SegmentTest, RefpbRejectedWhileBankBusy) {
+  Channel ch(t, org);
+  ch.issue(act(4, 9), 0);
+  EXPECT_FALSE(ch.can_issue(refpb(4), 5));  // active bank
+  ch.issue(refpb(5), 5);
+  EXPECT_FALSE(ch.can_issue(refpb(5), 6));  // already refreshing
+}
+
+TEST_F(SegmentTest, EnergyChargesRefpbAtBankFraction) {
+  // One full REF's worth of bank-cycles (8 x tRFCpb) must cost less than a
+  // full-rank refresh of equal duration x 8, because only 1/8 of the
+  // devices draw the refresh surcharge at a time.
+  DramTimings timings = make_ddr4_1600_timings();
+  DramOrganization o;
+  o.ranks = 1;
+  Channel pb(timings, o), full(timings, o);
+  for (BankId b = 0; b < 8; ++b) {
+    pb.issue(Command{CmdType::kRefreshBank, DramCoord{0, 0, b, 0, 0}, 0},
+             b * 1000);
+    pb.tick(b * 1000 + timings.tRFCpb);
+  }
+  full.issue(Command{CmdType::kRefresh, DramCoord{0, 0, 0, 0, 0}, 0}, 0);
+  full.tick(timings.tRFC);
+  const Cycle horizon = 10'000;
+  pb.settle_accounting(horizon);
+  full.settle_accounting(horizon);
+  const energy::DramPowerModel model({}, timings);
+  const double e_pb = model.compute(pb).refresh_mj;
+  const double e_full = model.compute(full).refresh_mj;
+  EXPECT_GT(e_pb, 0.0);
+  EXPECT_GT(e_full, 0.0);
+  // 8 x tRFCpb = 576 bank-cycles at 1/8 weight = 72 rank-cycle equivalents
+  // vs tRFC = 280 rank-cycles for the full REF.
+  EXPECT_LT(e_pb, e_full);
+}
+
+}  // namespace
+}  // namespace rop::dram

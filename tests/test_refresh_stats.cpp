@@ -1,0 +1,99 @@
+// Refresh blocking statistics tests (Figs 2-3 machinery).
+#include <gtest/gtest.h>
+
+#include "mem/refresh_stats.h"
+
+namespace rop::mem {
+namespace {
+
+constexpr Cycle kTrfc = 280;
+
+TEST(RefreshStats, NonBlockingWhenNoArrivals) {
+  RefreshBlockingStats s(1, kTrfc);
+  s.on_refresh_start(0, 1000);
+  s.on_refresh_start(0, 10000);
+  s.finalize();
+  EXPECT_EQ(s.total_refreshes(), 2u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_DOUBLE_EQ(s.non_blocking_fraction(k), 1.0);
+    EXPECT_DOUBLE_EQ(s.mean_blocked_per_blocking_refresh(k), 0.0);
+  }
+}
+
+TEST(RefreshStats, ArrivalInsideWindowBlocks) {
+  RefreshBlockingStats s(1, kTrfc);
+  s.on_refresh_start(0, 1000);
+  s.on_read_arrival(0, 1000 + kTrfc - 1);  // inside 1x window
+  s.finalize();
+  EXPECT_DOUBLE_EQ(s.non_blocking_fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_blocked_per_blocking_refresh(0), 1.0);
+  EXPECT_EQ(s.max_blocked(0), 1u);
+}
+
+TEST(RefreshStats, WindowMultiplesNest) {
+  RefreshBlockingStats s(1, kTrfc);
+  s.on_refresh_start(0, 0);
+  // Arrival in (1x, 2x]: blocks the 2x and 4x windows but not 1x.
+  s.on_read_arrival(0, kTrfc + 10);
+  s.finalize();
+  EXPECT_DOUBLE_EQ(s.non_blocking_fraction(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.non_blocking_fraction(1), 0.0);
+  EXPECT_DOUBLE_EQ(s.non_blocking_fraction(2), 0.0);
+}
+
+TEST(RefreshStats, ArrivalBeforeRefreshDoesNotBlock) {
+  RefreshBlockingStats s(1, kTrfc);
+  s.on_read_arrival(0, 500);
+  s.on_refresh_start(0, 1000);
+  s.finalize();
+  EXPECT_DOUBLE_EQ(s.non_blocking_fraction(0), 1.0);
+}
+
+TEST(RefreshStats, MeanCountsOnlyBlockingRefreshes) {
+  RefreshBlockingStats s(1, kTrfc);
+  s.on_refresh_start(0, 0);
+  s.on_read_arrival(0, 10);
+  s.on_read_arrival(0, 20);
+  s.on_read_arrival(0, 30);
+  s.on_refresh_start(0, 100000);  // non-blocking
+  s.finalize();
+  EXPECT_DOUBLE_EQ(s.non_blocking_fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(s.mean_blocked_per_blocking_refresh(0), 3.0);
+  EXPECT_EQ(s.max_blocked(0), 3u);
+}
+
+TEST(RefreshStats, PerRankIsolation) {
+  RefreshBlockingStats s(2, kTrfc);
+  s.on_refresh_start(0, 0);
+  s.on_read_arrival(1, 10);  // different rank: must not block rank 0
+  s.finalize();
+  EXPECT_DOUBLE_EQ(s.non_blocking_fraction(0), 1.0);
+}
+
+TEST(RefreshStats, LazyRetirementMatchesFinalize) {
+  RefreshBlockingStats s(1, kTrfc);
+  for (int i = 0; i < 10; ++i) {
+    s.on_refresh_start(0, static_cast<Cycle>(i) * 10000);
+    s.on_read_arrival(0, static_cast<Cycle>(i) * 10000 + 5);
+  }
+  // Arrivals far in the future force retirement of old windows.
+  s.on_read_arrival(0, 10'000'000);
+  s.finalize();
+  EXPECT_EQ(s.total_refreshes(), 10u);
+  EXPECT_DOUBLE_EQ(s.non_blocking_fraction(0), 0.0);
+}
+
+TEST(RefreshStats, OverlappingWindowsEachCountArrivals) {
+  // Two refreshes close together (4x windows overlap): one arrival can
+  // block both.
+  RefreshBlockingStats s(1, kTrfc);
+  s.on_refresh_start(0, 0);
+  s.on_refresh_start(0, kTrfc * 2);
+  s.on_read_arrival(0, kTrfc * 2 + 5);  // in 4x of first, 1x of second
+  s.finalize();
+  EXPECT_DOUBLE_EQ(s.non_blocking_fraction(2), 0.0);  // both blocked at 4x
+  EXPECT_DOUBLE_EQ(s.non_blocking_fraction(0), 0.5);  // only second at 1x
+}
+
+}  // namespace
+}  // namespace rop::mem

@@ -1,0 +1,111 @@
+// SRAM prefetch buffer tests: associativity, LRU, coherence, rounds.
+#include <gtest/gtest.h>
+
+#include "rop/sram_buffer.h"
+
+namespace rop::engine {
+namespace {
+
+TEST(SramBuffer, InsertThenLookupHits) {
+  SramBuffer buf(4);
+  buf.begin_round(0);
+  EXPECT_TRUE(buf.insert(0x1000));
+  EXPECT_TRUE(buf.lookup(0x1000));
+  EXPECT_FALSE(buf.lookup(0x2000));
+  EXPECT_EQ(buf.stats().hits, 1u);
+  EXPECT_EQ(buf.stats().lookups, 2u);
+}
+
+TEST(SramBuffer, FullyAssociativeAcrossAddressSpace) {
+  SramBuffer buf(4);
+  buf.begin_round(0);
+  // Addresses that would conflict in any set-indexed structure.
+  const Address addrs[] = {0x0, 0x100000, 0x200000, 0x300000};
+  for (const Address a : addrs) buf.insert(a);
+  for (const Address a : addrs) EXPECT_TRUE(buf.contains(a));
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+TEST(SramBuffer, LruEvictionAtCapacity) {
+  SramBuffer buf(2);
+  buf.begin_round(0);
+  buf.insert(0x40);
+  buf.insert(0x80);
+  EXPECT_TRUE(buf.lookup(0x40));  // 0x40 becomes MRU
+  buf.insert(0xC0);               // evicts 0x80
+  EXPECT_TRUE(buf.contains(0x40));
+  EXPECT_FALSE(buf.contains(0x80));
+  EXPECT_TRUE(buf.contains(0xC0));
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(SramBuffer, DuplicateInsertKeepsSingleCopy) {
+  SramBuffer buf(4);
+  buf.begin_round(0);
+  EXPECT_TRUE(buf.insert(0x40));
+  EXPECT_FALSE(buf.insert(0x40));
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.stats().fills, 2u);
+}
+
+TEST(SramBuffer, InvalidateRemovesLine) {
+  SramBuffer buf(4);
+  buf.begin_round(0);
+  buf.insert(0x40);
+  buf.invalidate(0x40);
+  EXPECT_FALSE(buf.contains(0x40));
+  EXPECT_EQ(buf.stats().invalidations, 1u);
+  // Invalidating an absent line is a no-op.
+  buf.invalidate(0x9999);
+  EXPECT_EQ(buf.stats().invalidations, 1u);
+}
+
+TEST(SramBuffer, BeginRoundClearsAndReowns) {
+  SramBuffer buf(4);
+  buf.begin_round(0);
+  buf.insert(0x40);
+  ASSERT_TRUE(buf.owner().has_value());
+  EXPECT_EQ(*buf.owner(), 0u);
+  buf.begin_round(3);
+  EXPECT_EQ(*buf.owner(), 3u);
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_FALSE(buf.contains(0x40));
+  EXPECT_EQ(buf.stats().rounds, 2u);
+}
+
+TEST(SramBuffer, ClearDropsOwnership) {
+  SramBuffer buf(4);
+  buf.begin_round(1);
+  buf.insert(0x40);
+  buf.clear();
+  EXPECT_FALSE(buf.owner().has_value());
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(SramBuffer, CapacityIsRespectedUnderChurn) {
+  SramBuffer buf(16);
+  buf.begin_round(0);
+  for (Address a = 0; a < 1000; ++a) {
+    buf.insert(a << kLineShift);
+    ASSERT_LE(buf.size(), 16u);
+  }
+  // The 16 most recent lines survive.
+  for (Address a = 1000 - 16; a < 1000; ++a) {
+    EXPECT_TRUE(buf.contains(a << kLineShift));
+  }
+}
+
+TEST(SramBuffer, ContainsDoesNotPerturbStatsOrLru) {
+  SramBuffer buf(2);
+  buf.begin_round(0);
+  buf.insert(0x40);
+  buf.insert(0x80);
+  const auto lookups_before = buf.stats().lookups;
+  EXPECT_TRUE(buf.contains(0x40));  // must NOT refresh 0x40's LRU position
+  EXPECT_EQ(buf.stats().lookups, lookups_before);
+  buf.insert(0xC0);  // evicts 0x40 (still LRU despite contains())
+  EXPECT_FALSE(buf.contains(0x40));
+}
+
+}  // namespace
+}  // namespace rop::engine

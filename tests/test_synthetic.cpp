@@ -1,0 +1,209 @@
+// Synthetic workload generator tests.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/spec_profiles.h"
+#include "workload/synthetic.h"
+
+namespace rop::workload {
+namespace {
+
+TEST(Synthetic, DeterministicForEqualConfig) {
+  SyntheticConfig cfg;
+  cfg.seed = 5;
+  SyntheticTrace a(cfg), b(cfg);
+  for (int i = 0; i < 2000; ++i) {
+    const TraceRecord ra = a.next();
+    const TraceRecord rb = b.next();
+    EXPECT_EQ(ra.addr, rb.addr);
+    EXPECT_EQ(ra.gap, rb.gap);
+    EXPECT_EQ(ra.is_write, rb.is_write);
+  }
+}
+
+TEST(Synthetic, ResetReplaysFromStart) {
+  SyntheticTrace t(SyntheticConfig{});
+  std::vector<TraceRecord> first;
+  for (int i = 0; i < 100; ++i) first.push_back(t.next());
+  t.reset();
+  for (int i = 0; i < 100; ++i) {
+    const TraceRecord r = t.next();
+    EXPECT_EQ(r.addr, first[i].addr);
+    EXPECT_EQ(r.gap, first[i].gap);
+  }
+}
+
+TEST(Synthetic, AddressesStayWithinFootprint) {
+  SyntheticConfig cfg;
+  cfg.footprint_lines = 1000;
+  cfg.random_fraction = 0.5;
+  SyntheticTrace t(cfg);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(t.next().addr >> kLineShift, 1000u);
+  }
+}
+
+TEST(Synthetic, MeanGapApproximatesConfig) {
+  SyntheticConfig cfg;
+  cfg.mean_gap = 80;
+  SyntheticTrace t(cfg);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += t.next().gap;
+  EXPECT_NEAR(sum / n, 80.0, 8.0);
+}
+
+TEST(Synthetic, WriteFractionApproximatesConfig) {
+  SyntheticConfig cfg;
+  cfg.write_fraction = 0.4;
+  SyntheticTrace t(cfg);
+  int writes = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) writes += t.next().is_write ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(writes) / n, 0.4, 0.03);
+}
+
+TEST(Synthetic, PureStreamIsSequential) {
+  SyntheticConfig cfg;
+  cfg.streams = {{{+1}, 1.0}};
+  cfg.random_fraction = 0.0;
+  SyntheticTrace t(cfg);
+  Address prev = t.next().addr;
+  for (int i = 0; i < 1000; ++i) {
+    const Address cur = t.next().addr;
+    EXPECT_EQ(cur, prev + kLineBytes);
+    prev = cur;
+  }
+}
+
+TEST(Synthetic, MultiDeltaStreamCycles) {
+  SyntheticConfig cfg;
+  cfg.streams = {{{+1, +1, +130}, 1.0}};
+  cfg.random_fraction = 0.0;
+  SyntheticTrace t(cfg);
+  const std::int64_t deltas[3] = {1, 1, 130};
+  std::uint64_t prev = t.next().addr >> kLineShift;
+  for (int i = 1; i < 300; ++i) {
+    const std::uint64_t cur = t.next().addr >> kLineShift;
+    EXPECT_EQ(cur - prev, static_cast<std::uint64_t>(deltas[i % 3]));
+    prev = cur;
+  }
+}
+
+TEST(Synthetic, EqualWeightStreamsInterleaveRoundRobin) {
+  SyntheticConfig cfg;
+  cfg.streams = {{{+1}, 1.0}, {{+1}, 1.0}};
+  cfg.random_fraction = 0.0;
+  cfg.footprint_lines = 1 << 20;
+  SyntheticTrace t(cfg);
+  // Accesses alternate between two regions (stream starts differ).
+  const std::uint64_t half = (1 << 20) / 2;
+  int region_prev = -1;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t line = t.next().addr >> kLineShift;
+    const int region = line >= half ? 1 : 0;
+    if (region_prev >= 0) {
+      EXPECT_NE(region, region_prev);
+    }
+    region_prev = region;
+  }
+}
+
+TEST(Synthetic, WeightedStreamsGetProportionalShare) {
+  SyntheticConfig cfg;
+  cfg.streams = {{{+1}, 3.0}, {{+1}, 1.0}};
+  cfg.random_fraction = 0.0;
+  cfg.footprint_lines = 1 << 20;
+  SyntheticTrace t(cfg);
+  const std::uint64_t half = (1 << 20) / 2;
+  int low = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    if ((t.next().addr >> kLineShift) < half) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.75, 0.02);
+}
+
+TEST(Synthetic, BurstinessCreatesLongIdleGaps) {
+  SyntheticConfig cfg;
+  cfg.mean_gap = 10;
+  cfg.burst_ops = 50;
+  cfg.idle_instructions = 100'000;
+  SyntheticTrace t(cfg);
+  std::uint32_t max_gap = 0;
+  for (int i = 0; i < 5000; ++i) max_gap = std::max(max_gap, t.next().gap);
+  EXPECT_GT(max_gap, 50'000u);
+}
+
+TEST(SpecProfiles, AllTwelveBenchmarksBuild) {
+  for (const auto name : kBenchmarkNames) {
+    const SyntheticConfig cfg = spec_profile(name);
+    EXPECT_EQ(cfg.name, std::string(name));
+    EXPECT_FALSE(cfg.streams.empty());
+    EXPECT_GT(cfg.footprint_lines, 0u);
+    SyntheticTrace t(cfg);
+    for (int i = 0; i < 100; ++i) t.next();
+  }
+}
+
+TEST(SpecProfiles, IntensiveSplitMatchesTableII) {
+  int intensive = 0;
+  for (const auto name : kBenchmarkNames) {
+    if (is_intensive(name)) ++intensive;
+  }
+  EXPECT_EQ(intensive, 6);
+  EXPECT_TRUE(is_intensive("lbm"));
+  EXPECT_TRUE(is_intensive("libquantum"));
+  EXPECT_FALSE(is_intensive("gobmk"));
+  EXPECT_FALSE(is_intensive("perlbench"));
+}
+
+TEST(SpecProfiles, IntensiveBenchmarksHaveSmallerGaps) {
+  double intensive_mean = 0, quiet_mean = 0;
+  for (const auto name : kBenchmarkNames) {
+    const SyntheticConfig cfg = spec_profile(name);
+    (is_intensive(name) ? intensive_mean : quiet_mean) += cfg.mean_gap / 6.0;
+  }
+  EXPECT_LT(intensive_mean, quiet_mean);
+}
+
+TEST(SpecProfiles, SeedSaltDecorrelates) {
+  SyntheticTrace a(spec_profile("bzip2", 0));
+  SyntheticTrace b(spec_profile("bzip2", 1));
+  int same = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.next().addr == b.next().addr) ++same;
+  }
+  EXPECT_LT(same, 100);
+}
+
+TEST(SpecProfiles, WorkloadMixesAreFourWide) {
+  std::set<std::string> all;
+  for (std::uint32_t wl = 1; wl <= kNumWorkloadMixes; ++wl) {
+    const auto mix = workload_mix(wl);
+    EXPECT_EQ(mix.size(), 4u);
+    for (const auto& b : mix) {
+      all.insert(b);
+      // Every entry is a known benchmark.
+      EXPECT_NE(std::find(kBenchmarkNames.begin(), kBenchmarkNames.end(), b),
+                kBenchmarkNames.end());
+    }
+  }
+  EXPECT_EQ(all.size(), 12u);  // every benchmark appears somewhere
+}
+
+TEST(SpecProfiles, MixIntensityDecreasesFromWl1ToWl6) {
+  const auto count_intensive = [](std::uint32_t wl) {
+    int n = 0;
+    for (const auto& b : workload_mix(wl)) n += is_intensive(b) ? 1 : 0;
+    return n;
+  };
+  EXPECT_EQ(count_intensive(1), 4);
+  EXPECT_EQ(count_intensive(6), 0);
+  EXPECT_GE(count_intensive(2), count_intensive(5));
+}
+
+}  // namespace
+}  // namespace rop::workload

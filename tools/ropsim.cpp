@@ -1,0 +1,295 @@
+// ropsim — command-line driver for the ROP memory-system simulator.
+//
+// Runs any benchmark (or trace file) on any of the memory systems with the
+// knobs exposed as flags, and prints a full report: performance, energy
+// breakdown, refresh statistics, and (for ROP) engine internals.
+//
+//   ropsim --benchmark libquantum --mode rop --instructions 20000000
+//   ropsim --benchmark wl1 --mode rop --cores 4 --ranks 4 --llc-mb 4
+//   ropsim --trace /path/app.trace --mode baseline
+//   ropsim --help
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "cpu/system.h"
+#include "energy/dram_power.h"
+#include "mem/memory_system.h"
+#include "rop/rop_engine.h"
+#include "sim/presets.h"
+#include "workload/spec_profiles.h"
+#include "workload/synthetic.h"
+#include "workload/trace_io.h"
+
+namespace {
+
+using namespace rop;
+
+struct Options {
+  std::string benchmark = "libquantum";
+  std::string trace_path;
+  std::string mode = "baseline";
+  std::uint32_t cores = 1;
+  std::uint32_t ranks = 1;
+  std::uint64_t llc_mb = 2;
+  std::uint64_t instructions = 10'000'000;
+  std::uint32_t buffer_lines = 64;
+  std::uint32_t window_multiple = 1;
+  std::uint32_t training = 50;
+  bool rank_partition = false;
+  std::string refresh_mode = "1x";
+  bool dump_stats = false;
+};
+
+[[noreturn]] void usage(int code) {
+  std::puts(
+      "ropsim — ROP memory-system simulator\n"
+      "\n"
+      "  --benchmark NAME     one of the 12 SPEC-like profiles, or wl1..wl6\n"
+      "                       for a 4-core mix (default libquantum)\n"
+      "  --trace PATH         replay a text trace file instead\n"
+      "  --mode MODE          baseline | no-refresh | rop | elastic |\n"
+      "                       pausing | per-bank (default baseline)\n"
+      "  --cores N            number of cores (default 1; wl mixes force 4)\n"
+      "  --ranks N            DRAM ranks (default 1)\n"
+      "  --llc-mb N           shared LLC size in MiB (default 2)\n"
+      "  --instructions N     per-core instruction target (default 10M)\n"
+      "  --buffer-lines N     ROP SRAM capacity (default 64)\n"
+      "  --window N           ROP observational window multiple (default 1)\n"
+      "  --training N         ROP training refreshes (default 50)\n"
+      "  --rank-partition     enable rank-aware mapping\n"
+      "  --refresh 1x|2x|4x   JEDEC fine-grained refresh mode (default 1x)\n"
+      "  --stats              dump the raw statistics registry\n"
+      "  --help\n");
+  std::exit(code);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  const auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      usage(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--benchmark") {
+      opt.benchmark = need(i);
+    } else if (arg == "--trace") {
+      opt.trace_path = need(i);
+    } else if (arg == "--mode") {
+      opt.mode = need(i);
+    } else if (arg == "--cores") {
+      opt.cores = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (arg == "--ranks") {
+      opt.ranks = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (arg == "--llc-mb") {
+      opt.llc_mb = std::strtoull(need(i), nullptr, 10);
+    } else if (arg == "--instructions") {
+      opt.instructions = std::strtoull(need(i), nullptr, 10);
+    } else if (arg == "--buffer-lines") {
+      opt.buffer_lines = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (arg == "--window") {
+      opt.window_multiple = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (arg == "--training") {
+      opt.training = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (arg == "--rank-partition") {
+      opt.rank_partition = true;
+    } else if (arg == "--refresh") {
+      opt.refresh_mode = need(i);
+    } else if (arg == "--stats") {
+      opt.dump_stats = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+  return opt;
+}
+
+sim::MemoryMode parse_mode(const std::string& s) {
+  static const std::map<std::string, sim::MemoryMode> kModes = {
+      {"baseline", sim::MemoryMode::kBaseline},
+      {"no-refresh", sim::MemoryMode::kNoRefresh},
+      {"rop", sim::MemoryMode::kRop},
+      {"elastic", sim::MemoryMode::kElastic},
+      {"pausing", sim::MemoryMode::kPausing},
+      {"per-bank", sim::MemoryMode::kPerBank},
+  };
+  const auto it = kModes.find(s);
+  if (it == kModes.end()) {
+    std::fprintf(stderr, "unknown mode: %s\n", s.c_str());
+    usage(2);
+  }
+  return it->second;
+}
+
+dram::RefreshMode parse_refresh(const std::string& s) {
+  if (s == "1x") return dram::RefreshMode::k1x;
+  if (s == "2x") return dram::RefreshMode::k2x;
+  if (s == "4x") return dram::RefreshMode::k4x;
+  std::fprintf(stderr, "unknown refresh mode: %s\n", s.c_str());
+  usage(2);
+}
+
+bool is_workload_mix(const std::string& name) {
+  return name.size() == 3 && name.compare(0, 2, "wl") == 0 &&
+         name[2] >= '1' && name[2] <= '6';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = parse(argc, argv);
+  const sim::MemoryMode mode = parse_mode(opt.mode);
+
+  // Workloads: a wlN mix, a trace file, or N copies of one profile.
+  std::vector<std::string> benchmarks;
+  std::vector<std::unique_ptr<workload::TraceSource>> sources;
+  std::vector<workload::TraceSource*> source_ptrs;
+  if (!opt.trace_path.empty()) {
+    benchmarks.assign(opt.cores, opt.trace_path);
+    for (std::uint32_t c = 0; c < opt.cores; ++c) {
+      sources.push_back(std::make_unique<workload::MemoryTrace>(
+          workload::read_trace_file(opt.trace_path)));
+    }
+  } else if (is_workload_mix(opt.benchmark)) {
+    benchmarks = workload::workload_mix(opt.benchmark[2] - '0');
+    opt.cores = 4;
+    if (opt.ranks < 4) opt.ranks = 4;
+    for (std::size_t c = 0; c < benchmarks.size(); ++c) {
+      sources.push_back(std::make_unique<workload::SyntheticTrace>(
+          workload::spec_profile(benchmarks[c], c)));
+    }
+  } else {
+    benchmarks.assign(opt.cores, opt.benchmark);
+    for (std::uint32_t c = 0; c < opt.cores; ++c) {
+      sources.push_back(std::make_unique<workload::SyntheticTrace>(
+          workload::spec_profile(opt.benchmark, c)));
+    }
+  }
+  for (auto& s : sources) source_ptrs.push_back(s.get());
+
+  // System assembly.
+  StatRegistry stats;
+  const mem::MemoryConfig mem_cfg =
+      sim::make_memory_config(opt.ranks, mode, parse_refresh(opt.refresh_mode));
+  mem::MemorySystem memory(mem_cfg, &stats);
+  std::vector<std::unique_ptr<engine::RopEngine>> engines;
+  if (mode == sim::MemoryMode::kRop) {
+    engine::RopConfig rc;
+    rc.buffer_lines = opt.buffer_lines;
+    rc.window_multiple = opt.window_multiple;
+    rc.training_refreshes = opt.training;
+    for (ChannelId ch = 0; ch < memory.num_channels(); ++ch) {
+      engines.push_back(std::make_unique<engine::RopEngine>(
+          rc, memory.controller(ch), memory.address_map(), &stats));
+    }
+  }
+  cpu::SystemConfig sys_cfg =
+      sim::make_system_config(opt.llc_mb << 20, opt.rank_partition);
+  cpu::System system(sys_cfg, memory, source_ptrs);
+
+  std::printf("ropsim: mode=%s ranks=%u llc=%lluMiB refresh=%s cores=%u\n",
+              opt.mode.c_str(), opt.ranks,
+              static_cast<unsigned long long>(opt.llc_mb),
+              opt.refresh_mode.c_str(), opt.cores);
+  const cpu::RunResult run =
+      system.run(opt.instructions, opt.instructions * 256);
+  if (run.hit_cycle_limit) {
+    std::fprintf(stderr, "warning: cycle limit reached before the target\n");
+  }
+
+  TextTable cores_table("per-core results");
+  cores_table.set_header({"core", "workload", "instructions", "cycles",
+                          "IPC", "mem reads", "writebacks"});
+  for (std::size_t c = 0; c < run.cores.size(); ++c) {
+    const auto& r = run.cores[c];
+    cores_table.add_row({std::to_string(c), benchmarks[c],
+                         std::to_string(r.instructions),
+                         std::to_string(r.cpu_cycles),
+                         TextTable::fmt(r.ipc, 4),
+                         std::to_string(r.mem_reads),
+                         std::to_string(r.mem_writebacks)});
+  }
+  cores_table.print();
+
+  // Energy report.
+  const energy::DramPowerModel power(energy::DramEnergyParams{},
+                                     memory.config().timings);
+  energy::EnergyBreakdown total;
+  for (ChannelId ch = 0; ch < memory.num_channels(); ++ch) {
+    const auto e = power.compute(memory.controller(ch).channel());
+    total.background_mj += e.background_mj;
+    total.act_pre_mj += e.act_pre_mj;
+    total.read_mj += e.read_mj;
+    total.write_mj += e.write_mj;
+    total.refresh_mj += e.refresh_mj;
+    total.io_mj += e.io_mj;
+  }
+  if (!engines.empty()) {
+    const auto sram = energy::SramEnergyParams::for_capacity(opt.buffer_lines);
+    const double tck =
+        static_cast<double>(memory.config().timings.tCK_ps) * 1e-12;
+    for (const auto& eng : engines) {
+      const auto& bs = eng->buffer().stats();
+      total.sram_mj += sram.energy_mj(
+          bs.lookups + bs.fills,
+          static_cast<double>(eng->sram_on_cycles()) * tck);
+    }
+  }
+  TextTable energy_table("memory energy (mJ)");
+  energy_table.set_header({"background", "act/pre", "read", "write",
+                           "refresh", "io", "sram", "total"});
+  energy_table.add_row(
+      {TextTable::fmt(total.background_mj, 3), TextTable::fmt(total.act_pre_mj, 3),
+       TextTable::fmt(total.read_mj, 3), TextTable::fmt(total.write_mj, 3),
+       TextTable::fmt(total.refresh_mj, 3), TextTable::fmt(total.io_mj, 3),
+       TextTable::fmt(total.sram_mj, 4), TextTable::fmt(total.total_mj(), 3)});
+  energy_table.print();
+
+  // Refresh report.
+  std::printf("\nrefreshes issued: %llu (postponement-average preserved); "
+              "bank refreshes: %llu; pausing segments: %llu\n",
+              static_cast<unsigned long long>(
+                  stats.counter_value("mem.refreshes")),
+              static_cast<unsigned long long>(
+                  stats.counter_value("mem.bank_refreshes")),
+              static_cast<unsigned long long>(
+                  memory.controller(0).channel().events().refresh_segments));
+  if (const auto* hist = stats.find_histogram("mem.read_latency_hist")) {
+    std::printf("read latency: mean %.1f, p95 %llu, p99 %llu cycles\n",
+                stats.find_scalar("mem.read_latency")->mean(),
+                static_cast<unsigned long long>(hist->quantile(0.95)),
+                static_cast<unsigned long long>(hist->quantile(0.99)));
+  }
+  const auto& bs = memory.controller(0).blocking_stats();
+  std::printf("non-blocking refreshes (1x tRFC window): %.1f%%; mean blocked "
+              "per blocking refresh: %.2f\n",
+              100.0 * bs.non_blocking_fraction(0),
+              bs.mean_blocked_per_blocking_refresh(0));
+
+  if (!engines.empty()) {
+    const auto& eng = *engines.front();
+    std::printf("\nROP: lambda=%.2f beta=%.2f buffer-hit-rate=%.3f "
+                "rounds=%llu fills=%llu\n",
+                eng.lambda(), eng.beta(), eng.overall_hit_rate(),
+                static_cast<unsigned long long>(eng.buffer().stats().rounds),
+                static_cast<unsigned long long>(
+                    stats.counter_value("rop.buffer_fills")));
+  }
+
+  if (opt.dump_stats) {
+    std::printf("\n--- raw statistics ---\n%s", stats.report().c_str());
+  }
+  return 0;
+}
