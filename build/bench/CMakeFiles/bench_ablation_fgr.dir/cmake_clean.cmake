@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fgr.dir/bench_ablation_fgr.cpp.o"
+  "CMakeFiles/bench_ablation_fgr.dir/bench_ablation_fgr.cpp.o.d"
+  "bench_ablation_fgr"
+  "bench_ablation_fgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

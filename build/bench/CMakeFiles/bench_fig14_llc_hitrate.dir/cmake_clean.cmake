@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_llc_hitrate.dir/bench_fig14_llc_hitrate.cpp.o"
+  "CMakeFiles/bench_fig14_llc_hitrate.dir/bench_fig14_llc_hitrate.cpp.o.d"
+  "bench_fig14_llc_hitrate"
+  "bench_fig14_llc_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_llc_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_nonblocking.dir/bench_fig2_nonblocking.cpp.o"
+  "CMakeFiles/bench_fig2_nonblocking.dir/bench_fig2_nonblocking.cpp.o.d"
+  "bench_fig2_nonblocking"
+  "bench_fig2_nonblocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_hitrate.cpp" "bench/CMakeFiles/bench_fig9_hitrate.dir/bench_fig9_hitrate.cpp.o" "gcc" "bench/CMakeFiles/bench_fig9_hitrate.dir/bench_fig9_hitrate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_rop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

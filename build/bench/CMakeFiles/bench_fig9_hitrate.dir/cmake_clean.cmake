@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_hitrate.dir/bench_fig9_hitrate.cpp.o"
+  "CMakeFiles/bench_fig9_hitrate.dir/bench_fig9_hitrate.cpp.o.d"
+  "bench_fig9_hitrate"
+  "bench_fig9_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_lambda_beta.dir/bench_table1_lambda_beta.cpp.o"
+  "CMakeFiles/bench_table1_lambda_beta.dir/bench_table1_lambda_beta.cpp.o.d"
+  "bench_table1_lambda_beta"
+  "bench_table1_lambda_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_lambda_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

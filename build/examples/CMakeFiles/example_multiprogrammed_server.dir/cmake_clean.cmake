@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multiprogrammed_server.dir/multiprogrammed_server.cpp.o"
+  "CMakeFiles/example_multiprogrammed_server.dir/multiprogrammed_server.cpp.o.d"
+  "example_multiprogrammed_server"
+  "example_multiprogrammed_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multiprogrammed_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

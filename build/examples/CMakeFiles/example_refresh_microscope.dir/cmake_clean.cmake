@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_refresh_microscope.dir/refresh_microscope.cpp.o"
+  "CMakeFiles/example_refresh_microscope.dir/refresh_microscope.cpp.o.d"
+  "example_refresh_microscope"
+  "example_refresh_microscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_refresh_microscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

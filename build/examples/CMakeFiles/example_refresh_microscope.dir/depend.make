@@ -1,0 +1,2 @@
+# Empty dependencies file for example_refresh_microscope.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_streaming_analytics.dir/streaming_analytics.cpp.o"
+  "CMakeFiles/example_streaming_analytics.dir/streaming_analytics.cpp.o.d"
+  "example_streaming_analytics"
+  "example_streaming_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_streaming_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rop_cache.dir/cache/llc.cpp.o"
+  "CMakeFiles/rop_cache.dir/cache/llc.cpp.o.d"
+  "librop_cache.a"
+  "librop_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rop_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

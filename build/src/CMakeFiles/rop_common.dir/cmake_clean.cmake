@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rop_common.dir/common/stats.cpp.o"
+  "CMakeFiles/rop_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/rop_common.dir/common/table.cpp.o"
+  "CMakeFiles/rop_common.dir/common/table.cpp.o.d"
+  "librop_common.a"
+  "librop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

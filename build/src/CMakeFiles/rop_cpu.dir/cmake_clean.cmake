@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rop_cpu.dir/cpu/core.cpp.o"
+  "CMakeFiles/rop_cpu.dir/cpu/core.cpp.o.d"
+  "CMakeFiles/rop_cpu.dir/cpu/system.cpp.o"
+  "CMakeFiles/rop_cpu.dir/cpu/system.cpp.o.d"
+  "librop_cpu.a"
+  "librop_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rop_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rop_dram.dir/dram/bank.cpp.o"
+  "CMakeFiles/rop_dram.dir/dram/bank.cpp.o.d"
+  "CMakeFiles/rop_dram.dir/dram/channel.cpp.o"
+  "CMakeFiles/rop_dram.dir/dram/channel.cpp.o.d"
+  "CMakeFiles/rop_dram.dir/dram/rank.cpp.o"
+  "CMakeFiles/rop_dram.dir/dram/rank.cpp.o.d"
+  "CMakeFiles/rop_dram.dir/dram/timing.cpp.o"
+  "CMakeFiles/rop_dram.dir/dram/timing.cpp.o.d"
+  "librop_dram.a"
+  "librop_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rop_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rop_energy.dir/energy/dram_power.cpp.o"
+  "CMakeFiles/rop_energy.dir/energy/dram_power.cpp.o.d"
+  "librop_energy.a"
+  "librop_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rop_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

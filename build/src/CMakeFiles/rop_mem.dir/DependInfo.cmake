@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_map.cpp" "src/CMakeFiles/rop_mem.dir/mem/address_map.cpp.o" "gcc" "src/CMakeFiles/rop_mem.dir/mem/address_map.cpp.o.d"
+  "/root/repo/src/mem/controller.cpp" "src/CMakeFiles/rop_mem.dir/mem/controller.cpp.o" "gcc" "src/CMakeFiles/rop_mem.dir/mem/controller.cpp.o.d"
+  "/root/repo/src/mem/memory_system.cpp" "src/CMakeFiles/rop_mem.dir/mem/memory_system.cpp.o" "gcc" "src/CMakeFiles/rop_mem.dir/mem/memory_system.cpp.o.d"
+  "/root/repo/src/mem/refresh_manager.cpp" "src/CMakeFiles/rop_mem.dir/mem/refresh_manager.cpp.o" "gcc" "src/CMakeFiles/rop_mem.dir/mem/refresh_manager.cpp.o.d"
+  "/root/repo/src/mem/scheduler.cpp" "src/CMakeFiles/rop_mem.dir/mem/scheduler.cpp.o" "gcc" "src/CMakeFiles/rop_mem.dir/mem/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rop_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rop_mem.dir/mem/address_map.cpp.o"
+  "CMakeFiles/rop_mem.dir/mem/address_map.cpp.o.d"
+  "CMakeFiles/rop_mem.dir/mem/controller.cpp.o"
+  "CMakeFiles/rop_mem.dir/mem/controller.cpp.o.d"
+  "CMakeFiles/rop_mem.dir/mem/memory_system.cpp.o"
+  "CMakeFiles/rop_mem.dir/mem/memory_system.cpp.o.d"
+  "CMakeFiles/rop_mem.dir/mem/refresh_manager.cpp.o"
+  "CMakeFiles/rop_mem.dir/mem/refresh_manager.cpp.o.d"
+  "CMakeFiles/rop_mem.dir/mem/scheduler.cpp.o"
+  "CMakeFiles/rop_mem.dir/mem/scheduler.cpp.o.d"
+  "librop_mem.a"
+  "librop_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rop_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librop_mem.a"
+)

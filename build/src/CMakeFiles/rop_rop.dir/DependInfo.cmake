@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rop/pattern_profiler.cpp" "src/CMakeFiles/rop_rop.dir/rop/pattern_profiler.cpp.o" "gcc" "src/CMakeFiles/rop_rop.dir/rop/pattern_profiler.cpp.o.d"
+  "/root/repo/src/rop/prediction_table.cpp" "src/CMakeFiles/rop_rop.dir/rop/prediction_table.cpp.o" "gcc" "src/CMakeFiles/rop_rop.dir/rop/prediction_table.cpp.o.d"
+  "/root/repo/src/rop/prefetcher.cpp" "src/CMakeFiles/rop_rop.dir/rop/prefetcher.cpp.o" "gcc" "src/CMakeFiles/rop_rop.dir/rop/prefetcher.cpp.o.d"
+  "/root/repo/src/rop/rop_engine.cpp" "src/CMakeFiles/rop_rop.dir/rop/rop_engine.cpp.o" "gcc" "src/CMakeFiles/rop_rop.dir/rop/rop_engine.cpp.o.d"
+  "/root/repo/src/rop/sram_buffer.cpp" "src/CMakeFiles/rop_rop.dir/rop/sram_buffer.cpp.o" "gcc" "src/CMakeFiles/rop_rop.dir/rop/sram_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rop_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rop_rop.dir/rop/pattern_profiler.cpp.o"
+  "CMakeFiles/rop_rop.dir/rop/pattern_profiler.cpp.o.d"
+  "CMakeFiles/rop_rop.dir/rop/prediction_table.cpp.o"
+  "CMakeFiles/rop_rop.dir/rop/prediction_table.cpp.o.d"
+  "CMakeFiles/rop_rop.dir/rop/prefetcher.cpp.o"
+  "CMakeFiles/rop_rop.dir/rop/prefetcher.cpp.o.d"
+  "CMakeFiles/rop_rop.dir/rop/rop_engine.cpp.o"
+  "CMakeFiles/rop_rop.dir/rop/rop_engine.cpp.o.d"
+  "CMakeFiles/rop_rop.dir/rop/sram_buffer.cpp.o"
+  "CMakeFiles/rop_rop.dir/rop/sram_buffer.cpp.o.d"
+  "librop_rop.a"
+  "librop_rop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rop_rop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

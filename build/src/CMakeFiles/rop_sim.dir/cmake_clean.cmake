@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rop_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/rop_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/rop_sim.dir/sim/presets.cpp.o"
+  "CMakeFiles/rop_sim.dir/sim/presets.cpp.o.d"
+  "librop_sim.a"
+  "librop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

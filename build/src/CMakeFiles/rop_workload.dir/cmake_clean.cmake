@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rop_workload.dir/workload/spec_profiles.cpp.o"
+  "CMakeFiles/rop_workload.dir/workload/spec_profiles.cpp.o.d"
+  "CMakeFiles/rop_workload.dir/workload/synthetic.cpp.o"
+  "CMakeFiles/rop_workload.dir/workload/synthetic.cpp.o.d"
+  "CMakeFiles/rop_workload.dir/workload/trace_io.cpp.o"
+  "CMakeFiles/rop_workload.dir/workload/trace_io.cpp.o.d"
+  "librop_workload.a"
+  "librop_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rop_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

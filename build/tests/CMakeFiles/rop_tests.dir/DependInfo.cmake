@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_map.cpp" "tests/CMakeFiles/rop_tests.dir/test_address_map.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_address_map.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/rop_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_controller.cpp" "tests/CMakeFiles/rop_tests.dir/test_controller.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_controller.cpp.o.d"
+  "/root/repo/tests/test_controller_dynamics.cpp" "tests/CMakeFiles/rop_tests.dir/test_controller_dynamics.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_controller_dynamics.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/rop_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_dram_bank.cpp" "tests/CMakeFiles/rop_tests.dir/test_dram_bank.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_dram_bank.cpp.o.d"
+  "/root/repo/tests/test_dram_channel.cpp" "tests/CMakeFiles/rop_tests.dir/test_dram_channel.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_dram_channel.cpp.o.d"
+  "/root/repo/tests/test_dram_rank.cpp" "tests/CMakeFiles/rop_tests.dir/test_dram_rank.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_dram_rank.cpp.o.d"
+  "/root/repo/tests/test_dram_timing.cpp" "tests/CMakeFiles/rop_tests.dir/test_dram_timing.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_dram_timing.cpp.o.d"
+  "/root/repo/tests/test_energy.cpp" "tests/CMakeFiles/rop_tests.dir/test_energy.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_energy.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/rop_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/rop_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_llc.cpp" "tests/CMakeFiles/rop_tests.dir/test_llc.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_llc.cpp.o.d"
+  "/root/repo/tests/test_memory_system.cpp" "tests/CMakeFiles/rop_tests.dir/test_memory_system.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_memory_system.cpp.o.d"
+  "/root/repo/tests/test_multichannel.cpp" "tests/CMakeFiles/rop_tests.dir/test_multichannel.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_multichannel.cpp.o.d"
+  "/root/repo/tests/test_pattern_profiler.cpp" "tests/CMakeFiles/rop_tests.dir/test_pattern_profiler.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_pattern_profiler.cpp.o.d"
+  "/root/repo/tests/test_prediction_table.cpp" "tests/CMakeFiles/rop_tests.dir/test_prediction_table.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_prediction_table.cpp.o.d"
+  "/root/repo/tests/test_prefetcher.cpp" "tests/CMakeFiles/rop_tests.dir/test_prefetcher.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_prefetcher.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/rop_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_refresh_manager.cpp" "tests/CMakeFiles/rop_tests.dir/test_refresh_manager.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_refresh_manager.cpp.o.d"
+  "/root/repo/tests/test_refresh_policies.cpp" "tests/CMakeFiles/rop_tests.dir/test_refresh_policies.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_refresh_policies.cpp.o.d"
+  "/root/repo/tests/test_refresh_segments.cpp" "tests/CMakeFiles/rop_tests.dir/test_refresh_segments.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_refresh_segments.cpp.o.d"
+  "/root/repo/tests/test_refresh_stats.cpp" "tests/CMakeFiles/rop_tests.dir/test_refresh_stats.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_refresh_stats.cpp.o.d"
+  "/root/repo/tests/test_rop_engine.cpp" "tests/CMakeFiles/rop_tests.dir/test_rop_engine.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_rop_engine.cpp.o.d"
+  "/root/repo/tests/test_rop_multirank.cpp" "tests/CMakeFiles/rop_tests.dir/test_rop_multirank.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_rop_multirank.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/rop_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_sram_buffer.cpp" "tests/CMakeFiles/rop_tests.dir/test_sram_buffer.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_sram_buffer.cpp.o.d"
+  "/root/repo/tests/test_synthetic.cpp" "tests/CMakeFiles/rop_tests.dir/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_synthetic.cpp.o.d"
+  "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/rop_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_system.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/rop_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/rop_tests.dir/test_trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_rop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ropsim.dir/ropsim.cpp.o"
+  "CMakeFiles/ropsim.dir/ropsim.cpp.o.d"
+  "ropsim"
+  "ropsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ropsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
