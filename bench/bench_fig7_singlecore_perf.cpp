@@ -10,31 +10,45 @@ int main() {
   using namespace rop;
   const std::uint64_t instr = bench::instructions_per_core(20'000'000);
   const std::uint32_t capacities[] = {16, 32, 64, 128};
+  const std::size_t per_bench = 2 + std::size(capacities);
+
+  // One flat spec list — baseline, the four ROP capacities, and the
+  // no-refresh ideal per benchmark — handed to the parallel runner.
+  // Results come back in spec order regardless of worker count.
+  std::vector<sim::ExperimentSpec> specs;
+  for (const auto name : workload::kBenchmarkNames) {
+    specs.push_back(bench::bench_spec(std::string(name),
+                                      sim::MemoryMode::kBaseline, instr));
+    for (const std::uint32_t cap : capacities) {
+      sim::ExperimentSpec spec = bench::bench_spec(
+          std::string(name), sim::MemoryMode::kRop, instr);
+      spec.rop.buffer_lines = cap;
+      specs.push_back(spec);
+    }
+    specs.push_back(bench::bench_spec(std::string(name),
+                                      sim::MemoryMode::kNoRefresh, instr));
+  }
+  const std::vector<sim::ExperimentResult> results =
+      sim::run_experiments(specs, bench::bench_threads());
 
   TextTable table("Fig. 7 — single-core IPC normalized to baseline");
   table.set_header({"benchmark", "ROP-16", "ROP-32", "ROP-64", "ROP-128",
                     "no-refresh"});
 
   std::vector<double> gains64;
+  std::size_t at = 0;
   for (const auto name : workload::kBenchmarkNames) {
-    const auto base = sim::run_experiment(
-        bench::bench_spec(std::string(name), sim::MemoryMode::kBaseline,
-                          instr));
+    const sim::ExperimentResult& base = results[at];
     std::vector<std::string> row{std::string(name)};
-    for (const std::uint32_t cap : capacities) {
-      sim::ExperimentSpec spec = bench::bench_spec(
-          std::string(name), sim::MemoryMode::kRop, instr);
-      spec.rop.buffer_lines = cap;
-      const auto rop = sim::run_experiment(spec);
-      const double norm = rop.ipc() / base.ipc();
-      if (cap == 64) gains64.push_back(norm);
+    for (std::size_t c = 0; c < std::size(capacities); ++c) {
+      const double norm = results[at + 1 + c].ipc() / base.ipc();
+      if (capacities[c] == 64) gains64.push_back(norm);
       row.push_back(TextTable::fmt(norm, 4));
     }
-    const auto ideal = sim::run_experiment(
-        bench::bench_spec(std::string(name), sim::MemoryMode::kNoRefresh,
-                          instr));
+    const sim::ExperimentResult& ideal = results[at + per_bench - 1];
     row.push_back(TextTable::fmt(ideal.ipc() / base.ipc(), 4));
     table.add_row(std::move(row));
+    at += per_bench;
   }
   table.print();
 

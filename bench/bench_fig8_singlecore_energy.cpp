@@ -10,20 +10,31 @@ int main() {
   using namespace rop;
   const std::uint64_t instr = bench::instructions_per_core(20'000'000);
 
+  // Three specs per benchmark (baseline, ROP-64, no-refresh), run through
+  // the parallel runner; results are ordered like the specs.
+  std::vector<sim::ExperimentSpec> specs;
+  for (const auto name : workload::kBenchmarkNames) {
+    specs.push_back(bench::bench_spec(std::string(name),
+                                      sim::MemoryMode::kBaseline, instr));
+    specs.push_back(
+        bench::bench_spec(std::string(name), sim::MemoryMode::kRop, instr));
+    specs.push_back(bench::bench_spec(std::string(name),
+                                      sim::MemoryMode::kNoRefresh, instr));
+  }
+  const std::vector<sim::ExperimentResult> results =
+      sim::run_experiments(specs, bench::bench_threads());
+
   TextTable table("Fig. 8 — single-core energy normalized to baseline");
   table.set_header({"benchmark", "baseline (mJ)", "ROP-64", "no-refresh",
                     "ROP sram (mJ)"});
 
   std::vector<double> savings;
+  std::size_t at = 0;
   for (const auto name : workload::kBenchmarkNames) {
-    const auto base = sim::run_experiment(
-        bench::bench_spec(std::string(name), sim::MemoryMode::kBaseline,
-                          instr));
-    const auto rop = sim::run_experiment(
-        bench::bench_spec(std::string(name), sim::MemoryMode::kRop, instr));
-    const auto ideal = sim::run_experiment(
-        bench::bench_spec(std::string(name), sim::MemoryMode::kNoRefresh,
-                          instr));
+    const sim::ExperimentResult& base = results[at];
+    const sim::ExperimentResult& rop = results[at + 1];
+    const sim::ExperimentResult& ideal = results[at + 2];
+    at += 3;
     const double norm = rop.total_energy_mj() / base.total_energy_mj();
     savings.push_back(1.0 - norm);
     table.add_row({std::string(name),

@@ -90,6 +90,103 @@ void BM_WindowCorrelator(benchmark::State& state) {
 }
 BENCHMARK(BM_WindowCorrelator);
 
+void BM_StatRegistryCounterLookup(benchmark::State& state) {
+  // Cost of one string-keyed counter lookup + increment — what every
+  // completed event used to pay before the handle API.
+  StatRegistry stats;
+  stats.counter("mem.reads");
+  stats.counter("mem.writes");
+  stats.counter("rop.buffer_fills");
+  for (auto _ : state) {
+    stats.counter("mem.reads").inc();
+    benchmark::DoNotOptimize(&stats);
+  }
+}
+BENCHMARK(BM_StatRegistryCounterLookup);
+
+void BM_StatRegistryHandleInc(benchmark::State& state) {
+  // Same increment through a cached handle — the pattern all hot paths use
+  // now (resolve once at construction, pointer-bump per event).
+  StatRegistry stats;
+  Counter* reads = stats.counter_handle("mem.reads");
+  stats.counter("mem.writes");
+  stats.counter("rop.buffer_fills");
+  for (auto _ : state) {
+    reads->inc();
+    benchmark::DoNotOptimize(&stats);
+  }
+}
+BENCHMARK(BM_StatRegistryHandleInc);
+
+mem::Request make_request(std::uint64_t line, mem::ReqType type,
+                          const dram::DramOrganization& org) {
+  mem::Request r;
+  r.type = type;
+  r.line_addr = line << kLineShift;
+  r.coord.rank = static_cast<RankId>(line % org.ranks);
+  r.coord.bank = static_cast<BankId>((line / org.ranks) % org.banks);
+  r.coord.row = static_cast<RowId>(line / 1024);
+  r.coord.column = static_cast<ColumnId>(line % 128);
+  return r;
+}
+
+void BM_ControllerEnqueueComplete(benchmark::State& state) {
+  // The demand enqueue/complete hot loop: a steady read stream mixed with
+  // writes that coalesce and reads that forward from the write queue.
+  // Stresses per-event stat accounting and the write-queue lookup paths.
+  const dram::DramTimings t = dram::make_ddr4_1600_timings();
+  dram::DramOrganization org;
+  org.ranks = 4;
+  mem::ControllerConfig cfg;
+  cfg.refresh_enabled = false;
+  StatRegistry stats;
+  mem::Controller ctrl(0, t, org, cfg, &stats);
+  Cycle now = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    mem::Request req;
+    if (i % 4 == 3) {
+      // Writes cycle over a 64-line pool: repeats coalesce.
+      req = make_request(1'000'000 + i % 64, mem::ReqType::kWrite, org);
+    } else if (i % 16 == 1) {
+      // Reads into the write pool: read-after-write forwarding.
+      req = make_request(1'000'000 + i % 64, mem::ReqType::kRead, org);
+    } else {
+      req = make_request(i, mem::ReqType::kRead, org);
+    }
+    if (ctrl.can_accept(req.type)) ctrl.enqueue(req, now);
+    ctrl.tick(now);
+    benchmark::DoNotOptimize(ctrl.drain_completed());
+    ++now;
+    ++i;
+  }
+}
+BENCHMARK(BM_ControllerEnqueueComplete);
+
+void BM_ControllerPendingDemand(benchmark::State& state) {
+  // pending_demand() is called on every refresh-management tick; the seed
+  // implementation scanned both queues per call.
+  const dram::DramTimings t = dram::make_ddr4_1600_timings();
+  dram::DramOrganization org;
+  org.ranks = 4;
+  mem::ControllerConfig cfg;
+  cfg.refresh_enabled = false;
+  StatRegistry stats;
+  mem::Controller ctrl(0, t, org, cfg, &stats);
+  for (std::uint64_t i = 0; i < 56; ++i) {
+    ctrl.enqueue(make_request(i, mem::ReqType::kRead, org), 0);
+  }
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    ctrl.enqueue(make_request(500'000 + i, mem::ReqType::kWrite, org), 0);
+  }
+  RankId r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctrl.pending_demand(r));
+    r = (r + 1) % org.ranks;
+  }
+}
+BENCHMARK(BM_ControllerPendingDemand);
+
 void BM_MemorySystemTick(benchmark::State& state) {
   // End-to-end controller tick rate under a steady read stream.
   mem::MemoryConfig cfg;

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "common/table.h"
-#include "sim/experiment.h"
+#include "sim/runner.h"
 #include "workload/spec_profiles.h"
 
 namespace rop::bench {
@@ -24,6 +24,16 @@ inline std::uint64_t instructions_per_core(std::uint64_t fallback) {
     if (v > 0) return v;
   }
   return fallback;
+}
+
+/// Worker count for sim::run_experiments in the figure harnesses. Defaults
+/// to one thread per hardware thread; ROP_BENCH_THREADS overrides (1 forces
+/// the serial path).
+inline unsigned bench_threads() {
+  if (const char* env = std::getenv("ROP_BENCH_THREADS")) {
+    return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  return 0;
 }
 
 inline double geomean(const std::vector<double>& xs) {

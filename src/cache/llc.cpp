@@ -41,8 +41,16 @@ bool Llc::contains(Address addr) const {
   return false;
 }
 
+void Llc::bind_stats(StatRegistry& registry, const std::string& prefix) {
+  h_.accesses = registry.counter_handle(prefix + "accesses");
+  h_.hits = registry.counter_handle(prefix + "hits");
+  h_.misses = registry.counter_handle(prefix + "misses");
+  h_.writebacks = registry.counter_handle(prefix + "writebacks");
+}
+
 LlcAccessResult Llc::access(Address addr, bool is_write) {
   ++stats_.accesses;
+  if (h_.accesses != nullptr) h_.accesses->inc();
   ++clock_;
   const std::uint32_t set = set_index(addr);
   const std::uint64_t tag = tag_of(addr);
@@ -51,6 +59,7 @@ LlcAccessResult Llc::access(Address addr, bool is_write) {
   for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
     if (base[w].valid && base[w].tag == tag) {
       ++stats_.hits;
+      if (h_.hits != nullptr) h_.hits->inc();
       base[w].lru = clock_;
       if (is_write) base[w].dirty = true;
       return LlcAccessResult{true, std::nullopt};
@@ -58,6 +67,7 @@ LlcAccessResult Llc::access(Address addr, bool is_write) {
   }
 
   ++stats_.misses;
+  if (h_.misses != nullptr) h_.misses->inc();
   // Victim: first invalid way, else LRU.
   Way* victim = base;
   for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
@@ -71,6 +81,7 @@ LlcAccessResult Llc::access(Address addr, bool is_write) {
   LlcAccessResult result{false, std::nullopt};
   if (victim->valid && victim->dirty) {
     ++stats_.writebacks;
+    if (h_.writebacks != nullptr) h_.writebacks->inc();
     const Address victim_line =
         (victim->tag * num_sets_ + set) << kLineShift;
     result.writeback = victim_line;

@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/types.h"
 
 namespace rop::cache {
@@ -50,6 +52,11 @@ class Llc {
   /// Probe without allocation or LRU update.
   [[nodiscard]] bool contains(Address addr) const;
 
+  /// Mirror this cache's event counts into `registry` under
+  /// `prefix` + {accesses,hits,misses,writebacks}. Handles are resolved
+  /// here, once; access() then bumps them by pointer.
+  void bind_stats(StatRegistry& registry, const std::string& prefix);
+
   [[nodiscard]] const LlcStats& stats() const { return stats_; }
   [[nodiscard]] std::uint32_t num_sets() const { return num_sets_; }
   [[nodiscard]] const LlcConfig& config() const { return cfg_; }
@@ -67,11 +74,19 @@ class Llc {
   [[nodiscard]] std::uint32_t set_index(Address addr) const;
   [[nodiscard]] std::uint64_t tag_of(Address addr) const;
 
+  struct StatHandles {
+    Counter* accesses = nullptr;
+    Counter* hits = nullptr;
+    Counter* misses = nullptr;
+    Counter* writebacks = nullptr;
+  };
+
   LlcConfig cfg_;
   std::uint32_t num_sets_;
   std::vector<Way> ways_;  // num_sets_ * associativity, row-major by set
   std::uint64_t clock_ = 0;
   LlcStats stats_;
+  StatHandles h_;  // null until bind_stats
 };
 
 }  // namespace rop::cache

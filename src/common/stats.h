@@ -115,6 +115,22 @@ class StatRegistry {
   Histogram& histogram(const std::string& name, std::uint64_t bucket_width,
                        std::size_t num_buckets);
 
+  /// Handle registration: resolve a name once (at construction time) and get
+  /// a stable pointer for the hot path. The registry's node-based maps keep
+  /// handles valid across later registrations. Hot-path code must use these —
+  /// never a string-keyed lookup per event.
+  [[nodiscard]] Counter* counter_handle(const std::string& name) {
+    return &counter(name);
+  }
+  [[nodiscard]] Scalar* scalar_handle(const std::string& name) {
+    return &scalar(name);
+  }
+  [[nodiscard]] Histogram* histogram_handle(const std::string& name,
+                                            std::uint64_t bucket_width,
+                                            std::size_t num_buckets) {
+    return &histogram(name, bucket_width, num_buckets);
+  }
+
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
   [[nodiscard]] const Scalar* find_scalar(const std::string& name) const;
   [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;

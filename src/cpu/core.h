@@ -78,10 +78,27 @@ class Core {
     }
   }
 
+  /// True while retirement is blocked on an outstanding critical load. In
+  /// this state cycle() is a pure stall (cycles and stall_cycles advance,
+  /// nothing else), which is what makes frozen-cycle fast-forward exact.
+  [[nodiscard]] bool stalled_on_memory() const {
+    return critical_pending_.has_value();
+  }
+
+  /// Account `n` cycles of memory stall in one step — exactly equivalent to
+  /// calling cycle() `n` times while stalled_on_memory() holds. Only the
+  /// System's fast-forward may call this.
+  void skip_stalled_cycles(std::uint64_t n) {
+    ROP_ASSERT(stalled_on_memory());
+    stats_.cycles += n;
+    stats_.stall_cycles += n;
+  }
+
   [[nodiscard]] const CoreStats& stats() const { return stats_; }
   [[nodiscard]] CoreId id() const { return id_; }
   [[nodiscard]] std::uint32_t outstanding() const { return outstanding_; }
   [[nodiscard]] const cache::Llc& llc() const { return private_llc_; }
+  [[nodiscard]] cache::Llc& private_llc() { return private_llc_; }
 
  private:
   /// Attempt the memory operation of the current record. Returns true when

@@ -1,5 +1,8 @@
 #include "cpu/system.h"
 
+#include <algorithm>
+#include <string>
+
 namespace rop::cpu {
 
 System::System(const SystemConfig& cfg, mem::MemorySystem& memory,
@@ -7,14 +10,38 @@ System::System(const SystemConfig& cfg, mem::MemorySystem& memory,
     : cfg_(cfg), memory_(memory), shared_llc_(cfg.llc) {
   ROP_ASSERT(!traces.empty());
   ROP_ASSERT(cfg.cpu_ratio >= 1);
+  StatRegistry& reg = *memory_.stats();
   const bool share = cfg.shared_llc && traces.size() > 1;
+  if (share) shared_llc_.bind_stats(reg, "llc.");
   cores_.reserve(traces.size());
+  core_stat_handles_.reserve(traces.size());
   for (CoreId c = 0; c < traces.size(); ++c) {
     ROP_ASSERT(traces[c] != nullptr);
     cores_.push_back(
         std::make_unique<Core>(c, cfg.core, cfg.llc, *traces[c], *this));
-    if (share) cores_.back()->set_shared_llc(&shared_llc_);
+    if (share) {
+      cores_.back()->set_shared_llc(&shared_llc_);
+    } else {
+      cores_.back()->private_llc().bind_stats(
+          reg, "core" + std::to_string(c) + ".llc.");
+    }
+    const std::string prefix = "core" + std::to_string(c) + ".";
+    CoreStatHandles h;
+    h.instructions = reg.counter_handle(prefix + "instructions");
+    h.cycles = reg.counter_handle(prefix + "cycles");
+    h.stall_cycles = reg.counter_handle(prefix + "stall_cycles");
+    h.mem_reads = reg.counter_handle(prefix + "mem_reads");
+    h.mem_fills = reg.counter_handle(prefix + "mem_fills");
+    h.mem_writebacks = reg.counter_handle(prefix + "mem_writebacks");
+    core_stat_handles_.push_back(h);
   }
+}
+
+bool System::all_cores_stalled() const {
+  for (const auto& core : cores_) {
+    if (!core->stalled_on_memory()) return false;
+  }
+  return true;
 }
 
 Address System::relocate(CoreId core, Address local) const {
@@ -55,8 +82,17 @@ RunResult System::run(std::uint64_t target_instructions,
   std::vector<bool> crossed(cores_.size(), false);
   std::size_t remaining = cores_.size();
 
+  // The last CPU cycle whose memory tick the naive loop would execute.
+  // Fast-forward never skips past it, so the end-of-run listener tick (and
+  // its lazy delta accounting, e.g. SRAM-on time) lands on the same cycle
+  // as in the naive loop.
+  const std::uint64_t last_tick_cycle =
+      max_cpu_cycles == 0
+          ? 0
+          : ((max_cpu_cycles - 1) / cfg_.cpu_ratio) * cfg_.cpu_ratio;
+
   std::uint64_t cpu_cycle = 0;
-  for (; cpu_cycle < max_cpu_cycles && remaining > 0; ++cpu_cycle) {
+  while (cpu_cycle < max_cpu_cycles && remaining > 0) {
     if (cpu_cycle % cfg_.cpu_ratio == 0) {
       mem_now_ = cpu_cycle / cfg_.cpu_ratio;
       memory_.tick(mem_now_);
@@ -79,6 +115,25 @@ RunResult System::run(std::uint64_t target_instructions,
         r.mem_writebacks = s.mem_writebacks;
       }
     }
+    ++cpu_cycle;
+
+    // Frozen-cycle fast-forward: with every core blocked on a critical
+    // load, nothing can retire and no new request can arrive, so every CPU
+    // cycle before the memory's next event is a pure stall and every
+    // intermediate memory tick a no-op. Jump straight to the event instead
+    // of spinning through the frozen cycles.
+    if (!cfg_.fast_forward || remaining == 0 || !all_cores_stalled()) {
+      continue;
+    }
+    const Cycle next_mem = memory_.next_event_cycle(mem_now_);
+    std::uint64_t target = last_tick_cycle;
+    if (next_mem <= last_tick_cycle / cfg_.cpu_ratio) {
+      target = next_mem * cfg_.cpu_ratio;
+    }
+    if (target <= cpu_cycle) continue;
+    const std::uint64_t skip = target - cpu_cycle;
+    for (auto& core : cores_) core->skip_stalled_cycles(skip);
+    cpu_cycle += skip;
   }
 
   result.hit_cycle_limit = remaining > 0;
@@ -92,6 +147,19 @@ RunResult System::run(std::uint64_t target_instructions,
     r.ipc = s.ipc();
     r.mem_reads = s.mem_reads + s.mem_fills;
     r.mem_writebacks = s.mem_writebacks;
+  }
+
+  // Mirror the final per-core counters into the registry (handles resolved
+  // at construction). run() is called once per System.
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    const CoreStats& s = cores_[c]->stats();
+    const CoreStatHandles& h = core_stat_handles_[c];
+    h.instructions->inc(s.instructions);
+    h.cycles->inc(s.cycles);
+    h.stall_cycles->inc(s.stall_cycles);
+    h.mem_reads->inc(s.mem_reads);
+    h.mem_fills->inc(s.mem_fills);
+    h.mem_writebacks->inc(s.mem_writebacks);
   }
 
   result.cpu_cycles = cpu_cycle;

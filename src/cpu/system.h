@@ -22,6 +22,11 @@ struct SystemConfig {
   cache::LlcConfig llc{};
   bool shared_llc = true;   // multi-core: one LLC shared by all cores
   bool rank_partition = false;  // paper §IV-A rank-aware mapping
+  /// Frozen-cycle fast-forward: when every core is stalled on memory, jump
+  /// the CPU clock to the next memory event instead of spinning. Results
+  /// are bit-identical to the naive loop (enforced by the determinism
+  /// test); set false to run the naive loop for cross-checking.
+  bool fast_forward = true;
 };
 
 /// Per-core results frozen the cycle the core crossed its instruction
@@ -72,10 +77,26 @@ class System final : public MemoryPort {
   /// Relocate a core-local address into the physical address space.
   [[nodiscard]] Address relocate(CoreId core, Address local) const;
 
+  /// True when every core is blocked on an outstanding critical load —
+  /// the "frozen cycles" of the paper's title.
+  [[nodiscard]] bool all_cores_stalled() const;
+
+  /// Per-core registry mirrors ("coreN.*"), resolved at construction and
+  /// published once at the end of run().
+  struct CoreStatHandles {
+    Counter* instructions = nullptr;
+    Counter* cycles = nullptr;
+    Counter* stall_cycles = nullptr;
+    Counter* mem_reads = nullptr;
+    Counter* mem_fills = nullptr;
+    Counter* mem_writebacks = nullptr;
+  };
+
   SystemConfig cfg_;
   mem::MemorySystem& memory_;
   cache::Llc shared_llc_;
   std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<CoreStatHandles> core_stat_handles_;
   Cycle mem_now_ = 0;
 };
 

@@ -23,14 +23,14 @@ Cycle Channel::data_bus_free(CmdType type, RankId rank) const {
 }
 
 bool Channel::can_issue(const Command& cmd, Cycle now) const {
-  const Rank& rank = ranks_.at(cmd.coord.rank);
-  if (!rank.can_issue(cmd, now)) return false;
+  // Data-bus occupancy first: it is the cheapest check and, on a saturated
+  // bus, the one that vetoes almost every candidate the scheduler probes.
   if (cmd.is_column()) {
     const Cycle data_start =
         cmd.type == CmdType::kRead ? now + t_.CL : now + t_.CWL;
     if (data_start < data_bus_free(cmd.type, cmd.coord.rank)) return false;
   }
-  return true;
+  return ranks_.at(cmd.coord.rank).can_issue(cmd, now);
 }
 
 Cycle Channel::issue(const Command& cmd, Cycle now) {

@@ -87,6 +87,7 @@ void Rank::issue(const Command& cmd, Cycle now) {
     case CmdType::kRefreshBank:
       bank.issue(CmdType::kRefreshBank, 0, now, t_);
       activity_.bank_refresh_cycles += t_.tRFCpb;
+      pb_refreshing_ = true;
       break;
   }
 }
@@ -100,20 +101,26 @@ void Rank::begin_refresh_segment(Cycle now, Cycle duration) {
 }
 
 void Rank::tick(Cycle now) {
-  if (refreshing_ && now >= refresh_done_) {
-    account_until(refresh_done_);
-    refreshing_ = false;
-    for (Bank& b : banks_) b.complete_refresh(refresh_done_);
+  if (refreshing_) {
+    if (now >= refresh_done_) {
+      account_until(refresh_done_);
+      refreshing_ = false;
+      for (Bank& b : banks_) b.complete_refresh(refresh_done_);
+    }
     return;
   }
-  if (!refreshing_) {
-    // Release any per-bank refresh locks that have elapsed (REFpb).
-    for (Bank& b : banks_) {
-      if (b.state() == BankState::kRefreshing && now >= b.next_activate()) {
-        b.complete_refresh(b.next_activate());
-      }
+  if (!pb_refreshing_) return;
+  // Release any per-bank refresh locks that have elapsed (REFpb).
+  bool still_locked = false;
+  for (Bank& b : banks_) {
+    if (b.state() != BankState::kRefreshing) continue;
+    if (now >= b.next_activate()) {
+      b.complete_refresh(b.next_activate());
+    } else {
+      still_locked = true;
     }
   }
+  pb_refreshing_ = still_locked;
 }
 
 void Rank::settle_accounting(Cycle now) { account_until(now); }

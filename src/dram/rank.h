@@ -77,6 +77,9 @@ class Rank {
 
   bool refreshing_ = false;
   Cycle refresh_done_ = 0;
+  // At least one bank may hold a per-bank refresh lock (REFpb). Lets tick()
+  // skip the bank scan on the vast majority of cycles where none exists.
+  bool pb_refreshing_ = false;
 
   Cycle accounted_until_ = 0;
   RankActivity activity_;

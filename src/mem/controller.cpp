@@ -11,10 +11,14 @@ Controller::Controller(ChannelId id, const dram::DramTimings& timings,
     : id_(id),
       cfg_(cfg),
       channel_(timings, org),
-      rm_(timings, org.ranks, cfg.per_bank_refresh ? org.banks : 1),
+      rm_(timings, org.ranks, cfg.per_bank_refresh ? org.banks : 1, stats),
       scheduler_(cfg.sched),
       blocking_(org.ranks, timings.tRFC),
       stats_(stats),
+      pending_reads_(org.ranks, 0),
+      pending_writes_(org.ranks, 0),
+      queued_prefetches_(org.ranks, 0),
+      inflight_prefetches_(org.ranks, 0),
       phase_(org.ranks, RefreshPhase::kIdle),
       locked_at_(org.ranks, kNeverCycle),
       last_arrival_(org.ranks, 0),
@@ -25,12 +29,31 @@ Controller::Controller(ChannelId id, const dram::DramTimings& timings,
   // Per-bank refresh replaces the whole-rank policies.
   ROP_ASSERT(!cfg.per_bank_refresh ||
              cfg.policy == RefreshPolicy::kAutoRefresh);
+  h_.reads = stats->counter_handle("mem.reads");
+  h_.writes = stats->counter_handle("mem.writes");
+  h_.sram_serviced = stats->counter_handle("mem.sram_serviced");
+  h_.read_forwarded = stats->counter_handle("mem.read_forwarded");
+  h_.write_coalesced = stats->counter_handle("mem.write_coalesced");
+  h_.writes_issued = stats->counter_handle("mem.writes_issued");
+  h_.refreshes = stats->counter_handle("mem.refreshes");
+  h_.bank_refreshes = stats->counter_handle("mem.bank_refreshes");
+  h_.refresh_pauses = stats->counter_handle("mem.refresh_pauses");
+  h_.prefetch_enqueued = stats->counter_handle("rop.prefetch_enqueued");
+  h_.prefetch_issued = stats->counter_handle("rop.prefetch_issued");
+  h_.prefetch_dropped = stats->counter_handle("rop.prefetch_dropped");
+  h_.prefetch_dropped_queue_full =
+      stats->counter_handle("rop.prefetch_dropped_queue_full");
+  h_.prefetch_dropped_stale =
+      stats->counter_handle("rop.prefetch_dropped_stale");
+  h_.read_latency = stats->scalar_handle("mem.read_latency");
+  // 8-cycle buckets out to 1024 cycles (beyond 2x tRFC), overflow above.
+  h_.read_latency_hist =
+      stats->histogram_handle("mem.read_latency_hist", 8, 128);
 }
 
 void Controller::record_read_latency(Cycle latency) {
-  stats_->scalar("mem.read_latency").record(static_cast<double>(latency));
-  // 8-cycle buckets out to 1024 cycles (beyond 2x tRFC), overflow above.
-  stats_->histogram("mem.read_latency_hist", 8, 128).record(latency);
+  h_.read_latency->record(static_cast<double>(latency));
+  h_.read_latency_hist->record(latency);
 }
 
 bool Controller::can_accept(ReqType type) const {
@@ -47,55 +70,58 @@ bool Controller::can_accept(ReqType type) const {
 
 bool Controller::enqueue(Request req, Cycle now) {
   ROP_ASSERT(req.type != ReqType::kPrefetch);
+  // Admission control comes first: a rejected request must leave stats,
+  // arrival tracking, and listener/profiler state completely untouched —
+  // the caller retries the same request next cycle and it would otherwise
+  // be double-counted.
+  if (!can_accept(req.type)) return false;
   req.arrival = now;
-  last_arrival_.at(req.coord.rank) = now;
+  last_arrival_[req.coord.rank] = now;
+
   if (req.type == ReqType::kRead) {
-    stats_->counter("mem.reads").inc();
+    h_.reads->inc();
     blocking_.on_read_arrival(req.coord.rank, now);
-  } else {
-    stats_->counter("mem.writes").inc();
-  }
-
-  // The ROP engine observes every demand arrival; for reads it may service
-  // the request from the SRAM buffer while the rank is frozen.
-  if (listener_ != nullptr) {
-    if (const auto done = listener_->on_enqueue(req, now)) {
-      ROP_ASSERT(req.type == ReqType::kRead);
-      req.completion = *done;
-      req.serviced_by = ServicedBy::kSramBuffer;
-      stats_->counter("mem.sram_serviced").inc();
-      record_read_latency(*done - now);
-      completed_.push_back(req);
-      return true;
+    // The ROP engine observes every demand arrival; it may service a read
+    // from the SRAM buffer while the rank is frozen.
+    if (listener_ != nullptr) {
+      if (const auto done = listener_->on_enqueue(req, now)) {
+        req.completion = *done;
+        req.serviced_by = ServicedBy::kSramBuffer;
+        h_.sram_serviced->inc();
+        record_read_latency(*done - now);
+        completed_.push_back(req);
+        return true;
+      }
     }
-  }
-
-  if (req.type == ReqType::kRead) {
-    // Read-after-write forwarding from the write queue.
-    const auto hit = std::find_if(
-        write_q_.begin(), write_q_.end(),
-        [&req](const Request& w) { return w.line_addr == req.line_addr; });
-    if (hit != write_q_.end()) {
+    // Read-after-write forwarding: coalescing keeps at most one queued
+    // write per line, so set membership is exact.
+    if (write_index_.count(req.line_addr) != 0) {
       req.completion = now + 1;
       req.serviced_by = ServicedBy::kWriteForward;
-      stats_->counter("mem.read_forwarded").inc();
+      h_.read_forwarded->inc();
       record_read_latency(1);
       completed_.push_back(req);
       return true;
     }
-    if (read_q_.size() >= cfg_.sched.read_queue_capacity) return false;
     read_q_.push_back(req);
+    ++pending_reads_[req.coord.rank];
   } else {
-    if (write_q_.size() >= cfg_.sched.write_queue_capacity) return false;
-    // Coalesce repeated writes to the same line: keep the newest only.
-    const auto dup = std::find_if(
-        write_q_.begin(), write_q_.end(),
-        [&req](const Request& w) { return w.line_addr == req.line_addr; });
-    if (dup != write_q_.end()) {
-      stats_->counter("mem.write_coalesced").inc();
+    h_.writes->inc();
+    // Writes never complete through the listener, but it must still see the
+    // arrival to invalidate any buffered copy of the line.
+    if (listener_ != nullptr) {
+      const auto done = listener_->on_enqueue(req, now);
+      ROP_ASSERT(!done);
+    }
+    // Coalesce repeated writes to the same line: the queued entry (and its
+    // scheduler age) stands for the newest data.
+    if (write_index_.count(req.line_addr) != 0) {
+      h_.write_coalesced->inc();
       return true;
     }
     write_q_.push_back(req);
+    write_index_.insert(req.line_addr);
+    ++pending_writes_[req.coord.rank];
   }
   return true;
 }
@@ -103,34 +129,14 @@ bool Controller::enqueue(Request req, Cycle now) {
 bool Controller::enqueue_prefetch(Request req, Cycle now) {
   ROP_ASSERT(req.type == ReqType::kPrefetch);
   if (prefetch_q_.size() >= cfg_.sched.read_queue_capacity) {
-    stats_->counter("rop.prefetch_dropped_queue_full").inc();
+    h_.prefetch_dropped_queue_full->inc();
     return false;
   }
   req.arrival = now;
-  stats_->counter("rop.prefetch_enqueued").inc();
+  h_.prefetch_enqueued->inc();
   prefetch_q_.push_back(req);
+  ++queued_prefetches_[req.coord.rank];
   return true;
-}
-
-std::size_t Controller::pending_demand(RankId rank) const {
-  const auto in_rank = [rank](const Request& r) {
-    return r.coord.rank == rank;
-  };
-  return static_cast<std::size_t>(
-      std::count_if(read_q_.begin(), read_q_.end(), in_rank) +
-      std::count_if(write_q_.begin(), write_q_.end(), in_rank));
-}
-
-std::size_t Controller::pending_prefetches(RankId rank) const {
-  const auto in_rank = [rank](const Request& r) {
-    return r.coord.rank == rank;
-  };
-  return static_cast<std::size_t>(
-      std::count_if(prefetch_q_.begin(), prefetch_q_.end(), in_rank) +
-      std::count_if(in_flight_.begin(), in_flight_.end(),
-                    [&](const Request& r) {
-                      return r.type == ReqType::kPrefetch && in_rank(r);
-                    }));
 }
 
 std::size_t Controller::pending_drain(RankId rank) const {
@@ -147,7 +153,8 @@ std::size_t Controller::pending_drain(RankId rank) const {
 void Controller::drop_prefetches(RankId rank) {
   for (auto it = prefetch_q_.begin(); it != prefetch_q_.end();) {
     if (it->coord.rank == rank) {
-      stats_->counter("rop.prefetch_dropped").inc();
+      h_.prefetch_dropped->inc();
+      --queued_prefetches_[rank];
       it = prefetch_q_.erase(it);
     } else {
       ++it;
@@ -164,14 +171,11 @@ void Controller::complete_bursts(Cycle now) {
     Request req = *it;
     it = in_flight_.erase(it);
     if (req.type == ReqType::kPrefetch) {
+      --inflight_prefetches_[req.coord.rank];
       // Drop fills whose line has a newer pending write — the buffer must
       // never hold data staler than the write queue.
-      const bool stale = std::any_of(
-          write_q_.begin(), write_q_.end(), [&req](const Request& w) {
-            return w.line_addr == req.line_addr;
-          });
-      if (stale) {
-        stats_->counter("rop.prefetch_dropped_stale").inc();
+      if (write_index_.count(req.line_addr) != 0) {
+        h_.prefetch_dropped_stale->inc();
       } else if (listener_ != nullptr) {
         listener_->on_prefetch_filled(req, now);
       }
@@ -191,7 +195,7 @@ bool Controller::issue_refresh_commands(RankId r, Cycle now) {
     channel_.issue(ref, now);
     rm_.on_refresh_issued(r);
     blocking_.on_refresh_start(r, now);
-    stats_->counter("mem.refreshes").inc();
+    h_.refreshes->inc();
     phase_[r] = RefreshPhase::kIdle;
     locked_at_[r] = kNeverCycle;
     if (listener_ != nullptr) {
@@ -298,7 +302,7 @@ bool Controller::manage_refresh_pausing(Cycle now) {
     // resume pays the re-lock overhead.
     if (!urgent && pending_demand(r) > 0) {
       if (refresh_started_[r]) {
-        stats_->counter("mem.refresh_pauses").inc();
+        h_.refresh_pauses->inc();
         refresh_remaining_[r] += cfg_.pause_overhead;
         refresh_started_[r] = false;  // count one pause per gap
       }
@@ -335,7 +339,7 @@ bool Controller::manage_refresh_pausing(Cycle now) {
     refresh_remaining_[r] -= duration;
     if (refresh_remaining_[r] == 0) {
       rm_.on_refresh_issued(r);
-      stats_->counter("mem.refreshes").inc();
+      h_.refreshes->inc();
       refresh_started_[r] = false;
     }
     issued = true;
@@ -369,7 +373,7 @@ bool Controller::manage_refresh_per_bank(Cycle now) {
     if (channel_.can_issue(refpb, now)) {
       channel_.issue(refpb, now);
       rm_.on_refresh_issued(r);
-      stats_->counter("mem.bank_refreshes").inc();
+      h_.bank_refreshes->inc();
       next_refresh_bank_[r] =
           static_cast<BankId>((b + 1) % rank.num_banks());
       issued = true;
@@ -391,6 +395,15 @@ void Controller::issue_pick(const SchedulerPick& pick, Cycle now) {
   }
   Request req = (*q)[pick.request_index];
   q->erase(q->begin() + static_cast<std::ptrdiff_t>(pick.request_index));
+  switch (pick.queue_id) {
+    case 0: --pending_reads_[req.coord.rank]; break;
+    case 1:
+      --pending_writes_[req.coord.rank];
+      write_index_.erase(req.line_addr);
+      break;
+    case 2: --queued_prefetches_[req.coord.rank]; break;
+    default: break;
+  }
 
   if (req.type != ReqType::kPrefetch && listener_ != nullptr) {
     listener_->on_demand_serviced(req, now);
@@ -398,13 +411,14 @@ void Controller::issue_pick(const SchedulerPick& pick, Cycle now) {
 
   if (req.type == ReqType::kWrite) {
     // Writes are posted: the data burst retires silently.
-    stats_->counter("mem.writes_issued").inc();
+    h_.writes_issued->inc();
     return;
   }
   req.completion = done;
   in_flight_.push_back(req);
   if (req.type == ReqType::kPrefetch) {
-    stats_->counter("rop.prefetch_issued").inc();
+    ++inflight_prefetches_[req.coord.rank];
+    h_.prefetch_issued->inc();
   }
 }
 
@@ -442,18 +456,19 @@ void Controller::tick(Cycle now) {
   // Outside drain mode writes are only serviced when no read work exists at
   // all — opportunistic writes would otherwise pay bus-turnaround penalties
   // against latency-critical reads.
-  std::vector<QueueView> views;
-  views.reserve(3);
+  std::array<QueueView, 3> views;
+  std::size_t n_views = 0;
   if (draining_writes_) {
-    views.push_back(QueueView{&write_q_, 1});
-    views.push_back(QueueView{&read_q_, 0});
+    views[n_views++] = QueueView{&write_q_, 1};
+    views[n_views++] = QueueView{&read_q_, 0};
   } else {
-    views.push_back(QueueView{&read_q_, 0});
-    if (read_q_.empty()) views.push_back(QueueView{&write_q_, 1});
+    views[n_views++] = QueueView{&read_q_, 0};
+    if (read_q_.empty()) views[n_views++] = QueueView{&write_q_, 1};
   }
-  views.push_back(QueueView{&prefetch_q_, 2});
+  views[n_views++] = QueueView{&prefetch_q_, 2};
 
-  if (const auto pick = scheduler_.pick(views, channel_, now, blocked)) {
+  const std::span<const QueueView> view_span(views.data(), n_views);
+  if (const auto pick = scheduler_.pick(view_span, channel_, now, blocked)) {
     issue_pick(*pick, now);
   }
 }
@@ -479,9 +494,10 @@ void Controller::complete_matching_reads(
     }
     Request req = *it;
     it = read_q_.erase(it);
+    --pending_reads_[req.coord.rank];
     req.completion = *done;
     req.serviced_by = ServicedBy::kSramBuffer;
-    stats_->counter("mem.sram_serviced").inc();
+    h_.sram_serviced->inc();
     record_read_latency(req.completion - req.arrival);
     completed_.push_back(req);
   }
@@ -490,6 +506,48 @@ void Controller::complete_matching_reads(
 void Controller::finalize(Cycle now) {
   channel_.settle_accounting(now);
   blocking_.finalize();
+}
+
+Cycle Controller::next_event_cycle(Cycle now) const {
+  // Completed requests await drain on the very next tick.
+  if (!completed_.empty()) return now + 1;
+
+  const Cycle soonest = now + 1;
+  Cycle next = kNeverCycle;
+  const auto consider = [&next, soonest](Cycle c) {
+    next = std::min(next, std::max(c, soonest));
+  };
+
+  for (const Request& r : in_flight_) consider(r.completion);
+
+  for (RankId r = 0; r < channel_.num_ranks(); ++r) {
+    // An active drain/seal makes progress (or re-evaluates) every tick.
+    if (phase_[r] != RefreshPhase::kIdle) return soonest;
+    if (channel_.rank(r).refreshing()) {
+      consider(channel_.rank(r).refresh_done());
+    }
+  }
+
+  if (cfg_.refresh_enabled) {
+    for (RankId r = 0; r < channel_.num_ranks(); ++r) {
+      // A paused refresh or an owed one may act on any tick (elastic waits
+      // for an idle window, pausing for a demand gap) — stay conservative.
+      if (cfg_.policy == RefreshPolicy::kPausing && refresh_remaining_[r] > 0) {
+        return soonest;
+      }
+      if (rm_.owed(r, now) > 0) return soonest;
+      consider(rm_.next_event_cycle(r, now));
+    }
+  }
+
+  // Queued work for a rank that is not frozen can issue on any tick.
+  for (RankId r = 0; r < channel_.num_ranks(); ++r) {
+    if (channel_.rank(r).refreshing()) continue;
+    if (pending_reads_[r] + pending_writes_[r] + queued_prefetches_[r] > 0) {
+      return soonest;
+    }
+  }
+  return next;
 }
 
 }  // namespace rop::mem

@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "common/stats.h"
@@ -159,8 +160,12 @@ class Controller {
   [[nodiscard]] bool rank_unavailable(RankId rank) const {
     return rank_refreshing(rank) || rank_locked(rank);
   }
-  [[nodiscard]] std::size_t pending_demand(RankId rank) const;
-  [[nodiscard]] std::size_t pending_prefetches(RankId rank) const;
+  [[nodiscard]] std::size_t pending_demand(RankId rank) const {
+    return pending_reads_[rank] + pending_writes_[rank];
+  }
+  [[nodiscard]] std::size_t pending_prefetches(RankId rank) const {
+    return queued_prefetches_[rank] + inflight_prefetches_[rank];
+  }
   [[nodiscard]] std::size_t read_queue_depth() const { return read_q_.size(); }
   [[nodiscard]] std::size_t write_queue_depth() const {
     return write_q_.size();
@@ -174,6 +179,14 @@ class Controller {
 
   /// Settle cycle accounting (energy) at end of run.
   void finalize(Cycle now);
+
+  /// Earliest controller cycle > `now` at which this controller can do
+  /// anything observable (complete a burst, issue a command, start or end a
+  /// refresh, hit a refresh boundary). Conservative: may return `now + 1`
+  /// when nothing will actually happen, but never a cycle later than the
+  /// true next action — the frozen-cycle fast-forward in cpu::System relies
+  /// on every tick in (now, next_event_cycle) being a no-op.
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const;
 
  private:
   /// Returns true when a refresh-related command (PRE or REF) was issued.
@@ -191,6 +204,28 @@ class Controller {
   bool manage_refresh_per_bank(Cycle now);
   bool manage_refresh_pausing(Cycle now);
 
+  /// Hot-path statistics, resolved to stable pointers once at construction.
+  /// Event code must go through these — a string-keyed registry lookup per
+  /// event costs more than the event itself (see docs/PERFORMANCE.md).
+  struct StatHandles {
+    Counter* reads = nullptr;
+    Counter* writes = nullptr;
+    Counter* sram_serviced = nullptr;
+    Counter* read_forwarded = nullptr;
+    Counter* write_coalesced = nullptr;
+    Counter* writes_issued = nullptr;
+    Counter* refreshes = nullptr;
+    Counter* bank_refreshes = nullptr;
+    Counter* refresh_pauses = nullptr;
+    Counter* prefetch_enqueued = nullptr;
+    Counter* prefetch_issued = nullptr;
+    Counter* prefetch_dropped = nullptr;
+    Counter* prefetch_dropped_queue_full = nullptr;
+    Counter* prefetch_dropped_stale = nullptr;
+    Scalar* read_latency = nullptr;
+    Histogram* read_latency_hist = nullptr;
+  };
+
   ChannelId id_;
   ControllerConfig cfg_;
   dram::Channel channel_;
@@ -198,6 +233,7 @@ class Controller {
   Scheduler scheduler_;
   RefreshBlockingStats blocking_;
   StatRegistry* stats_;
+  StatHandles h_;
   ControllerListener* listener_ = nullptr;
 
   std::deque<Request> read_q_;
@@ -205,6 +241,18 @@ class Controller {
   std::deque<Request> prefetch_q_;
   std::vector<Request> in_flight_;  // reads/prefetches waiting on data
   std::vector<Request> completed_;
+
+  /// Lines currently present in write_q_. Coalescing keeps at most one
+  /// queued write per line, so a set gives O(1) read-after-write forwarding,
+  /// coalescing, and stale-prefetch checks without index fix-ups when
+  /// issue_pick erases from the middle of the deque.
+  std::unordered_set<Address> write_index_;
+  /// Incrementally-maintained per-rank queue occupancy, replacing the
+  /// count_if scans the refresh machinery used to run every tick.
+  std::vector<std::uint32_t> pending_reads_;
+  std::vector<std::uint32_t> pending_writes_;
+  std::vector<std::uint32_t> queued_prefetches_;
+  std::vector<std::uint32_t> inflight_prefetches_;
 
   bool draining_writes_ = false;
 

@@ -5,6 +5,7 @@
 // completions.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -62,6 +63,21 @@ class MemorySystem {
 
   /// True when every queue and in-flight buffer is empty.
   [[nodiscard]] bool idle() const;
+
+  /// The registry all channels record into (never null). The CPU layer
+  /// resolves its own stat handles from it at construction.
+  [[nodiscard]] StatRegistry* stats() const { return stats_; }
+
+  /// Earliest controller cycle > `now` at which any channel can act — see
+  /// Controller::next_event_cycle. kNeverCycle when the memory is idle with
+  /// refresh disabled.
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const {
+    Cycle next = kNeverCycle;
+    for (const auto& ctrl : controllers_) {
+      next = std::min(next, ctrl->next_event_cycle(now));
+    }
+    return next;
+  }
 
  private:
   MemoryConfig cfg_;  // owns the timings the channels reference

@@ -6,13 +6,17 @@ namespace rop::mem {
 
 RefreshManager::RefreshManager(const dram::DramTimings& timings,
                                std::uint32_t num_ranks,
-                               std::uint32_t units_per_trefi)
+                               std::uint32_t units_per_trefi,
+                               StatRegistry* stats)
     : t_(timings),
       issued_(num_ranks, 0),
       num_ranks_(num_ranks),
       units_per_trefi_(units_per_trefi) {
   ROP_ASSERT(num_ranks > 0);
   ROP_ASSERT(units_per_trefi > 0 && units_per_trefi <= t_.tREFI);
+  if (stats != nullptr) {
+    units_issued_ = stats->counter_handle("mem.refresh_units_issued");
+  }
 }
 
 Cycle RefreshManager::phase_offset(RankId rank) const {
@@ -36,7 +40,10 @@ Cycle RefreshManager::next_boundary(RankId rank, Cycle now) const {
   return offset + done * interval();
 }
 
-void RefreshManager::on_refresh_issued(RankId rank) { ++issued_.at(rank); }
+void RefreshManager::on_refresh_issued(RankId rank) {
+  ++issued_.at(rank);
+  if (units_issued_ != nullptr) units_issued_->inc();
+}
 
 std::uint64_t RefreshManager::total_issued() const {
   return std::accumulate(issued_.begin(), issued_.end(), std::uint64_t{0});

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/types.h"
 #include "dram/timing.h"
 
@@ -19,8 +20,11 @@ class RefreshManager {
  public:
   /// `units_per_trefi` = 1 for full-rank REF (one unit per tREFI) or the
   /// bank count for per-bank REFpb (8 units per tREFI, one per bank).
+  /// A registry, when supplied, publishes "mem.refresh_units_issued" via a
+  /// handle resolved here once.
   RefreshManager(const dram::DramTimings& timings, std::uint32_t num_ranks,
-                 std::uint32_t units_per_trefi = 1);
+                 std::uint32_t units_per_trefi = 1,
+                 StatRegistry* stats = nullptr);
 
   /// Number of refreshes currently owed by `rank` at `now` (scheduled
   /// boundaries passed minus refreshes issued).
@@ -40,6 +44,13 @@ class RefreshManager {
   /// The scheduled time of the next refresh boundary for `rank` — the
   /// anchor for ROP's observational window.
   [[nodiscard]] Cycle next_boundary(RankId rank, Cycle now) const;
+
+  /// Earliest cycle at which this rank's refresh bookkeeping can change:
+  /// `now` when a refresh is already owed, otherwise the next scheduled
+  /// boundary. Feeds the controller's frozen-cycle fast-forward query.
+  [[nodiscard]] Cycle next_event_cycle(RankId rank, Cycle now) const {
+    return owed(rank, now) > 0 ? now : next_boundary(rank, now);
+  }
 
   /// Record an issued REF command.
   void on_refresh_issued(RankId rank);
@@ -64,6 +75,7 @@ class RefreshManager {
   std::vector<std::uint64_t> issued_;
   std::uint32_t num_ranks_;
   std::uint32_t units_per_trefi_;
+  Counter* units_issued_ = nullptr;  // optional, resolved at construction
 };
 
 }  // namespace rop::mem

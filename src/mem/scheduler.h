@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "dram/channel.h"
 #include "dram/command.h"
@@ -59,12 +61,149 @@ class Scheduler {
   ///      is issuable — unless a same-priority request still row-hits the
   ///      open row (keep the row open for it).
   using BlockedFn = std::function<bool(const Request&, int queue_id)>;
+  template <typename BlockedPred>
   [[nodiscard]] std::optional<SchedulerPick> pick(
       std::span<const QueueView> queues, const dram::Channel& channel,
-      Cycle now, const BlockedFn& blocked) const;
+      Cycle now, const BlockedPred& blocked) const;
 
  private:
   SchedulerConfig cfg_;
+
+  // Channel state is frozen for the duration of one pick() call, and bank
+  // command legality never depends on which request asked: pass-1 column
+  // candidates all target the bank's open row, and ACT/PRE legality ignores
+  // the row entirely. One cached verdict per (bank, command kind) therefore
+  // answers every same-bank candidate, collapsing the O(queue) can_issue
+  // scans that dominate saturated-queue cycles where nothing can issue.
+  enum class Verdict : std::uint8_t { kUnknown = 0, kYes, kNo };
+  struct BankMemo {
+    Verdict read = Verdict::kUnknown;
+    Verdict write = Verdict::kUnknown;
+    Verdict act = Verdict::kUnknown;
+    Verdict pre = Verdict::kUnknown;
+    Verdict taker = Verdict::kUnknown;  // open row still has a queued hit?
+  };
+  mutable std::vector<BankMemo> memo_;  // scratch, valid within one pick()
+  mutable std::uint32_t memo_banks_ = 0;
 };
+
+namespace scheduler_detail {
+
+inline dram::CmdType column_cmd_for(const Request& req) {
+  return req.type == ReqType::kWrite ? dram::CmdType::kWrite
+                                     : dram::CmdType::kRead;
+}
+
+/// True when any request in any queue would row-hit bank `coord`'s
+/// currently open row (used to avoid closing rows that still have takers).
+inline bool open_row_has_taker(std::span<const QueueView> queues,
+                               const DramCoord& coord, RowId open_row) {
+  for (const QueueView& qv : queues) {
+    for (const Request& req : *qv.requests) {
+      if (req.coord.rank == coord.rank && req.coord.bank == coord.bank &&
+          req.coord.row == open_row) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace scheduler_detail
+
+template <typename BlockedPred>
+std::optional<SchedulerPick> Scheduler::pick(std::span<const QueueView> queues,
+                                             const dram::Channel& channel,
+                                             Cycle now,
+                                             const BlockedPred& blocked) const {
+  memo_banks_ = channel.num_ranks() > 0 ? channel.rank(0).num_banks() : 0;
+  memo_.assign(std::size_t{channel.num_ranks()} * memo_banks_, BankMemo{});
+  const auto memo_for = [this](const DramCoord& c) -> BankMemo& {
+    return memo_[std::size_t{c.rank} * memo_banks_ + c.bank];
+  };
+
+  // Pass 1: first-ready column commands, in queue priority then age order.
+  for (const QueueView& qv : queues) {
+    std::size_t i = 0;
+    for (const Request& req : *qv.requests) {
+      const std::size_t at = i++;
+      if (blocked(req, qv.id)) continue;
+      const dram::Bank& bank =
+          channel.rank(req.coord.rank).bank(req.coord.bank);
+      if (bank.state() != dram::BankState::kActive || !bank.open_row() ||
+          *bank.open_row() != req.coord.row) {
+        continue;
+      }
+      const dram::CmdType type = scheduler_detail::column_cmd_for(req);
+      BankMemo& m = memo_for(req.coord);
+      Verdict& v = type == dram::CmdType::kWrite ? m.write : m.read;
+      if (v == Verdict::kUnknown) {
+        const dram::Command probe{type, req.coord, req.id};
+        v = channel.can_issue(probe, now) ? Verdict::kYes : Verdict::kNo;
+      }
+      if (v == Verdict::kYes) {
+        return SchedulerPick{dram::Command{type, req.coord, req.id}, qv.id,
+                             at};
+      }
+    }
+  }
+
+  // Pass 2: row commands (ACT / PRE) for the oldest requests.
+  for (const QueueView& qv : queues) {
+    std::size_t i = 0;
+    for (const Request& req : *qv.requests) {
+      const std::size_t at = i++;
+      if (blocked(req, qv.id)) continue;
+      const dram::Bank& bank =
+          channel.rank(req.coord.rank).bank(req.coord.bank);
+      switch (bank.state()) {
+        case dram::BankState::kPrecharged: {
+          BankMemo& m = memo_for(req.coord);
+          if (m.act == Verdict::kUnknown) {
+            const dram::Command probe{dram::CmdType::kActivate, req.coord,
+                                      req.id};
+            m.act =
+                channel.can_issue(probe, now) ? Verdict::kYes : Verdict::kNo;
+          }
+          if (m.act == Verdict::kYes) {
+            return SchedulerPick{
+                dram::Command{dram::CmdType::kActivate, req.coord, req.id},
+                qv.id, at};
+          }
+          break;
+        }
+        case dram::BankState::kActive: {
+          // Row conflict: close the row, but only if nobody still wants it.
+          if (bank.open_row() && *bank.open_row() != req.coord.row) {
+            BankMemo& m = memo_for(req.coord);
+            if (m.taker == Verdict::kUnknown) {
+              m.taker = scheduler_detail::open_row_has_taker(
+                            queues, req.coord, *bank.open_row())
+                            ? Verdict::kYes
+                            : Verdict::kNo;
+            }
+            if (m.taker == Verdict::kNo) {
+              if (m.pre == Verdict::kUnknown) {
+                const dram::Command probe{dram::CmdType::kPrecharge,
+                                          req.coord, 0};
+                m.pre = channel.can_issue(probe, now) ? Verdict::kYes
+                                                      : Verdict::kNo;
+              }
+              if (m.pre == Verdict::kYes) {
+                return SchedulerPick{
+                    dram::Command{dram::CmdType::kPrecharge, req.coord, 0},
+                    qv.id, at};
+              }
+            }
+          }
+          break;
+        }
+        case dram::BankState::kRefreshing:
+          break;
+      }
+    }
+  }
+  return std::nullopt;
+}
 
 }  // namespace rop::mem

@@ -3,8 +3,12 @@
 namespace rop::engine {
 
 Prefetcher::Prefetcher(const mem::AddressMap& map, ChannelId channel,
-                       std::uint32_t num_ranks, bool uniform_budget)
+                       std::uint32_t num_ranks, bool uniform_budget,
+                       StatRegistry* stats)
     : map_(map), channel_(channel), uniform_budget_(uniform_budget) {
+  if (stats != nullptr) {
+    generated_ = stats->counter_handle("rop.prefetch_generated");
+  }
   const auto& org = map.organization();
   tables_.reserve(num_ranks);
   for (std::uint32_t r = 0; r < num_ranks; ++r) {
@@ -31,9 +35,11 @@ std::vector<mem::Request> Prefetcher::make_prefetches(
       req.coord = map_.coord_from_bank_offset(channel_, rank, bp.bank, offset);
       req.line_addr = map_.unmap(req.coord);
       out.push_back(req);
-      if (out.size() >= capacity) return out;
+      if (out.size() >= capacity) break;
     }
+    if (out.size() >= capacity) break;
   }
+  if (generated_ != nullptr) generated_->inc(out.size());
   return out;
 }
 

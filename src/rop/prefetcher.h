@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/types.h"
 #include "mem/address_map.h"
 #include "mem/request.h"
@@ -16,9 +17,11 @@ namespace rop::engine {
 class Prefetcher {
  public:
   /// `uniform_budget` replaces the Eq. 3 proportional split with an even
-  /// one (ablation knob).
+  /// one (ablation knob). When a registry is supplied the candidate count
+  /// is published as "rop.prefetch_generated" (handle resolved here, once).
   Prefetcher(const mem::AddressMap& map, ChannelId channel,
-             std::uint32_t num_ranks, bool uniform_budget = false);
+             std::uint32_t num_ranks, bool uniform_budget = false,
+             StatRegistry* stats = nullptr);
 
   /// Observe a demand access (updates the target rank's prediction table).
   void on_access(const DramCoord& coord, Cycle now);
@@ -43,6 +46,7 @@ class Prefetcher {
   const mem::AddressMap& map_;
   ChannelId channel_;
   bool uniform_budget_;
+  Counter* generated_ = nullptr;  // optional, resolved at construction
   std::vector<PredictionTable> tables_;
 };
 

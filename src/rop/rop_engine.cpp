@@ -13,7 +13,7 @@ RopEngine::RopEngine(const RopConfig& cfg, mem::Controller& ctrl,
               ctrl.channel().timings().tREFI),
       profiler_(window_, ctrl.channel().num_ranks(), cfg.training_refreshes),
       prefetcher_(map, ctrl.id(), ctrl.channel().num_ranks(),
-                  cfg.uniform_budget),
+                  cfg.uniform_budget, stats),
       buffer_(cfg.buffer_lines),
       rng_(cfg.seed),
       last_access_(ctrl.channel().num_ranks(), kNeverCycle),
@@ -22,6 +22,18 @@ RopEngine::RopEngine(const RopConfig& cfg, mem::Controller& ctrl,
       reads_this_freeze_(ctrl.channel().num_ranks(), 0) {
   ROP_ASSERT(stats != nullptr);
   ROP_ASSERT(cfg.window_multiple >= 1);
+  h_.buffer_hits = stats->counter_handle("rop.buffer_hits");
+  h_.buffer_misses = stats->counter_handle("rop.buffer_misses");
+  h_.lock_window_served = stats->counter_handle("rop.lock_window_served");
+  h_.skipped_saturated = stats->counter_handle("rop.skipped_saturated");
+  h_.decisions_skip = stats->counter_handle("rop.decisions_skip");
+  h_.decisions_prefetch = stats->counter_handle("rop.decisions_prefetch");
+  h_.rounds_empty = stats->counter_handle("rop.rounds_empty");
+  h_.retrain_events = stats->counter_handle("rop.retrain_events");
+  h_.buffer_fills = stats->counter_handle("rop.buffer_fills");
+  h_.lambda = stats->scalar_handle("rop.lambda");
+  h_.beta = stats->scalar_handle("rop.beta");
+  h_.phase_accuracy = stats->scalar_handle("rop.phase_accuracy");
   ctrl_.set_listener(this);
 }
 
@@ -64,13 +76,13 @@ std::optional<Cycle> RopEngine::on_enqueue(const mem::Request& req,
       ++phase_hits_;
       if (in_refresh) {
         ++overall_hits_;
-        stats_->counter("rop.buffer_hits").inc();
+        h_.buffer_hits->inc();
       } else {
-        stats_->counter("rop.lock_window_served").inc();
+        h_.lock_window_served->inc();
       }
       return now + cfg_.sram_latency;
     }
-    if (in_refresh) stats_->counter("rop.buffer_misses").inc();
+    if (in_refresh) h_.buffer_misses->inc();
   }
   return std::nullopt;
 }
@@ -101,7 +113,7 @@ void RopEngine::on_rank_locked(RankId rank, Cycle now) {
       ema_channel_interarrival_ <
           cfg_.saturation_guard_bursts *
               static_cast<double>(ctrl_.channel().timings().tBL)) {
-    stats_->counter("rop.skipped_saturated").inc();
+    h_.skipped_saturated->inc();
     return;
   }
 
@@ -127,10 +139,10 @@ void RopEngine::on_rank_locked(RankId rank, Cycle now) {
   }
 
   if (!prefetch) {
-    stats_->counter("rop.decisions_skip").inc();
+    h_.decisions_skip->inc();
     return;
   }
-  stats_->counter("rop.decisions_prefetch").inc();
+  h_.decisions_prefetch->inc();
 
   // Size the round to the demand actually seen during refresh windows —
   // blindly staging the whole buffer wastes bus bandwidth on quiet ranks.
@@ -165,7 +177,7 @@ void RopEngine::on_rank_locked(RankId rank, Cycle now) {
       rank, count, skip_per_bank, now,
       cfg_.bank_recency_horizon == 0 ? 0 : horizon);
   if (requests.empty()) {
-    stats_->counter("rop.rounds_empty").inc();
+    h_.rounds_empty->inc();
     return;
   }
   for (mem::Request& req : requests) {
@@ -190,8 +202,8 @@ void RopEngine::on_refresh_issued(RankId rank, Cycle start, Cycle /*done*/) {
   const bool training_complete = profiler_.on_refresh(rank, start);
   if (training_complete) {
     state_ = RopState::kObserving;
-    stats_->scalar("rop.lambda").record(profiler_.lambda());
-    stats_->scalar("rop.beta").record(profiler_.beta());
+    h_.lambda->record(profiler_.lambda());
+    h_.beta->record(profiler_.beta());
     // Opportunities seen while the buffer was off must not poison the
     // first hit-rate evaluation of the new predicting phase.
     phase_hits_ = 0;
@@ -212,7 +224,7 @@ void RopEngine::on_refresh_issued(RankId rank, Cycle start, Cycle /*done*/) {
         rank, [this, start](const mem::Request& req) -> std::optional<Cycle> {
           if (buffer_.lookup(req.line_addr)) {
             ++phase_hits_;
-            stats_->counter("rop.lock_window_served").inc();
+            h_.lock_window_served->inc();
             return start + cfg_.sram_latency;
           }
           return std::nullopt;
@@ -234,10 +246,10 @@ void RopEngine::evaluate_phase() {
   if (phase_fills_ >= cfg_.eval_min_opportunities) {
     const double accuracy = static_cast<double>(phase_hits_) /
                             static_cast<double>(phase_fills_);
-    stats_->scalar("rop.phase_accuracy").record(accuracy);
+    h_.phase_accuracy->record(accuracy);
     if (accuracy < cfg_.hit_rate_threshold) {
       // Patterns drifted: retrain lambda/beta from scratch (paper §IV-C).
-      stats_->counter("rop.retrain_events").inc();
+      h_.retrain_events->inc();
       profiler_.restart();
       prefetcher_.clear();
       buffer_.clear();
@@ -253,7 +265,7 @@ void RopEngine::on_prefetch_filled(const mem::Request& req, Cycle now) {
   if (buffer_.owner() != req.coord.rank) return;
   buffer_.insert(req.line_addr);
   ++phase_fills_;
-  stats_->counter("rop.buffer_fills").inc();
+  h_.buffer_fills->inc();
 
   // A blocked read for this exact line may already be queued (it arrived
   // during the seal before the fill landed); release it immediately rather
@@ -266,7 +278,7 @@ void RopEngine::on_prefetch_filled(const mem::Request& req, Cycle now) {
         // Arrival was already counted as a freeze opportunity; the late
         // fill flips it from a stall into a service.
         ++phase_hits_;
-        stats_->counter("rop.lock_window_served").inc();
+        h_.lock_window_served->inc();
         return now + cfg_.sram_latency;
       });
 }

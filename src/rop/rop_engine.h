@@ -106,9 +106,27 @@ class RopEngine final : public mem::ControllerListener {
   void evaluate_phase();
   [[nodiscard]] Cycle window() const { return window_; }
 
+  /// Hot-path stat handles, resolved once at construction (the registry
+  /// guarantees pointer stability) — no string-keyed lookups per event.
+  struct StatHandles {
+    Counter* buffer_hits = nullptr;
+    Counter* buffer_misses = nullptr;
+    Counter* lock_window_served = nullptr;
+    Counter* skipped_saturated = nullptr;
+    Counter* decisions_skip = nullptr;
+    Counter* decisions_prefetch = nullptr;
+    Counter* rounds_empty = nullptr;
+    Counter* retrain_events = nullptr;
+    Counter* buffer_fills = nullptr;
+    Scalar* lambda = nullptr;
+    Scalar* beta = nullptr;
+    Scalar* phase_accuracy = nullptr;
+  };
+
   RopConfig cfg_;
   mem::Controller& ctrl_;
   StatRegistry* stats_;
+  StatHandles h_;
 
   Cycle window_;
   PatternProfiler profiler_;

@@ -48,6 +48,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
 
   cpu::SystemConfig sys_cfg =
       make_system_config(spec.llc_bytes, spec.rank_partition);
+  sys_cfg.fast_forward = spec.fast_forward;
   cpu::System system(sys_cfg, memory, trace_ptrs);
   result.run = system.run(spec.instructions_per_core, spec.max_cpu_cycles);
 

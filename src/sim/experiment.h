@@ -28,6 +28,9 @@ struct ExperimentSpec {
   std::uint64_t instructions_per_core = 5'000'000;
   std::uint64_t max_cpu_cycles = 2'000'000'000;
   std::uint64_t seed_salt = 0;
+  /// Frozen-cycle fast-forward (bit-identical to the naive loop; see
+  /// cpu::SystemConfig::fast_forward). Off only for cross-checks.
+  bool fast_forward = true;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,19 @@
+// Parallel experiment runner: executes independent ExperimentSpecs on a
+// small thread pool. Every experiment owns its RNGs, StatRegistry, and
+// memory system, so results are bit-identical to serial run_experiment
+// calls and ordered like the input regardless of thread count.
+#pragma once
+
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace rop::sim {
+
+/// Run every spec and return results in input order. `n_threads` = 0 uses
+/// one thread per hardware thread; the pool is never larger than the spec
+/// count. `n_threads` = 1 runs serially on the calling thread.
+[[nodiscard]] std::vector<ExperimentResult> run_experiments(
+    const std::vector<ExperimentSpec>& specs, unsigned n_threads = 0);
+
+}  // namespace rop::sim

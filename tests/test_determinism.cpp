@@ -1,0 +1,110 @@
+// Determinism guarantees for the two execution-speed features: the parallel
+// experiment runner and the frozen-cycle fast-forward. Both must be
+// bit-identical to the serial/naive baseline — not approximately equal.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/runner.h"
+
+namespace rop::sim {
+namespace {
+
+ExperimentSpec quick_multicore_spec(MemoryMode mode) {
+  // 4-core mix on 4 ranks: enough contention to exercise refresh sealing,
+  // forwarding, and coalescing, small enough to run several times.
+  ExperimentSpec spec = multi_core_spec(1, mode, /*rank_partition=*/true);
+  spec.instructions_per_core = 120'000;
+  return spec;
+}
+
+std::vector<ExperimentSpec> sweep_specs() {
+  return {
+      quick_multicore_spec(MemoryMode::kBaseline),
+      quick_multicore_spec(MemoryMode::kRop),
+      quick_multicore_spec(MemoryMode::kElastic),
+      quick_multicore_spec(MemoryMode::kPausing),
+  };
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  // The registry report covers every counter, scalar, and histogram the
+  // simulation recorded (including the coreN.* and llc.* mirrors).
+  EXPECT_EQ(a.stats.report(), b.stats.report());
+  ASSERT_EQ(a.run.cores.size(), b.run.cores.size());
+  EXPECT_EQ(a.run.cpu_cycles, b.run.cpu_cycles);
+  EXPECT_EQ(a.run.mem_cycles, b.run.mem_cycles);
+  EXPECT_EQ(a.run.hit_cycle_limit, b.run.hit_cycle_limit);
+  for (std::size_t c = 0; c < a.run.cores.size(); ++c) {
+    EXPECT_EQ(a.run.cores[c].instructions, b.run.cores[c].instructions);
+    EXPECT_EQ(a.run.cores[c].cpu_cycles, b.run.cores[c].cpu_cycles);
+    EXPECT_DOUBLE_EQ(a.run.cores[c].ipc, b.run.cores[c].ipc);
+  }
+  EXPECT_DOUBLE_EQ(a.total_energy_mj(), b.total_energy_mj());
+  EXPECT_DOUBLE_EQ(a.energy.sram_mj, b.energy.sram_mj);
+  EXPECT_EQ(a.refreshes, b.refreshes);
+  EXPECT_DOUBLE_EQ(a.sram_hit_rate, b.sram_hit_rate);
+}
+
+TEST(ParallelRunner, MatchesSerialAtEveryThreadCount) {
+  const std::vector<ExperimentSpec> specs = sweep_specs();
+
+  std::vector<ExperimentResult> serial;
+  serial.reserve(specs.size());
+  for (const ExperimentSpec& spec : specs) {
+    serial.push_back(run_experiment(spec));
+  }
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    const std::vector<ExperimentResult> parallel =
+        run_experiments(specs, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE(testing::Message() << "spec=" << i);
+      expect_identical(serial[i], parallel[i]);
+    }
+  }
+}
+
+TEST(FastForward, BitIdenticalToNaiveLoop) {
+  for (const MemoryMode mode :
+       {MemoryMode::kBaseline, MemoryMode::kRop, MemoryMode::kElastic,
+        MemoryMode::kPausing, MemoryMode::kPerBank, MemoryMode::kNoRefresh}) {
+    SCOPED_TRACE(testing::Message() << "mode=" << static_cast<int>(mode));
+    ExperimentSpec fast = quick_multicore_spec(mode);
+    ExperimentSpec naive = fast;
+    naive.fast_forward = false;
+    expect_identical(run_experiment(naive), run_experiment(fast));
+  }
+}
+
+TEST(FastForward, BitIdenticalSingleCore) {
+  // Single-core runs spend the most time fully frozen, so they take the
+  // longest jumps — the strongest stress on next_event_cycle being exact.
+  for (const char* bench : {"libquantum", "lbm", "gobmk"}) {
+    SCOPED_TRACE(bench);
+    ExperimentSpec fast = single_core_spec(bench, MemoryMode::kRop);
+    fast.instructions_per_core = 200'000;
+    ExperimentSpec naive = fast;
+    naive.fast_forward = false;
+    expect_identical(run_experiment(naive), run_experiment(fast));
+  }
+}
+
+TEST(FastForward, CycleLimitEndsIdentically) {
+  // Ending a run *inside* a frozen span exercises the clamp to the last
+  // memory-tick boundary (the final listener tick must still happen).
+  ExperimentSpec fast = quick_multicore_spec(MemoryMode::kRop);
+  fast.instructions_per_core = 50'000'000;  // unreachable
+  fast.max_cpu_cycles = 300'001;            // cut off mid-run, off-ratio
+  ExperimentSpec naive = fast;
+  naive.fast_forward = false;
+  const ExperimentResult a = run_experiment(naive);
+  const ExperimentResult b = run_experiment(fast);
+  EXPECT_TRUE(a.run.hit_cycle_limit);
+  expect_identical(a, b);
+}
+
+}  // namespace
+}  // namespace rop::sim

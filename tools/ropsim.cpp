@@ -6,6 +6,7 @@
 //
 //   ropsim --benchmark libquantum --mode rop --instructions 20000000
 //   ropsim --benchmark wl1 --mode rop --cores 4 --ranks 4 --llc-mb 4
+//   ropsim --benchmark lbm --compare --jobs 4
 //   ropsim --trace /path/app.trace --mode baseline
 //   ropsim --help
 #include <cstdio>
@@ -22,6 +23,7 @@
 #include "mem/memory_system.h"
 #include "rop/rop_engine.h"
 #include "sim/presets.h"
+#include "sim/runner.h"
 #include "workload/spec_profiles.h"
 #include "workload/synthetic.h"
 #include "workload/trace_io.h"
@@ -44,6 +46,9 @@ struct Options {
   bool rank_partition = false;
   std::string refresh_mode = "1x";
   bool dump_stats = false;
+  bool compare = false;
+  unsigned jobs = 0;
+  bool fast_forward = true;
 };
 
 [[noreturn]] void usage(int code) {
@@ -65,6 +70,12 @@ struct Options {
       "  --rank-partition     enable rank-aware mapping\n"
       "  --refresh 1x|2x|4x   JEDEC fine-grained refresh mode (default 1x)\n"
       "  --stats              dump the raw statistics registry\n"
+      "  --compare            run the workload under every memory mode and\n"
+      "                       print a comparison table (ignores --mode)\n"
+      "  --jobs N             worker threads for --compare (default: one\n"
+      "                       per hardware thread)\n"
+      "  --no-fast-forward    disable the frozen-cycle fast-forward\n"
+      "                       (results are bit-identical either way)\n"
       "  --help\n");
   std::exit(code);
 }
@@ -106,6 +117,12 @@ Options parse(int argc, char** argv) {
       opt.refresh_mode = need(i);
     } else if (arg == "--stats") {
       opt.dump_stats = true;
+    } else if (arg == "--compare") {
+      opt.compare = true;
+    } else if (arg == "--jobs") {
+      opt.jobs = static_cast<unsigned>(std::atoi(need(i)));
+    } else if (arg == "--no-fast-forward") {
+      opt.fast_forward = false;
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -146,10 +163,95 @@ bool is_workload_mix(const std::string& name) {
          name[2] >= '1' && name[2] <= '6';
 }
 
+sim::ExperimentSpec spec_from_options(const Options& opt,
+                                      sim::MemoryMode mode) {
+  sim::ExperimentSpec spec;
+  if (is_workload_mix(opt.benchmark)) {
+    spec.benchmarks = workload::workload_mix(opt.benchmark[2] - '0');
+    spec.ranks = std::max(opt.ranks, 4u);
+  } else {
+    spec.benchmarks.assign(opt.cores, opt.benchmark);
+    spec.ranks = opt.ranks;
+  }
+  spec.mode = mode;
+  spec.rank_partition = opt.rank_partition;
+  spec.llc_bytes = opt.llc_mb << 20;
+  spec.rop.buffer_lines = opt.buffer_lines;
+  spec.rop.window_multiple = opt.window_multiple;
+  spec.rop.training_refreshes = opt.training;
+  spec.refresh_mode = parse_refresh(opt.refresh_mode);
+  spec.instructions_per_core = opt.instructions;
+  spec.max_cpu_cycles = opt.instructions * 256;
+  spec.fast_forward = opt.fast_forward;
+  return spec;
+}
+
+/// --compare: the same workload under every memory mode, fanned out over
+/// the parallel experiment runner, summarized against the baseline.
+int run_compare(const Options& opt) {
+  static constexpr struct {
+    const char* name;
+    sim::MemoryMode mode;
+  } kAllModes[] = {
+      {"baseline", sim::MemoryMode::kBaseline},
+      {"rop", sim::MemoryMode::kRop},
+      {"elastic", sim::MemoryMode::kElastic},
+      {"pausing", sim::MemoryMode::kPausing},
+      {"per-bank", sim::MemoryMode::kPerBank},
+      {"no-refresh", sim::MemoryMode::kNoRefresh},
+  };
+
+  std::vector<sim::ExperimentSpec> specs;
+  for (const auto& m : kAllModes) {
+    specs.push_back(spec_from_options(opt, m.mode));
+  }
+  std::printf("ropsim: comparing %zu modes on %s (%llu instructions/core, "
+              "jobs=%u)\n",
+              specs.size(), opt.benchmark.c_str(),
+              static_cast<unsigned long long>(opt.instructions), opt.jobs);
+  const std::vector<sim::ExperimentResult> results =
+      sim::run_experiments(specs, opt.jobs);
+
+  const auto total_ipc = [](const sim::ExperimentResult& r) {
+    double sum = 0.0;
+    for (const auto& core : r.run.cores) sum += core.ipc;
+    return sum;
+  };
+  const sim::ExperimentResult& base = results[0];
+
+  TextTable table("mode comparison");
+  table.set_header({"mode", "IPC", "speedup", "energy (mJ)", "energy ratio",
+                    "refreshes"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const sim::ExperimentResult& r = results[i];
+    table.add_row({kAllModes[i].name, TextTable::fmt(total_ipc(r), 4),
+                   TextTable::fmt(total_ipc(r) / total_ipc(base), 4),
+                   TextTable::fmt(r.total_energy_mj(), 2),
+                   TextTable::fmt(r.total_energy_mj() / base.total_energy_mj(),
+                                  4),
+                   std::to_string(r.refreshes)});
+  }
+  table.print();
+
+  const sim::ExperimentResult& rop = results[1];
+  if (rop.sram_hit_rate > 0.0) {
+    std::printf("\nROP: sram-hit-rate=%.3f lambda=%.2f beta=%.2f\n",
+                rop.sram_hit_rate, rop.lambda, rop.beta);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt = parse(argc, argv);
+  if (opt.compare) {
+    if (!opt.trace_path.empty()) {
+      std::fprintf(stderr, "--compare does not support --trace\n");
+      return 2;
+    }
+    return run_compare(opt);
+  }
   const sim::MemoryMode mode = parse_mode(opt.mode);
 
   // Workloads: a wlN mix, a trace file, or N copies of one profile.
@@ -197,6 +299,7 @@ int main(int argc, char** argv) {
   }
   cpu::SystemConfig sys_cfg =
       sim::make_system_config(opt.llc_mb << 20, opt.rank_partition);
+  sys_cfg.fast_forward = opt.fast_forward;
   cpu::System system(sys_cfg, memory, source_ptrs);
 
   std::printf("ropsim: mode=%s ranks=%u llc=%lluMiB refresh=%s cores=%u\n",
