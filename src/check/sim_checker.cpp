@@ -1,0 +1,246 @@
+#include "check/sim_checker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace rop::check {
+
+SimChecker::SimChecker(CheckerConfig cfg) : cfg_(cfg) {}
+
+SimChecker::~SimChecker() {
+  // Defensive detach: a controller must never hold a dangling auditor.
+  if (mem_ == nullptr) return;
+  for (ChannelId ch = 0; ch < mem_->num_channels(); ++ch) {
+    if (mem_->controller(ch).auditor() == this) {
+      mem_->controller(ch).set_auditor(nullptr);
+    }
+  }
+}
+
+void SimChecker::attach(mem::MemorySystem& mem) {
+  ROP_ASSERT(mem_ == nullptr && "one checker audits one memory system");
+  mem_ = &mem;
+  for (ChannelId ch = 0; ch < mem.num_channels(); ++ch) {
+    mem.controller(ch).set_auditor(this);
+  }
+}
+
+void SimChecker::watch(const engine::RopEngine& eng) {
+  engines_.push_back(&eng);
+}
+
+void SimChecker::violate(std::string msg) {
+  ++violation_count_;
+  if (reports_.size() < cfg_.max_reports) reports_.push_back(std::move(msg));
+}
+
+void SimChecker::on_tick_end(const mem::Controller& ctrl, Cycle now) {
+  ++ticks_checked_;
+  last_now_ = std::max(last_now_, now);
+  check_queue_counters(ctrl, now);
+  check_refresh_deadlines(ctrl, now);
+  check_buffer_coherence(ctrl, now);
+}
+
+void SimChecker::on_retired(const mem::Request& req) {
+  ++retired_;
+  if (req.completion < req.arrival) {
+    std::ostringstream os;
+    os << "[conservation] request " << req.id << " line 0x" << std::hex
+       << req.line_addr << std::dec << " retired with completion "
+       << req.completion << " < arrival " << req.arrival;
+    violate(os.str());
+  }
+}
+
+void SimChecker::check_queue_counters(const mem::Controller& c, Cycle now) {
+  const std::uint32_t ranks = c.channel().num_ranks();
+  std::vector<std::uint32_t> reads(ranks, 0);
+  std::vector<std::uint32_t> writes(ranks, 0);
+  std::vector<std::uint32_t> queued_pf(ranks, 0);
+  std::vector<std::uint32_t> inflight_pf(ranks, 0);
+
+  for (const auto& r : c.read_queue()) ++reads.at(r.coord.rank);
+  for (const auto& r : c.write_queue()) ++writes.at(r.coord.rank);
+  for (const auto& r : c.prefetch_queue()) ++queued_pf.at(r.coord.rank);
+  for (const auto& r : c.in_flight()) {
+    if (r.type == mem::ReqType::kPrefetch) ++inflight_pf.at(r.coord.rank);
+    // Bursts with completion <= now were drained at the top of this tick;
+    // anything issued later lands strictly in the future.
+    if (r.completion <= now) {
+      std::ostringstream os;
+      os << "[counters] ch " << c.id() << " in-flight request " << r.id
+         << " completion " << r.completion << " <= now " << now;
+      violate(os.str());
+    }
+  }
+
+  const auto mismatch = [&](const char* what, RankId rank,
+                            std::uint64_t cached, std::uint64_t actual) {
+    std::ostringstream os;
+    os << "[counters] ch " << c.id() << " rank " << rank << " cycle " << now
+       << ": " << what << " counter " << cached << " != queue count "
+       << actual;
+    violate(os.str());
+  };
+  for (RankId r = 0; r < ranks; ++r) {
+    if (c.pending_reads(r) != reads[r]) {
+      mismatch("pending_reads", r, c.pending_reads(r), reads[r]);
+    }
+    if (c.pending_writes(r) != writes[r]) {
+      mismatch("pending_writes", r, c.pending_writes(r), writes[r]);
+    }
+    if (c.queued_prefetches(r) != queued_pf[r]) {
+      mismatch("queued_prefetches", r, c.queued_prefetches(r), queued_pf[r]);
+    }
+    if (c.inflight_prefetches(r) != inflight_pf[r]) {
+      mismatch("inflight_prefetches", r, c.inflight_prefetches(r),
+               inflight_pf[r]);
+    }
+  }
+
+  // write_index_ must be *exactly* the queued write lines: every queued
+  // write present, and no stale leftover entries (coalescing guarantees
+  // one queued write per line, so the sizes must match too).
+  if (c.write_index().size() != c.write_queue().size()) {
+    std::ostringstream os;
+    os << "[counters] ch " << c.id() << " cycle " << now
+       << ": write_index size " << c.write_index().size()
+       << " != write queue size " << c.write_queue().size();
+    violate(os.str());
+  }
+  for (const auto& w : c.write_queue()) {
+    if (c.write_index().count(w.line_addr) == 0) {
+      std::ostringstream os;
+      os << "[counters] ch " << c.id() << " cycle " << now
+         << ": queued write line 0x" << std::hex << w.line_addr << std::dec
+         << " missing from write_index";
+      violate(os.str());
+    }
+  }
+}
+
+void SimChecker::check_refresh_deadlines(const mem::Controller& c,
+                                         Cycle now) {
+  if (!c.config().refresh_enabled) return;
+  const auto& rm = c.refresh_manager();
+  const std::uint32_t budget =
+      c.channel().timings().max_postponed_refreshes;
+  for (RankId r = 0; r < c.channel().num_ranks(); ++r) {
+    if (rm.owed(r, now) > budget) {
+      std::ostringstream os;
+      os << "[refresh] ch " << c.id() << " rank " << r << " cycle " << now
+         << ": owed " << rm.owed(r, now) << " refresh units exceeds the "
+         << "JEDEC postponement budget " << budget;
+      violate(os.str());
+    }
+  }
+}
+
+void SimChecker::check_buffer_coherence(const mem::Controller& c,
+                                        Cycle now) {
+  for (const engine::RopEngine* eng : engines_) {
+    if (&eng->controller() != &c) continue;
+    const auto& buf = eng->buffer();
+    if (buf.size() > buf.capacity()) {
+      std::ostringstream os;
+      os << "[buffer] ch " << c.id() << " cycle " << now << ": buffer holds "
+         << buf.size() << " lines, capacity " << buf.capacity();
+      violate(os.str());
+    }
+    if (!buf.owner().has_value()) continue;
+    for (const Address line : buf.lines()) {
+      if (c.write_index().count(line) != 0) {
+        std::ostringstream os;
+        os << "[buffer] ch " << c.id() << " cycle " << now
+           << ": SRAM buffer holds line 0x" << std::hex << line << std::dec
+           << " which has a queued newer write";
+        violate(os.str());
+      }
+    }
+  }
+}
+
+void SimChecker::check_conservation() {
+  const StatRegistry& stats = *mem_->stats();
+
+  std::uint64_t queued_reads = 0;
+  std::uint64_t queued_writes = 0;
+  std::uint64_t queued_pf = 0;
+  std::uint64_t inflight_demand = 0;
+  std::uint64_t inflight_pf = 0;
+  for (ChannelId ch = 0; ch < mem_->num_channels(); ++ch) {
+    const auto& c = mem_->controller(ch);
+    queued_reads += c.read_queue().size();
+    queued_writes += c.write_queue().size();
+    queued_pf += c.prefetch_queue().size();
+    for (const auto& r : c.in_flight()) {
+      if (r.type == mem::ReqType::kPrefetch) {
+        ++inflight_pf;
+      } else {
+        ++inflight_demand;
+      }
+    }
+  }
+
+  const auto identity = [this](const char* what, std::uint64_t enqueued,
+                               std::uint64_t accounted) {
+    if (enqueued == accounted) return;
+    std::ostringstream os;
+    os << "[conservation] " << what << ": enqueued " << enqueued
+       << " != completed + queued + in-flight " << accounted;
+    violate(os.str());
+  };
+
+  // Reads: every accepted read either retired (its latency was recorded at
+  // that moment, drained or not), is still queued, or is in flight.
+  const auto* lat = stats.find_scalar("mem.read_latency");
+  const std::uint64_t retired_reads = lat != nullptr ? lat->count() : 0;
+  identity("reads", stats.counter_value("mem.reads"),
+           retired_reads + queued_reads + inflight_demand);
+
+  // Writes are posted: issued to DRAM, coalesced into a queued entry, or
+  // still queued.
+  identity("writes", stats.counter_value("mem.writes"),
+           stats.counter_value("mem.writes_issued") +
+               stats.counter_value("mem.write_coalesced") + queued_writes);
+
+  // Prefetches: enqueued ones are queued, dropped, or issued; issued ones
+  // are in flight, dropped stale at fill time, or completed.
+  identity("prefetches (queue)",
+           stats.counter_value("rop.prefetch_enqueued"),
+           stats.counter_value("rop.prefetch_issued") +
+               stats.counter_value("rop.prefetch_dropped") + queued_pf);
+  identity("prefetches (in flight)",
+           stats.counter_value("rop.prefetch_issued"),
+           stats.counter_value("rop.prefetch_completed") +
+               stats.counter_value("rop.prefetch_dropped_stale") +
+               inflight_pf);
+}
+
+void SimChecker::finalize() {
+  ROP_ASSERT(mem_ != nullptr && "finalize requires an attached memory");
+  if (finalized_) return;
+  finalized_ = true;
+  check_conservation();
+  // Final deadline sweep: a backlog beyond the budget at end of run means
+  // some tREFI interval was never covered.
+  for (ChannelId ch = 0; ch < mem_->num_channels(); ++ch) {
+    check_refresh_deadlines(mem_->controller(ch), last_now_);
+  }
+}
+
+std::string SimChecker::summary() const {
+  std::ostringstream os;
+  os << "checker: " << (ok() ? "OK" : "FAILED") << " (" << ticks_checked_
+     << " ticks audited, " << retired_ << " requests retired, "
+     << violation_count_ << " violations)";
+  for (const auto& r : reports_) os << "\n  " << r;
+  if (violation_count_ > reports_.size()) {
+    os << "\n  ... " << violation_count_ - reports_.size() << " more";
+  }
+  return os.str();
+}
+
+}  // namespace rop::check

@@ -24,6 +24,7 @@ Controller::Controller(ChannelId id, const dram::DramTimings& timings,
       last_arrival_(org.ranks, 0),
       refresh_remaining_(org.ranks, 0),
       refresh_started_(org.ranks, false),
+      refresh_window_opened_(org.ranks, false),
       next_refresh_bank_(org.ranks, 0) {
   ROP_ASSERT(stats != nullptr);
   // Per-bank refresh replaces the whole-rank policies.
@@ -45,6 +46,7 @@ Controller::Controller(ChannelId id, const dram::DramTimings& timings,
       stats->counter_handle("rop.prefetch_dropped_queue_full");
   h_.prefetch_dropped_stale =
       stats->counter_handle("rop.prefetch_dropped_stale");
+  h_.prefetch_completed = stats->counter_handle("rop.prefetch_completed");
   h_.read_latency = stats->scalar_handle("mem.read_latency");
   // 8-cycle buckets out to 1024 cycles (beyond 2x tRFC), overflow above.
   h_.read_latency_hist =
@@ -176,8 +178,9 @@ void Controller::complete_bursts(Cycle now) {
       // never hold data staler than the write queue.
       if (write_index_.count(req.line_addr) != 0) {
         h_.prefetch_dropped_stale->inc();
-      } else if (listener_ != nullptr) {
-        listener_->on_prefetch_filled(req, now);
+      } else {
+        h_.prefetch_completed->inc();
+        if (listener_ != nullptr) listener_->on_prefetch_filled(req, now);
       }
     } else {
       record_read_latency(req.completion - req.arrival);
@@ -294,6 +297,7 @@ bool Controller::manage_refresh_pausing(Cycle now) {
       if (rm_.owed(r, now) == 0) continue;
       refresh_remaining_[r] = channel_.timings().tRFC;
       refresh_started_[r] = false;
+      refresh_window_opened_[r] = false;
     }
 
     const bool urgent = rm_.urgent(r, now);
@@ -330,9 +334,14 @@ bool Controller::manage_refresh_pausing(Cycle now) {
     const Cycle duration =
         urgent ? refresh_remaining_[r]
                : std::min<Cycle>(cfg_.pause_quantum, refresh_remaining_[r]);
-    if (!refresh_started_[r] && refresh_remaining_[r] ==
-                                    channel_.timings().tRFC) {
+    // Open the blocking window exactly once per refresh obligation. The
+    // first-segment test must not be inferred from refresh_remaining_:
+    // pause overhead grows it, so with pause_overhead >= pause_quantum it
+    // can return to (or overshoot) tRFC mid-refresh and the sentinel
+    // mis-counts window starts.
+    if (!refresh_window_opened_[r]) {
       blocking_.on_refresh_start(r, now);
+      refresh_window_opened_[r] = true;
     }
     channel_.begin_refresh_segment(r, now, duration);
     refresh_started_[r] = true;
@@ -423,6 +432,13 @@ void Controller::issue_pick(const SchedulerPick& pick, Cycle now) {
 }
 
 void Controller::tick(Cycle now) {
+  step(now);
+  // The audit hook runs after every exit path of the per-tick work, when
+  // queue/counter/refresh state is stable for this cycle.
+  if (auditor_ != nullptr) auditor_->on_tick_end(*this, now);
+}
+
+void Controller::step(Cycle now) {
   channel_.tick(now);
   complete_bursts(now);
   if (listener_ != nullptr) listener_->on_tick(now);
@@ -443,9 +459,20 @@ void Controller::tick(Cycle now) {
     if (refresh_cmd) return;
   }
 
-  const auto blocked = [this](const Request& req, int queue_id) {
+  // Urgent pausing refreshes must be allowed to close: new demand to the
+  // rank keeps re-activating rows, which can hold off the forced-full REF
+  // past the next boundary and blow the JEDEC postponement budget.
+  std::uint32_t urgent_mask = 0;
+  if (cfg_.refresh_enabled && cfg_.policy == RefreshPolicy::kPausing) {
+    for (RankId r = 0; r < channel_.num_ranks(); ++r) {
+      if (rm_.urgent(r, now)) urgent_mask |= 1u << r;
+    }
+  }
+
+  const auto blocked = [this, urgent_mask](const Request& req, int queue_id) {
     const RankId r = req.coord.rank;
     if (channel_.rank(r).refreshing()) return true;
+    if ((urgent_mask >> r) & 1u) return true;
     // Prefetch reads flow through the whole lock window.
     if (queue_id == 2) return false;
     // Demand is held only while the rank seals for the REF command
@@ -476,6 +503,9 @@ void Controller::tick(Cycle now) {
 std::vector<Request> Controller::drain_completed() {
   std::vector<Request> out;
   out.swap(completed_);
+  if (auditor_ != nullptr) {
+    for (const Request& req : out) auditor_->on_retired(req);
+  }
   return out;
 }
 

@@ -57,6 +57,25 @@ class ControllerListener {
   virtual void on_tick(Cycle now) = 0;
 };
 
+class Controller;
+
+/// Read-only audit hook (src/check). Unlike ControllerListener — which
+/// participates in request servicing — an auditor only observes: the
+/// controller calls it after every tick and for every retired request so an
+/// invariant checker can validate queue/counter/refresh bookkeeping. A null
+/// auditor (the default) costs one branch per tick.
+class ControllerAuditor {
+ public:
+  virtual ~ControllerAuditor() = default;
+
+  /// All per-tick work (burst completion, refresh management, scheduling)
+  /// for `now` has finished; the controller's state is stable.
+  virtual void on_tick_end(const Controller& ctrl, Cycle now) = 0;
+
+  /// A demand read left the controller through drain_completed().
+  virtual void on_retired(const Request& req) = 0;
+};
+
 /// How the controller schedules due refreshes. kAutoRefresh is the
 /// paper's baseline; kRopDrain is the ROP controller behaviour (§IV-D);
 /// kElastic and kPausing implement the two refresh-hiding schemes the
@@ -110,6 +129,11 @@ class Controller {
   Controller& operator=(const Controller&) = delete;
 
   void set_listener(ControllerListener* listener) { listener_ = listener; }
+
+  /// Attach/detach an invariant auditor (nullptr disables; see
+  /// check::SimChecker). Near-zero cost when null.
+  void set_auditor(ControllerAuditor* auditor) { auditor_ = auditor; }
+  [[nodiscard]] ControllerAuditor* auditor() const { return auditor_; }
 
   [[nodiscard]] bool can_accept(ReqType type) const;
 
@@ -177,6 +201,42 @@ class Controller {
            completed_.empty();
   }
 
+  // -- Read-only inspection surface for the invariant checker ------------
+  // (src/check/sim_checker.cpp). Exposes the raw structures the fast paths
+  // maintain incrementally so an auditor can recompute them from scratch.
+  [[nodiscard]] const std::deque<Request>& read_queue() const {
+    return read_q_;
+  }
+  [[nodiscard]] const std::deque<Request>& write_queue() const {
+    return write_q_;
+  }
+  [[nodiscard]] const std::deque<Request>& prefetch_queue() const {
+    return prefetch_q_;
+  }
+  [[nodiscard]] const std::vector<Request>& in_flight() const {
+    return in_flight_;
+  }
+  [[nodiscard]] const std::unordered_set<Address>& write_index() const {
+    return write_index_;
+  }
+  [[nodiscard]] std::uint32_t pending_reads(RankId rank) const {
+    return pending_reads_.at(rank);
+  }
+  [[nodiscard]] std::uint32_t pending_writes(RankId rank) const {
+    return pending_writes_.at(rank);
+  }
+  [[nodiscard]] std::uint32_t queued_prefetches(RankId rank) const {
+    return queued_prefetches_.at(rank);
+  }
+  [[nodiscard]] std::uint32_t inflight_prefetches(RankId rank) const {
+    return inflight_prefetches_.at(rank);
+  }
+  /// kPausing: refresh work (cycles) outstanding for the in-progress
+  /// obligation; 0 when none.
+  [[nodiscard]] Cycle refresh_remaining(RankId rank) const {
+    return refresh_remaining_.at(rank);
+  }
+
   /// Settle cycle accounting (energy) at end of run.
   void finalize(Cycle now);
 
@@ -189,6 +249,8 @@ class Controller {
   [[nodiscard]] Cycle next_event_cycle(Cycle now) const;
 
  private:
+  /// tick() body; split out so the auditor hook runs after every exit path.
+  void step(Cycle now);
   /// Returns true when a refresh-related command (PRE or REF) was issued.
   bool manage_refresh(Cycle now);
   void issue_pick(const SchedulerPick& pick, Cycle now);
@@ -222,6 +284,7 @@ class Controller {
     Counter* prefetch_dropped = nullptr;
     Counter* prefetch_dropped_queue_full = nullptr;
     Counter* prefetch_dropped_stale = nullptr;
+    Counter* prefetch_completed = nullptr;
     Scalar* read_latency = nullptr;
     Histogram* read_latency_hist = nullptr;
   };
@@ -235,6 +298,7 @@ class Controller {
   StatRegistry* stats_;
   StatHandles h_;
   ControllerListener* listener_ = nullptr;
+  ControllerAuditor* auditor_ = nullptr;
 
   std::deque<Request> read_q_;
   std::deque<Request> write_q_;
@@ -271,6 +335,11 @@ class Controller {
   /// whether the in-progress refresh has been paused at least once.
   std::vector<Cycle> refresh_remaining_;
   std::vector<bool> refresh_started_;
+  /// kPausing: whether blocking stats saw the first segment of the
+  /// in-progress refresh. Tracked explicitly — pause overhead mutates
+  /// refresh_remaining_, so "remaining == tRFC" is not a reliable
+  /// first-segment test (see docs/CORRECTNESS.md).
+  std::vector<bool> refresh_window_opened_;
   /// per_bank_refresh: round-robin cursor of the next bank to refresh.
   std::vector<BankId> next_refresh_bank_;
 };

@@ -25,8 +25,11 @@ Cycle RefreshManager::phase_offset(RankId rank) const {
 
 std::uint32_t RefreshManager::owed(RankId rank, Cycle now) const {
   const Cycle offset = phase_offset(rank);
-  if (now < offset) return 0;
-  const std::uint64_t boundaries = (now - offset) / interval() + 1;
+  // The first tREFI interval must elapse before any refresh is owed: rank
+  // r's k-th boundary sits at offset + k * tREFI (k >= 1), never at the
+  // phase offset itself.
+  if (now < offset + interval()) return 0;
+  const std::uint64_t boundaries = (now - offset) / interval();
   const std::uint64_t done = issued_.at(rank);
   return boundaries > done ? static_cast<std::uint32_t>(boundaries - done) : 0;
 }
@@ -37,7 +40,7 @@ Cycle RefreshManager::next_boundary(RankId rank, Cycle now) const {
   // The next boundary not yet covered by an issued refresh; when overdue
   // the boundary is in the past and a refresh is owed now.
   (void)now;
-  return offset + done * interval();
+  return offset + (done + 1) * interval();
 }
 
 void RefreshManager::on_refresh_issued(RankId rank) {

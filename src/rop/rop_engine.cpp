@@ -34,6 +34,7 @@ RopEngine::RopEngine(const RopConfig& cfg, mem::Controller& ctrl,
   h_.lambda = stats->scalar_handle("rop.lambda");
   h_.beta = stats->scalar_handle("rop.beta");
   h_.phase_accuracy = stats->scalar_handle("rop.phase_accuracy");
+  h_.phase_hits_per_fill = stats->scalar_handle("rop.phase_hits_per_fill");
   ctrl_.set_listener(this);
 }
 
@@ -74,6 +75,7 @@ std::optional<Cycle> RopEngine::on_enqueue(const mem::Request& req,
     if (state_ != RopState::kTraining && buffer_.owner() == rank &&
         buffer_.lookup(req.line_addr)) {
       ++phase_hits_;
+      if (round_consumed_.insert(req.line_addr).second) ++phase_consumed_;
       if (in_refresh) {
         ++overall_hits_;
         h_.buffer_hits->inc();
@@ -173,6 +175,7 @@ void RopEngine::on_rank_locked(RankId rank, Cycle now) {
       cfg_.bank_recency_horizon);
 
   buffer_.begin_round(rank);
+  round_consumed_.clear();
   auto requests = prefetcher_.make_prefetches(
       rank, count, skip_per_bank, now,
       cfg_.bank_recency_horizon == 0 ? 0 : horizon);
@@ -209,6 +212,8 @@ void RopEngine::on_refresh_issued(RankId rank, Cycle start, Cycle /*done*/) {
     phase_hits_ = 0;
     phase_opportunities_ = 0;
     phase_fills_ = 0;
+    phase_consumed_ = 0;
+    round_consumed_.clear();
     refreshes_since_eval_ = 0;
   }
 
@@ -224,6 +229,9 @@ void RopEngine::on_refresh_issued(RankId rank, Cycle start, Cycle /*done*/) {
         rank, [this, start](const mem::Request& req) -> std::optional<Cycle> {
           if (buffer_.lookup(req.line_addr)) {
             ++phase_hits_;
+            if (round_consumed_.insert(req.line_addr).second) {
+              ++phase_consumed_;
+            }
             h_.lock_window_served->inc();
             return start + cfg_.sram_latency;
           }
@@ -243,10 +251,17 @@ void RopEngine::evaluate_phase() {
   // raw coverage: when freeze-window demand exceeds the buffer capacity,
   // coverage is capacity-limited even though every prediction was right,
   // and falling back to Training would only forfeit the lines we do serve.
+  // Accuracy counts each staged line at most once per round: a hot line
+  // served many times (or re-served during the lock window) must not mask
+  // rounds full of unconsumed fills, so accuracy is bounded by 1.0 and
+  // repeat traffic is reported separately as hits-per-fill.
   if (phase_fills_ >= cfg_.eval_min_opportunities) {
-    const double accuracy = static_cast<double>(phase_hits_) /
+    const double accuracy = static_cast<double>(phase_consumed_) /
                             static_cast<double>(phase_fills_);
+    ROP_ASSERT(accuracy <= 1.0);
     h_.phase_accuracy->record(accuracy);
+    h_.phase_hits_per_fill->record(static_cast<double>(phase_hits_) /
+                                   static_cast<double>(phase_fills_));
     if (accuracy < cfg_.hit_rate_threshold) {
       // Patterns drifted: retrain lambda/beta from scratch (paper §IV-C).
       h_.retrain_events->inc();
@@ -259,6 +274,8 @@ void RopEngine::evaluate_phase() {
   phase_hits_ = 0;
   phase_opportunities_ = 0;
   phase_fills_ = 0;
+  phase_consumed_ = 0;
+  round_consumed_.clear();
 }
 
 void RopEngine::on_prefetch_filled(const mem::Request& req, Cycle now) {
@@ -278,6 +295,9 @@ void RopEngine::on_prefetch_filled(const mem::Request& req, Cycle now) {
         // Arrival was already counted as a freeze opportunity; the late
         // fill flips it from a stall into a service.
         ++phase_hits_;
+        if (round_consumed_.insert(queued.line_addr).second) {
+          ++phase_consumed_;
+        }
         h_.lock_window_served->inc();
         return now + cfg_.sram_latency;
       });

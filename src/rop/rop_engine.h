@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -86,6 +87,9 @@ class RopEngine final : public mem::ControllerListener {
   void on_tick(Cycle now) override;
 
   [[nodiscard]] RopState state() const { return state_; }
+  /// The controller this engine is attached to (checker uses it to pair
+  /// buffer contents with the owning channel's write queue).
+  [[nodiscard]] const mem::Controller& controller() const { return ctrl_; }
   [[nodiscard]] double lambda() const { return profiler_.lambda(); }
   [[nodiscard]] double beta() const { return profiler_.beta(); }
   [[nodiscard]] const SramBuffer& buffer() const { return buffer_; }
@@ -121,6 +125,7 @@ class RopEngine final : public mem::ControllerListener {
     Scalar* lambda = nullptr;
     Scalar* beta = nullptr;
     Scalar* phase_accuracy = nullptr;
+    Scalar* phase_hits_per_fill = nullptr;
   };
 
   RopConfig cfg_;
@@ -147,6 +152,11 @@ class RopEngine final : public mem::ControllerListener {
   std::uint64_t phase_hits_ = 0;
   std::uint64_t phase_opportunities_ = 0;
   std::uint64_t phase_fills_ = 0;
+  /// Distinct staged lines served at least once, summed over rounds. The
+  /// accuracy metric divides this (not raw hits) by fills: repeat services
+  /// of one staged line must not push "accuracy" past 1.0.
+  std::uint64_t phase_consumed_ = 0;
+  std::unordered_set<Address> round_consumed_;  // this round's served lines
   std::uint64_t overall_hits_ = 0;
   std::uint64_t overall_opportunities_ = 0;
   std::uint64_t sram_on_cycles_ = 0;

@@ -48,6 +48,10 @@ class SramBuffer {
     return map_.find(line_addr) != map_.end();
   }
 
+  /// All buffered line addresses in LRU order (front = least recent).
+  /// Read-only view for the invariant checker's coherence sweep.
+  [[nodiscard]] const std::vector<Address>& lines() const { return lru_; }
+
   /// Drop a line if present (write coherence).
   void invalidate(Address line_addr);
 

@@ -1,11 +1,26 @@
 #include "sim/experiment.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
+#include "check/sim_checker.h"
 #include "mem/refresh_stats.h"
 #include "workload/synthetic.h"
 
 namespace rop::sim {
+
+bool checker_enabled_by_environment() {
+  if (const char* env = std::getenv("ROP_CHECK")) {
+    return std::strcmp(env, "0") != 0 && env[0] != '\0';
+  }
+#ifdef ROP_CHECKER_DEFAULT_ON
+  return true;
+#else
+  return false;
+#endif
+}
 
 double ExperimentResult::weighted_speedup(
     const std::vector<double>& ipc_alone) const {
@@ -25,6 +40,15 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   const mem::MemoryConfig mem_cfg =
       make_memory_config(spec.ranks, spec.mode, spec.refresh_mode);
   mem::MemorySystem memory(mem_cfg, &result.stats);
+
+  // Opt-in invariant auditor: per-tick structural checks plus an end-of-run
+  // conservation audit. Any violation aborts the experiment with a report —
+  // a simulator whose bookkeeping has drifted produces meaningless numbers.
+  std::unique_ptr<check::SimChecker> checker;
+  if (spec.check || checker_enabled_by_environment()) {
+    checker = std::make_unique<check::SimChecker>();
+    checker->attach(memory);
+  }
 
   // ROP engines attach one per channel and live for the whole run.
   std::vector<std::unique_ptr<engine::RopEngine>> engines;
@@ -49,8 +73,22 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   cpu::SystemConfig sys_cfg =
       make_system_config(spec.llc_bytes, spec.rank_partition);
   sys_cfg.fast_forward = spec.fast_forward;
+  if (checker) {
+    for (const auto& eng : engines) checker->watch(*eng);
+  }
+
   cpu::System system(sys_cfg, memory, trace_ptrs);
   result.run = system.run(spec.instructions_per_core, spec.max_cpu_cycles);
+
+  if (checker) {
+    checker->finalize();
+    result.checker_ticks = checker->ticks_checked();
+    result.checker_violations = checker->violation_count();
+    if (!checker->ok()) {
+      std::fprintf(stderr, "%s\n", checker->summary().c_str());
+      ROP_ASSERT(false && "SimChecker found invariant violations");
+    }
+  }
 
   // Energy: DRAM per channel + the SRAM buffer when ROP is active.
   const energy::DramPowerModel power(energy::DramEnergyParams{},

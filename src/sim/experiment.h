@@ -31,12 +31,21 @@ struct ExperimentSpec {
   /// Frozen-cycle fast-forward (bit-identical to the naive loop; see
   /// cpu::SystemConfig::fast_forward). Off only for cross-checks.
   bool fast_forward = true;
+  /// Audit the run with check::SimChecker (per-tick invariants + end-of-run
+  /// request conservation); a violation aborts the experiment with a
+  /// report. Also enabled by ROP_CHECK=1 in the environment or the
+  /// ROP_ENABLE_CHECKER CMake option (ROP_CHECK=0 overrides the latter).
+  bool check = false;
 };
 
 struct ExperimentResult {
   cpu::RunResult run;
   energy::EnergyBreakdown energy;
   StatRegistry stats;
+
+  // Invariant-checker outcome (zeros when the checker was disabled).
+  std::uint64_t checker_ticks = 0;
+  std::uint64_t checker_violations = 0;
 
   // ROP-specific metrics (zero/defaults for baseline and no-refresh).
   double sram_hit_rate = 0.0;
@@ -62,6 +71,10 @@ struct ExperimentResult {
 
 /// Run one experiment end to end. Deterministic for a fixed spec.
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+/// True when runs should be audited: spec-independent part of the
+/// ExperimentSpec::check resolution (ROP_CHECK env var, CMake default).
+[[nodiscard]] bool checker_enabled_by_environment();
 
 /// Convenience for single-benchmark single-core specs.
 [[nodiscard]] ExperimentSpec single_core_spec(std::string benchmark,

@@ -120,9 +120,10 @@ TEST_F(ControllerTest, AutoRefreshIssuesOnCadence) {
   auto c = make();  // refresh enabled, baseline policy
   const Cycle horizon = 5 * t.tREFI;
   run_until(*c, 0, horizon, [] { return false; });
-  // Boundaries at 0, tREFI, ..., 4 x tREFI inside the horizon.
-  EXPECT_EQ(c->refresh_manager().issued(0), 5u);
-  EXPECT_EQ(stats.counter_value("mem.refreshes"), 5u);
+  // Boundaries at tREFI, ..., 4 x tREFI inside the horizon (the first
+  // tREFI interval must elapse before a refresh comes due).
+  EXPECT_EQ(c->refresh_manager().issued(0), 4u);
+  EXPECT_EQ(stats.counter_value("mem.refreshes"), 4u);
 }
 
 TEST_F(ControllerTest, NoRefreshModeNeverRefreshes) {
@@ -135,22 +136,24 @@ TEST_F(ControllerTest, NoRefreshModeNeverRefreshes) {
 
 TEST_F(ControllerTest, BaselineBlocksDemandDuringRefresh) {
   auto c = make();
-  // Enqueue right at the refresh boundary: the read must wait out tRFC.
-  ASSERT_TRUE(c->enqueue(read_req(0x5000, 0, 0, 3), 0));
+  // Enqueue right at the first refresh boundary (tREFI): the read must
+  // wait out tRFC.
+  const Cycle boundary = t.tREFI;
+  ASSERT_TRUE(c->enqueue(read_req(0x5000, 0, 0, 3), boundary));
   std::vector<Request> done;
-  run_until(*c, 0, 3000, [&] {
+  run_until(*c, boundary, boundary + 3000, [&] {
     auto d = c->drain_completed();
     done.insert(done.end(), d.begin(), d.end());
     return !done.empty();
   });
   ASSERT_EQ(done.size(), 1u);
-  EXPECT_GE(done[0].completion, static_cast<Cycle>(t.tRFC));
+  EXPECT_GE(done[0].completion, boundary + static_cast<Cycle>(t.tRFC));
 }
 
 TEST_F(ControllerTest, RankLockedAndUnavailableTrackPhases) {
   auto c = make();
   EXPECT_FALSE(c->rank_locked(0));
-  c->tick(0);  // refresh due at 0: baseline seals immediately
+  c->tick(t.tREFI);  // refresh due at tREFI: baseline seals immediately
   // Either the REF went out on the first tick (rank refreshing) or the
   // rank is sealing; both count as unavailable.
   EXPECT_TRUE(c->rank_unavailable(0));
@@ -245,6 +248,68 @@ TEST_F(ControllerTest, StalePrefetchFillDropped) {
   EXPECT_TRUE(write_sent);
   EXPECT_TRUE(listener.fills.empty());
   EXPECT_EQ(stats.counter_value("rop.prefetch_dropped_stale"), 1u);
+}
+
+// Companion to StalePrefetchFillDropped: once the fill is dropped, a read
+// to the line must see the newest data via write-forwarding — it can never
+// be SRAM-served, because no fill was ever delivered to the buffer.
+TEST_F(ControllerTest, ReadAfterStaleDropForwardsNeverSramServed) {
+  ControllerConfig cfg;
+  cfg.refresh_enabled = false;
+  auto c = make(cfg);
+  RecordingListener listener;
+  c->set_listener(&listener);
+  Request pf = read_req(0x8000, 0, 0, 9, 2);
+  pf.type = ReqType::kPrefetch;
+  ASSERT_TRUE(c->enqueue_prefetch(pf, 0));
+  Cycle now = 0;
+  bool write_sent = false;
+  for (; now < 4000 &&
+         stats.counter_value("rop.prefetch_dropped_stale") == 0;
+       ++now) {
+    if (now % 6 == 0 && c->can_accept(ReqType::kRead)) {
+      c->enqueue(read_req(0x100000 + (now << 6), 0, 2, 1,
+                          static_cast<ColumnId>(now / 6 % 128)),
+                 now);
+    }
+    if (!write_sent && stats.counter_value("rop.prefetch_issued") == 1) {
+      ASSERT_TRUE(c->enqueue(write_req(0x8000, 0, 1, 1), now));
+      write_sent = true;
+    }
+    c->tick(now);
+    c->drain_completed();
+  }
+  ASSERT_EQ(stats.counter_value("rop.prefetch_dropped_stale"), 1u);
+  EXPECT_TRUE(listener.fills.empty());
+  // The superseding write is still queued (reads starve it), so the read
+  // forwards from the write queue at enqueue time.
+  ASSERT_TRUE(c->enqueue(read_req(0x8000, 0, 1, 1), now));
+  const auto done = c->drain_completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].line_addr, 0x8000u);
+  EXPECT_EQ(done[0].serviced_by, ServicedBy::kWriteForward);
+}
+
+// Writes are posted and leave the write index the moment their WR command
+// issues. A write to the same line arriving while the older one is mid-issue
+// (burst still on the bus) must become a NEW queue entry, not coalesce into
+// a no-longer-queued write — otherwise its data would be silently lost.
+TEST_F(ControllerTest, WriteAfterOlderWriteIssuedIsNotCoalesced) {
+  ControllerConfig cfg;
+  cfg.refresh_enabled = false;
+  auto c = make(cfg);
+  ASSERT_TRUE(c->enqueue(write_req(0x9000, 0, 0, 3), 0));
+  Cycle now = 0;
+  for (; now < 2000 && stats.counter_value("mem.writes_issued") == 0; ++now) {
+    c->tick(now);
+  }
+  ASSERT_EQ(stats.counter_value("mem.writes_issued"), 1u);
+  // Older write just issued; the line is no longer queued.
+  ASSERT_TRUE(c->enqueue(write_req(0x9000, 0, 0, 3), now));
+  EXPECT_EQ(stats.counter_value("mem.write_coalesced"), 0u);
+  EXPECT_EQ(c->write_queue_depth(), 1u);
+  for (; now < 4000 && !c->idle(); ++now) c->tick(now);
+  EXPECT_EQ(stats.counter_value("mem.writes_issued"), 2u);
 }
 
 TEST_F(ControllerTest, CompleteMatchingReadsServicesQueued) {

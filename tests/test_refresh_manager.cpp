@@ -13,33 +13,51 @@ class RefreshManagerTest : public ::testing::Test {
 
 TEST_F(RefreshManagerTest, FirstRefreshDueAtFirstBoundary) {
   RefreshManager rm(t, 1);
-  EXPECT_EQ(rm.owed(0, 0), 1u);  // boundary at phase offset 0
-  rm.on_refresh_issued(0);
+  // Nothing is owed until a full tREFI has elapsed: the first boundary
+  // sits at offset + tREFI, not at the phase offset itself.
   EXPECT_EQ(rm.owed(0, 0), 0u);
   EXPECT_EQ(rm.owed(0, t.tREFI - 1), 0u);
   EXPECT_EQ(rm.owed(0, t.tREFI), 1u);
+  rm.on_refresh_issued(0);
+  EXPECT_EQ(rm.owed(0, t.tREFI), 0u);
+  EXPECT_EQ(rm.owed(0, 2 * t.tREFI - 1), 0u);
+  EXPECT_EQ(rm.owed(0, 2 * t.tREFI), 1u);
+}
+
+// Regression for the owed() off-by-one: the formula used to count the
+// phase offset itself as a boundary, so rank 0 was issued its first REF
+// at cycle 0 instead of one full tREFI in. Pin the first-REF-due cycle
+// for every rank of a staggered 4-rank config.
+TEST_F(RefreshManagerTest, FirstRefreshCyclePinnedPerRank) {
+  RefreshManager rm(t, 4);
+  for (RankId r = 0; r < 4; ++r) {
+    const Cycle first = rm.phase_offset(r) + t.tREFI;
+    EXPECT_EQ(rm.owed(r, first - 1), 0u) << "rank " << r;
+    EXPECT_EQ(rm.owed(r, first), 1u) << "rank " << r;
+    EXPECT_EQ(rm.next_boundary(r, 0), first) << "rank " << r;
+  }
 }
 
 TEST_F(RefreshManagerTest, OwedAccumulatesWhenPostponed) {
   RefreshManager rm(t, 1);
   // Never issue: after k boundaries, k refreshes are owed.
-  EXPECT_EQ(rm.owed(0, 3 * t.tREFI), 4u);  // boundaries at 0,1,2,3 x tREFI
+  EXPECT_EQ(rm.owed(0, 3 * t.tREFI), 3u);  // boundaries at 1,2,3 x tREFI
 }
 
 TEST_F(RefreshManagerTest, UrgentAtPostponementBudget) {
   RefreshManager rm(t, 1);
-  const Cycle almost = (t.max_postponed_refreshes - 1) * t.tREFI;
+  const Cycle almost = t.max_postponed_refreshes * t.tREFI;
   EXPECT_FALSE(rm.urgent(0, almost - 1));
   EXPECT_TRUE(rm.urgent(0, almost));  // 8 boundaries passed, none issued
 }
 
 TEST_F(RefreshManagerTest, CatchUpClearsBacklog) {
   RefreshManager rm(t, 1);
-  const Cycle now = 3 * t.tREFI;  // 4 owed
-  for (int i = 0; i < 4; ++i) rm.on_refresh_issued(0);
+  const Cycle now = 3 * t.tREFI;  // 3 owed
+  for (int i = 0; i < 3; ++i) rm.on_refresh_issued(0);
   EXPECT_EQ(rm.owed(0, now), 0u);
-  EXPECT_EQ(rm.issued(0), 4u);
-  EXPECT_EQ(rm.total_issued(), 4u);
+  EXPECT_EQ(rm.issued(0), 3u);
+  EXPECT_EQ(rm.total_issued(), 3u);
 }
 
 TEST_F(RefreshManagerTest, RanksAreStaggered) {
@@ -47,20 +65,20 @@ TEST_F(RefreshManagerTest, RanksAreStaggered) {
   EXPECT_EQ(rm.phase_offset(0), 0u);
   EXPECT_EQ(rm.phase_offset(1), t.tREFI / 4);
   EXPECT_EQ(rm.phase_offset(3), 3u * t.tREFI / 4);
-  // Before its phase offset, a rank owes nothing.
-  EXPECT_EQ(rm.owed(3, rm.phase_offset(3) - 1), 0u);
-  EXPECT_EQ(rm.owed(3, rm.phase_offset(3)), 1u);
+  // Before its first boundary (offset + tREFI), a rank owes nothing.
+  EXPECT_EQ(rm.owed(3, rm.phase_offset(3) + t.tREFI - 1), 0u);
+  EXPECT_EQ(rm.owed(3, rm.phase_offset(3) + t.tREFI), 1u);
 }
 
 TEST_F(RefreshManagerTest, NextBoundaryAdvancesWithIssues) {
   RefreshManager rm(t, 2);
-  EXPECT_EQ(rm.next_boundary(0, 0), 0u);
-  rm.on_refresh_issued(0);
-  EXPECT_EQ(rm.next_boundary(0, 10), static_cast<Cycle>(t.tREFI));
+  EXPECT_EQ(rm.next_boundary(0, 0), static_cast<Cycle>(t.tREFI));
   rm.on_refresh_issued(0);
   EXPECT_EQ(rm.next_boundary(0, 10), static_cast<Cycle>(2 * t.tREFI));
-  // Rank 1 boundaries sit at its phase offset.
-  EXPECT_EQ(rm.next_boundary(1, 0), rm.phase_offset(1));
+  rm.on_refresh_issued(0);
+  EXPECT_EQ(rm.next_boundary(0, 10), static_cast<Cycle>(3 * t.tREFI));
+  // Rank 1 boundaries sit one interval past its phase offset.
+  EXPECT_EQ(rm.next_boundary(1, 0), rm.phase_offset(1) + t.tREFI);
 }
 
 TEST_F(RefreshManagerTest, LongRunAverageOnePerTrefi) {
@@ -74,9 +92,9 @@ TEST_F(RefreshManagerTest, LongRunAverageOnePerTrefi) {
     ++issued;
   }
   EXPECT_EQ(issued, 1000u);
-  // Elapsed time ~ 999 x tREFI (first due at 0).
+  // Elapsed time ~ 1000 x tREFI (first due at tREFI).
   EXPECT_NEAR(static_cast<double>(now),
-              999.0 * static_cast<double>(t.tREFI),
+              1000.0 * static_cast<double>(t.tREFI),
               static_cast<double>(t.tREFI));
 }
 

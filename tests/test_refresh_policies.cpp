@@ -2,6 +2,8 @@
 // Pausing, and per-bank refresh (REFpb).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "mem/memory_system.h"
 
@@ -101,6 +103,92 @@ TEST_F(RefreshPolicyTest, PausingCompletesRefreshWorkInSegments) {
   // Refresh work actually executed in segments.
   EXPECT_GT(mem.controller(0).channel().events().refresh_segments,
             issued);
+}
+
+// Regression: the blocking window must be opened exactly once per refresh
+// obligation. The old code inferred "first segment" from
+// refresh_remaining_ == tRFC, but pause overhead grows refresh_remaining_,
+// so with pause_overhead >= pause_quantum a pause restores it to exactly
+// tRFC and on_refresh_start re-fired on every resumed segment (hundreds of
+// phantom windows per refresh).
+TEST_F(RefreshPolicyTest, PausingCountsBlockingWindowOncePerRefresh) {
+  StatRegistry stats;
+  MemoryConfig cfg = config(RefreshPolicy::kPausing);
+  cfg.ctrl.pause_quantum = 48;
+  cfg.ctrl.pause_overhead = 48;  // each pause undoes one segment of work
+  MemorySystem mem(cfg, &stats);
+  const Cycle trefi = mem.config().timings.tREFI;
+  // A read lands in every inter-segment gap, forcing a pause per segment.
+  std::uint64_t line = 0;
+  for (Cycle now = 0; now < 10 * trefi; ++now) {
+    if (now % 60 == 0 &&
+        mem.can_accept(line << kLineShift, ReqType::kRead)) {
+      if (mem.enqueue(line << kLineShift, ReqType::kRead, 0, now)) ++line;
+    }
+    mem.tick(now);
+    mem.drain_completed();
+  }
+  const auto& c = mem.controller(0);
+  const auto issued = c.refresh_manager().issued(0);
+  EXPECT_GT(stats.counter_value("mem.refresh_pauses"), 0u);
+  // One window per completed refresh, plus at most one for a refresh still
+  // in progress at the horizon. The old sentinel counted hundreds.
+  EXPECT_GE(c.blocking_stats().total_refreshes(), issued);
+  EXPECT_LE(c.blocking_stats().total_refreshes(), issued + 1);
+}
+
+// Regression companion: demand already pending when the refresh comes due,
+// so the pause path runs before the first segment ever issues. The window
+// must still be counted exactly once.
+TEST_F(RefreshPolicyTest, PausingPauseBeforeFirstSegmentCountsWindowOnce) {
+  StatRegistry stats;
+  MemorySystem mem(config(RefreshPolicy::kPausing), &stats);
+  const Cycle trefi = mem.config().timings.tREFI;
+  // Back-to-back reads straddling the first boundary keep pending_demand
+  // nonzero at due time; afterwards the queue drains and the refresh runs.
+  std::uint64_t line = 0;
+  for (Cycle now = 0; now < trefi + 2000; ++now) {
+    const bool near_boundary = now + 400 >= trefi && now <= trefi + 400;
+    if (near_boundary && now % 10 == 0 &&
+        mem.can_accept(line << kLineShift, ReqType::kRead)) {
+      if (mem.enqueue(line << kLineShift, ReqType::kRead, 0, now)) ++line;
+    }
+    mem.tick(now);
+    mem.drain_completed();
+  }
+  const auto& c = mem.controller(0);
+  EXPECT_EQ(c.refresh_manager().issued(0), 1u);
+  EXPECT_EQ(c.blocking_stats().total_refreshes(), 1u);
+}
+
+// Regression: under saturating demand, an urgent (budget-exhausted) pausing
+// refresh must preempt new demand to its rank. Before the fix, the scheduler
+// kept re-activating rows on the starved rank, the forced-full REF could not
+// close, and owed refreshes climbed past the JEDEC 8-postponement budget.
+TEST_F(RefreshPolicyTest, PausingUrgentRefreshNeverExceedsPostponementBudget) {
+  StatRegistry stats;
+  MemoryConfig cfg = config(RefreshPolicy::kPausing);
+  cfg.org.ranks = 2;
+  MemorySystem mem(cfg, &stats);
+  const Cycle trefi = mem.config().timings.tREFI;
+  const auto budget = mem.config().timings.max_postponed_refreshes;
+  Rng rng(3 * 1337);
+  std::uint32_t max_owed = 0;
+  for (Cycle now = 0; now < 20 * trefi; ++now) {
+    if (now % 3 == 0) {
+      const Address addr = rng.next_below(1u << 22) << kLineShift;
+      if (mem.can_accept(addr, ReqType::kRead)) {
+        (void)mem.enqueue(addr, ReqType::kRead, 0, now);
+      }
+    }
+    mem.tick(now);
+    mem.drain_completed();
+    const auto& rm = mem.controller(0).refresh_manager();
+    for (RankId r = 0; r < cfg.org.ranks; ++r) {
+      max_owed = std::max(max_owed, rm.owed(r, now));
+    }
+  }
+  EXPECT_LE(max_owed, budget);
 }
 
 TEST_F(RefreshPolicyTest, PausingImprovesTailLatencyOverAutoRefresh) {

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "check/sim_checker.h"
 #include "common/table.h"
 #include "cpu/system.h"
 #include "energy/dram_power.h"
@@ -49,6 +50,7 @@ struct Options {
   bool compare = false;
   unsigned jobs = 0;
   bool fast_forward = true;
+  bool check = false;
 };
 
 [[noreturn]] void usage(int code) {
@@ -76,6 +78,9 @@ struct Options {
       "                       per hardware thread)\n"
       "  --no-fast-forward    disable the frozen-cycle fast-forward\n"
       "                       (results are bit-identical either way)\n"
+      "  --check              audit the run with the SimChecker invariant\n"
+      "                       checker (see docs/CORRECTNESS.md); nonzero\n"
+      "                       exit on any violation\n"
       "  --help\n");
   std::exit(code);
 }
@@ -123,6 +128,8 @@ Options parse(int argc, char** argv) {
       opt.jobs = static_cast<unsigned>(std::atoi(need(i)));
     } else if (arg == "--no-fast-forward") {
       opt.fast_forward = false;
+    } else if (arg == "--check") {
+      opt.check = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -183,6 +190,7 @@ sim::ExperimentSpec spec_from_options(const Options& opt,
   spec.instructions_per_core = opt.instructions;
   spec.max_cpu_cycles = opt.instructions * 256;
   spec.fast_forward = opt.fast_forward;
+  spec.check = opt.check;
   return spec;
 }
 
@@ -286,6 +294,11 @@ int main(int argc, char** argv) {
   const mem::MemoryConfig mem_cfg =
       sim::make_memory_config(opt.ranks, mode, parse_refresh(opt.refresh_mode));
   mem::MemorySystem memory(mem_cfg, &stats);
+  std::unique_ptr<check::SimChecker> checker;
+  if (opt.check || sim::checker_enabled_by_environment()) {
+    checker = std::make_unique<check::SimChecker>();
+    checker->attach(memory);
+  }
   std::vector<std::unique_ptr<engine::RopEngine>> engines;
   if (mode == sim::MemoryMode::kRop) {
     engine::RopConfig rc;
@@ -301,6 +314,9 @@ int main(int argc, char** argv) {
       sim::make_system_config(opt.llc_mb << 20, opt.rank_partition);
   sys_cfg.fast_forward = opt.fast_forward;
   cpu::System system(sys_cfg, memory, source_ptrs);
+  if (checker) {
+    for (const auto& eng : engines) checker->watch(*eng);
+  }
 
   std::printf("ropsim: mode=%s ranks=%u llc=%lluMiB refresh=%s cores=%u\n",
               opt.mode.c_str(), opt.ranks,
@@ -393,6 +409,12 @@ int main(int argc, char** argv) {
 
   if (opt.dump_stats) {
     std::printf("\n--- raw statistics ---\n%s", stats.report().c_str());
+  }
+
+  if (checker) {
+    checker->finalize();
+    std::printf("\n%s\n", checker->summary().c_str());
+    if (!checker->ok()) return 1;
   }
   return 0;
 }
