@@ -36,6 +36,13 @@ inline unsigned bench_threads() {
   return 0;
 }
 
+/// Simulation throughput in simulated memory-controller megacycles per
+/// wall-clock second — the unit the host-speed reports use (see
+/// docs/PERFORMANCE.md). Zero when the run was too fast to time.
+inline double sim_mcycles_per_second(const sim::ExperimentResult& r) {
+  return r.sim_cycles_per_second() / 1e6;
+}
+
 inline double geomean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   double log_sum = 0.0;

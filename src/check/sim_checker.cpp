@@ -100,6 +100,22 @@ void SimChecker::check_queue_counters(const mem::Controller& c, Cycle now) {
     }
   }
 
+  // Drain bookkeeping: while a rank is locked for refresh, the cached
+  // drain_pending counter must equal the queued reads that arrived at or
+  // before the lock (the naive definition the event core replaced with
+  // incremental updates).
+  for (RankId r = 0; r < ranks; ++r) {
+    const Cycle lock = c.locked_at(r);
+    if (lock == kNeverCycle) continue;
+    std::uint32_t old_reads = 0;
+    for (const auto& req : c.read_queue()) {
+      if (req.coord.rank == r && req.arrival <= lock) ++old_reads;
+    }
+    if (c.drain_pending(r) != old_reads) {
+      mismatch("drain_pending", r, c.drain_pending(r), old_reads);
+    }
+  }
+
   // write_index_ must be *exactly* the queued write lines: every queued
   // write present, and no stale leftover entries (coalescing guarantees
   // one queued write per line, so the sizes must match too).

@@ -65,14 +65,20 @@ Address System::relocate(CoreId core, Address local) const {
 std::optional<RequestId> System::issue_read(CoreId core, Address addr) {
   const Address phys = relocate(core, addr);
   if (!memory_.can_accept(phys, mem::ReqType::kRead)) return std::nullopt;
-  return memory_.enqueue(phys, mem::ReqType::kRead, core, mem_now_);
+  const auto id = memory_.enqueue(phys, mem::ReqType::kRead, core, mem_now_);
+  // The cached next-event answer is stale the moment a request lands; the
+  // next boundary tick must execute to observe it.
+  if (id) mem_dirty_ = true;
+  return id;
 }
 
 bool System::issue_write(CoreId core, Address addr) {
   const Address phys = relocate(core, addr);
   if (!memory_.can_accept(phys, mem::ReqType::kWrite)) return false;
-  return memory_.enqueue(phys, mem::ReqType::kWrite, core, mem_now_)
-      .has_value();
+  const bool ok =
+      memory_.enqueue(phys, mem::ReqType::kWrite, core, mem_now_).has_value();
+  if (ok) mem_dirty_ = true;
+  return ok;
 }
 
 RunResult System::run(std::uint64_t target_instructions,
@@ -82,22 +88,31 @@ RunResult System::run(std::uint64_t target_instructions,
   std::vector<bool> crossed(cores_.size(), false);
   std::size_t remaining = cores_.size();
 
-  // The last CPU cycle whose memory tick the naive loop would execute.
-  // Fast-forward never skips past it, so the end-of-run listener tick (and
-  // its lazy delta accounting, e.g. SRAM-on time) lands on the same cycle
-  // as in the naive loop.
-  const std::uint64_t last_tick_cycle =
-      max_cpu_cycles == 0
-          ? 0
-          : ((max_cpu_cycles - 1) / cfg_.cpu_ratio) * cfg_.cpu_ratio;
+  // Event-driven memory clock. Controller::next_event_cycle guarantees
+  // every tick in (now, event) is a no-op for the frozen controller state,
+  // so boundary ticks before the cached event are skipped even while cores
+  // are running. An enqueue invalidates the cached answer, so it sets
+  // mem_dirty_ (see issue_read/issue_write) and the next boundary tick
+  // executes — which is also the first tick that can observe the request:
+  // the naive tick(M) only sees arrivals <= M - 1. The memory clock itself
+  // (mem_now_) advances at *every* boundary, ticked or not, so arrivals
+  // are stamped identically to the naive loop.
+  Cycle mem_next_event = 0;  // next memory cycle whose tick must execute
+  mem_dirty_ = false;
 
   std::uint64_t cpu_cycle = 0;
   while (cpu_cycle < max_cpu_cycles && remaining > 0) {
     if (cpu_cycle % cfg_.cpu_ratio == 0) {
       mem_now_ = cpu_cycle / cfg_.cpu_ratio;
-      memory_.tick(mem_now_);
-      for (const mem::Request& req : memory_.drain_completed()) {
-        cores_.at(req.core)->on_read_complete(req.id);
+      if (!cfg_.fast_forward || mem_dirty_ || mem_now_ >= mem_next_event) {
+        memory_.tick(mem_now_);
+        for (const mem::Request& req : memory_.drain_completed()) {
+          cores_.at(req.core)->on_read_complete(req.id);
+        }
+        mem_dirty_ = false;
+        if (cfg_.fast_forward) {
+          mem_next_event = memory_.next_event_cycle(mem_now_);
+        }
       }
     }
     for (std::size_t c = 0; c < cores_.size(); ++c) {
@@ -119,17 +134,27 @@ RunResult System::run(std::uint64_t target_instructions,
 
     // Frozen-cycle fast-forward: with every core blocked on a critical
     // load, nothing can retire and no new request can arrive, so every CPU
-    // cycle before the memory's next event is a pure stall and every
-    // intermediate memory tick a no-op. Jump straight to the event instead
-    // of spinning through the frozen cycles.
+    // cycle before the next forced memory tick is a pure stall. Jump
+    // straight there instead of spinning through the frozen cycles.
     if (!cfg_.fast_forward || remaining == 0 || !all_cores_stalled()) {
       continue;
     }
-    const Cycle next_mem = memory_.next_event_cycle(mem_now_);
-    std::uint64_t target = last_tick_cycle;
-    if (next_mem <= last_tick_cycle / cfg_.cpu_ratio) {
-      target = next_mem * cfg_.cpu_ratio;
+    std::uint64_t target;
+    if (mem_dirty_) {
+      // A request arrived in this boundary window (the issuing core has
+      // since stalled on it); its first observable tick is the next
+      // boundary.
+      target = ((cpu_cycle + cfg_.cpu_ratio - 1) / cfg_.cpu_ratio) *
+               cfg_.cpu_ratio;
+    } else if (mem_next_event <= max_cpu_cycles / cfg_.cpu_ratio) {
+      target = mem_next_event * cfg_.cpu_ratio;
+    } else {
+      // No upcoming event inside the run (kNeverCycle, or past the cycle
+      // limit): stall out the remainder. End-of-run accounting settles in
+      // finalize(), at the same cycle as the naive loop.
+      target = max_cpu_cycles;
     }
+    if (target > max_cpu_cycles) target = max_cpu_cycles;
     if (target <= cpu_cycle) continue;
     const std::uint64_t skip = target - cpu_cycle;
     for (auto& core : cores_) core->skip_stalled_cycles(skip);

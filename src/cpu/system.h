@@ -22,10 +22,12 @@ struct SystemConfig {
   cache::LlcConfig llc{};
   bool shared_llc = true;   // multi-core: one LLC shared by all cores
   bool rank_partition = false;  // paper §IV-A rank-aware mapping
-  /// Frozen-cycle fast-forward: when every core is stalled on memory, jump
-  /// the CPU clock to the next memory event instead of spinning. Results
-  /// are bit-identical to the naive loop (enforced by the determinism
-  /// test); set false to run the naive loop for cross-checking.
+  /// Event-driven memory clock: skip memory ticks between controller
+  /// events (even while cores run), and when every core is stalled on
+  /// memory jump the CPU clock to the next event instead of spinning.
+  /// Results are bit-identical to the naive per-cycle loop (enforced by
+  /// the determinism tests); set false to run the naive loop for
+  /// cross-checking.
   bool fast_forward = true;
 };
 
@@ -98,6 +100,9 @@ class System final : public MemoryPort {
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<CoreStatHandles> core_stat_handles_;
   Cycle mem_now_ = 0;
+  /// Set by issue_read/issue_write when a request lands: the cached
+  /// next-event cycle is stale and the next boundary tick must execute.
+  bool mem_dirty_ = false;
 };
 
 }  // namespace rop::cpu

@@ -27,6 +27,30 @@ bool Bank::can_issue(CmdType type, RowId row, Cycle now) const {
   return false;
 }
 
+Cycle Bank::earliest_issue(CmdType type, RowId row) const {
+  switch (type) {
+    case CmdType::kActivate:
+      // kPrecharged waits out tRP/tRC recovery; kRefreshing is released at
+      // next_activate_ (see complete_refresh), after which ACT is legal the
+      // same cycle. Only an open row blocks ACT until someone precharges.
+      return state_ == BankState::kActive ? kNeverCycle : next_activate_;
+    case CmdType::kPrecharge:
+      return state_ == BankState::kActive ? next_precharge_ : kNeverCycle;
+    case CmdType::kRead:
+      return state_ == BankState::kActive && open_row_ && *open_row_ == row
+                 ? next_read_
+                 : kNeverCycle;
+    case CmdType::kWrite:
+      return state_ == BankState::kActive && open_row_ && *open_row_ == row
+                 ? next_write_
+                 : kNeverCycle;
+    case CmdType::kRefresh:
+    case CmdType::kRefreshBank:
+      return state_ == BankState::kActive ? kNeverCycle : next_activate_;
+  }
+  return kNeverCycle;
+}
+
 void Bank::issue(CmdType type, RowId row, Cycle now, const DramTimings& t) {
   ROP_ASSERT(can_issue(type, row, now));
   switch (type) {

@@ -38,6 +38,16 @@ class Bank {
   /// Would `cmd` targeting this bank be legal at `now` (bank scope only)?
   [[nodiscard]] bool can_issue(CmdType type, RowId row, Cycle now) const;
 
+  /// Earliest cycle at which `type` targeting `row` could legally issue at
+  /// bank scope, assuming no further commands reach this bank in between.
+  /// Returns kNeverCycle when no passage of time alone can make the command
+  /// legal from the current state (e.g. RD to a row that is not open): some
+  /// other command must land first, which re-derives the answer. The only
+  /// state transition time *does* perform is the refresh release, which is
+  /// folded in: an ACT against a kRefreshing bank becomes legal at
+  /// next_activate(), the release point recorded by begin_refresh().
+  [[nodiscard]] Cycle earliest_issue(CmdType type, RowId row) const;
+
   /// Apply `cmd` at `now`, updating state and constraints. The caller must
   /// have checked legality; violations abort (simulator bug, not workload
   /// behaviour).

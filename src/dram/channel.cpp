@@ -33,6 +33,19 @@ bool Channel::can_issue(const Command& cmd, Cycle now) const {
   return ranks_.at(cmd.coord.rank).can_issue(cmd, now);
 }
 
+Cycle Channel::earliest_issue(const Command& cmd) const {
+  Cycle when = ranks_.at(cmd.coord.rank).earliest_issue(cmd);
+  if (when == kNeverCycle) return kNeverCycle;
+  if (cmd.is_column()) {
+    // The data burst starts CL/CWL after the command; the command must wait
+    // until the bus (plus any switch gap) is free at that point.
+    const Cycle lat = cmd.type == CmdType::kRead ? t_.CL : t_.CWL;
+    const Cycle bus_free = data_bus_free(cmd.type, cmd.coord.rank);
+    if (bus_free > lat) when = std::max(when, bus_free - lat);
+  }
+  return when;
+}
+
 Cycle Channel::issue(const Command& cmd, Cycle now) {
   ROP_ASSERT(can_issue(cmd, now));
   Rank& rank = ranks_.at(cmd.coord.rank);

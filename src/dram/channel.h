@@ -40,6 +40,14 @@ class Channel {
   /// Full legality check: bank + rank + data-bus scope.
   [[nodiscard]] bool can_issue(const Command& cmd, Cycle now) const;
 
+  /// Earliest cycle at which `cmd` could legally issue on this channel,
+  /// folding bank timing, rank constraints (tRRD/tFAW/tCCD, refresh
+  /// lockout), and data-bus occupancy with switch penalties. kNeverCycle
+  /// when time alone cannot make it legal from the frozen state. Exact:
+  /// can_issue(cmd, c) flips from false to true at exactly the returned
+  /// cycle if no other command lands in between.
+  [[nodiscard]] Cycle earliest_issue(const Command& cmd) const;
+
   /// Issue the command; returns the cycle at which its data burst completes
   /// (reads/writes) or the command's completion cycle (REF) or `now` for
   /// ACT/PRE.

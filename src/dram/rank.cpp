@@ -53,6 +53,53 @@ bool Rank::can_issue(const Command& cmd, Cycle now) const {
   return false;
 }
 
+Cycle Rank::earliest_issue(const Command& cmd) const {
+  const Bank& bank = banks_.at(cmd.coord.bank);
+  Cycle when = bank.earliest_issue(cmd.type, cmd.coord.row);
+  if (when == kNeverCycle) return kNeverCycle;
+  switch (cmd.type) {
+    case CmdType::kActivate:
+      when = std::max(when, next_activate_);
+      if (recent_activates_.size() >= 4) {
+        when = std::max(when, recent_activates_.front() + t_.tFAW);
+      }
+      break;
+    case CmdType::kRead:
+    case CmdType::kWrite:
+      when = std::max(when, next_column_);
+      break;
+    case CmdType::kPrecharge:
+    case CmdType::kRefresh:
+    case CmdType::kRefreshBank:
+      break;
+  }
+  if (refreshing_) when = std::max(when, refresh_done_);
+  return when;
+}
+
+Cycle Rank::earliest_refresh_ready() const {
+  Cycle ready = 0;
+  for (const Bank& b : banks_) {
+    // An open row never precharges by itself: REF cannot become legal
+    // through the passage of time alone.
+    if (b.state() == BankState::kActive) return kNeverCycle;
+    ready = std::max(ready, b.next_activate());
+  }
+  if (refreshing_) ready = std::max(ready, refresh_done_);
+  return ready;
+}
+
+Cycle Rank::earliest_pb_release() const {
+  Cycle release = kNeverCycle;
+  if (!pb_refreshing_) return release;
+  for (const Bank& b : banks_) {
+    if (b.state() == BankState::kRefreshing) {
+      release = std::min(release, b.next_activate());
+    }
+  }
+  return release;
+}
+
 void Rank::issue(const Command& cmd, Cycle now) {
   ROP_ASSERT(can_issue(cmd, now));
   account_until(now);

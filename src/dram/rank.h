@@ -41,12 +41,36 @@ class Rank {
   /// True while a REF command is executing (banks frozen).
   [[nodiscard]] bool refreshing() const { return refreshing_; }
   [[nodiscard]] Cycle refresh_done() const { return refresh_done_; }
+  /// True while at least one bank holds a per-bank refresh lock (REFpb).
+  [[nodiscard]] bool pb_refreshing() const { return pb_refreshing_; }
+
+  /// Rank-scope constraint registers (exposed for next-event computation
+  /// and state-dump determinism tests).
+  [[nodiscard]] Cycle next_activate() const { return next_activate_; }
+  [[nodiscard]] Cycle next_column() const { return next_column_; }
 
   [[nodiscard]] bool all_banks_precharged() const;
 
   /// Rank-scope legality for a command at `now` (bank-scope already layered
   /// in; channel-scope data-bus checks layer on top).
   [[nodiscard]] bool can_issue(const Command& cmd, Cycle now) const;
+
+  /// Earliest cycle at which `cmd` could legally issue, folding bank-scope
+  /// constraints with tRRD, tFAW window slots, tCCD, and the refresh
+  /// lockout. kNeverCycle when time alone cannot make it legal (another
+  /// command must land first). Exact for the frozen state: if no command
+  /// reaches this rank in between, can_issue(cmd, c) is false for every
+  /// c < result and true at c == result.
+  [[nodiscard]] Cycle earliest_issue(const Command& cmd) const;
+
+  /// Earliest cycle a full-rank REF (or pausing segment) could begin:
+  /// every bank precharged and past its recovery point. kNeverCycle while
+  /// any bank holds an open row (a PRE must land first).
+  [[nodiscard]] Cycle earliest_refresh_ready() const;
+
+  /// Earliest cycle at which any per-bank refresh lock is released by
+  /// tick(). kNeverCycle when no bank is locked.
+  [[nodiscard]] Cycle earliest_pb_release() const;
 
   /// Apply the command. Aborts on illegality.
   void issue(const Command& cmd, Cycle now);

@@ -15,12 +15,14 @@ Controller::Controller(ChannelId id, const dram::DramTimings& timings,
       scheduler_(cfg.sched),
       blocking_(org.ranks, timings.tRFC),
       stats_(stats),
+      reads_by_rank_(org.ranks),
       pending_reads_(org.ranks, 0),
       pending_writes_(org.ranks, 0),
       queued_prefetches_(org.ranks, 0),
       inflight_prefetches_(org.ranks, 0),
       phase_(org.ranks, RefreshPhase::kIdle),
       locked_at_(org.ranks, kNeverCycle),
+      drain_pending_(org.ranks, 0),
       last_arrival_(org.ranks, 0),
       refresh_remaining_(org.ranks, 0),
       refresh_started_(org.ranks, false),
@@ -91,7 +93,7 @@ bool Controller::enqueue(Request req, Cycle now) {
         req.serviced_by = ServicedBy::kSramBuffer;
         h_.sram_serviced->inc();
         record_read_latency(*done - now);
-        completed_.push_back(req);
+        completed_.push_back(arena_.alloc(req));
         return true;
       }
     }
@@ -102,11 +104,19 @@ bool Controller::enqueue(Request req, Cycle now) {
       req.serviced_by = ServicedBy::kWriteForward;
       h_.read_forwarded->inc();
       record_read_latency(1);
-      completed_.push_back(req);
+      completed_.push_back(arena_.alloc(req));
       return true;
     }
-    read_q_.push_back(req);
-    ++pending_reads_[req.coord.rank];
+    const RankId r = req.coord.rank;
+    const RequestIndex idx = arena_.alloc(req);
+    read_q_.push_back(idx);
+    reads_by_rank_[r].push_back(idx);
+    ++pending_reads_[r];
+    // A read arriving at the lock cycle itself satisfies `arrival <= lock`
+    // and the drain must wait for it too.
+    if (locked_at_[r] != kNeverCycle && now <= locked_at_[r]) {
+      ++drain_pending_[r];
+    }
   } else {
     h_.writes->inc();
     // Writes never complete through the listener, but it must still see the
@@ -121,7 +131,7 @@ bool Controller::enqueue(Request req, Cycle now) {
       h_.write_coalesced->inc();
       return true;
     }
-    write_q_.push_back(req);
+    write_q_.push_back(arena_.alloc(req));
     write_index_.insert(req.line_addr);
     ++pending_writes_[req.coord.rank];
   }
@@ -136,43 +146,55 @@ bool Controller::enqueue_prefetch(Request req, Cycle now) {
   }
   req.arrival = now;
   h_.prefetch_enqueued->inc();
-  prefetch_q_.push_back(req);
+  prefetch_q_.push_back(arena_.alloc(req));
   ++queued_prefetches_[req.coord.rank];
   return true;
 }
 
-std::size_t Controller::pending_drain(RankId rank) const {
-  // Only queued reads hold the refresh back: writes are posted (nobody
-  // waits on them) and retire from the write queue whenever convenient.
-  const Cycle lock = locked_at_.at(rank);
-  const auto drains = [rank, lock](const Request& r) {
-    return r.coord.rank == rank && r.arrival <= lock;
-  };
-  return static_cast<std::size_t>(
-      std::count_if(read_q_.begin(), read_q_.end(), drains));
-}
-
-void Controller::drop_prefetches(RankId rank) {
-  for (auto it = prefetch_q_.begin(); it != prefetch_q_.end();) {
-    if (it->coord.rank == rank) {
-      h_.prefetch_dropped->inc();
-      --queued_prefetches_[rank];
-      it = prefetch_q_.erase(it);
-    } else {
-      ++it;
-    }
+void Controller::on_read_leaves_queue(RankId r, RequestIndex idx,
+                                      const Request& req) {
+  auto& by_rank = reads_by_rank_[r];
+  const auto it = std::find(by_rank.begin(), by_rank.end(), idx);
+  ROP_ASSERT(it != by_rank.end());
+  by_rank.erase(it);
+  --pending_reads_[r];
+  // Pre-lock reads count toward the drain the refresh is waiting on.
+  if (locked_at_[r] != kNeverCycle && req.arrival <= locked_at_[r]) {
+    ROP_ASSERT(drain_pending_[r] > 0);
+    --drain_pending_[r];
   }
 }
 
+void Controller::drop_prefetches(RankId rank) {
+  std::size_t out = 0;
+  for (const RequestIndex idx : prefetch_q_) {
+    if (arena_[idx].coord.rank == rank) {
+      h_.prefetch_dropped->inc();
+      --queued_prefetches_[rank];
+      arena_.release(idx);
+    } else {
+      prefetch_q_[out++] = idx;
+    }
+  }
+  prefetch_q_.resize(out);
+}
+
 void Controller::complete_bursts(Cycle now) {
-  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
-    if (it->completion > now) {
-      ++it;
+  // The cached minimum makes the common "nothing lands this cycle" case a
+  // single compare (kNeverCycle when nothing is in flight).
+  if (inflight_min_completion_ > now) return;
+  std::size_t out = 0;
+  Cycle min_completion = kNeverCycle;
+  for (const RequestIndex idx : in_flight_) {
+    if (arena_[idx].completion > now) {
+      min_completion = std::min(min_completion, arena_[idx].completion);
+      in_flight_[out++] = idx;
       continue;
     }
-    Request req = *it;
-    it = in_flight_.erase(it);
-    if (req.type == ReqType::kPrefetch) {
+    if (arena_[idx].type == ReqType::kPrefetch) {
+      // Copy out: the fill listener may service queued reads reentrantly.
+      const Request req = arena_[idx];
+      arena_.release(idx);
       --inflight_prefetches_[req.coord.rank];
       // Drop fills whose line has a newer pending write — the buffer must
       // never hold data staler than the write queue.
@@ -183,10 +205,12 @@ void Controller::complete_bursts(Cycle now) {
         if (listener_ != nullptr) listener_->on_prefetch_filled(req, now);
       }
     } else {
-      record_read_latency(req.completion - req.arrival);
-      completed_.push_back(req);
+      record_read_latency(arena_[idx].completion - arena_[idx].arrival);
+      completed_.push_back(idx);
     }
   }
+  in_flight_.resize(out);
+  inflight_min_completion_ = min_completion;
 }
 
 bool Controller::issue_refresh_commands(RankId r, Cycle now) {
@@ -201,6 +225,7 @@ bool Controller::issue_refresh_commands(RankId r, Cycle now) {
     h_.refreshes->inc();
     phase_[r] = RefreshPhase::kIdle;
     locked_at_[r] = kNeverCycle;
+    drain_pending_[r] = 0;
     if (listener_ != nullptr) {
       listener_->on_refresh_issued(r, now, rank.refresh_done());
     }
@@ -258,12 +283,19 @@ bool Controller::manage_refresh(Cycle now) {
           ROP_ASSERT(false && "kPausing handled by manage_refresh_pausing");
           break;
       }
+      if (phase_[r] != RefreshPhase::kIdle) {
+        // Snapshot the drain target: every queued read to this rank
+        // arrived strictly before `now`, so all of them predate the lock
+        // (same-cycle arrivals land after this tick and bump the counter
+        // in enqueue).
+        drain_pending_[r] = pending_reads_[r];
+      }
     }
 
     const bool within_bound = now < locked_at_[r] + cfg_.drain_bound;
 
     if (phase_[r] == RefreshPhase::kDraining) {
-      if (!urgent && within_bound && pending_drain(r) > 0) {
+      if (!urgent && within_bound && drain_pending_[r] > 0) {
         continue;  // drain still in progress; demand keeps flowing
       }
       // Drain complete: seal the rank. Demand freezes here, which makes
@@ -395,17 +427,18 @@ void Controller::issue_pick(const SchedulerPick& pick, Cycle now) {
   const Cycle done = channel_.issue(pick.cmd, now);
   if (!pick.services_request()) return;
 
-  std::deque<Request>* q = nullptr;
+  std::vector<RequestIndex>* q = nullptr;
   switch (pick.queue_id) {
     case 0: q = &read_q_; break;
     case 1: q = &write_q_; break;
     case 2: q = &prefetch_q_; break;
     default: ROP_ASSERT(false);
   }
-  Request req = (*q)[pick.request_index];
+  const RequestIndex idx = (*q)[pick.request_index];
   q->erase(q->begin() + static_cast<std::ptrdiff_t>(pick.request_index));
+  Request& req = arena_[idx];
   switch (pick.queue_id) {
-    case 0: --pending_reads_[req.coord.rank]; break;
+    case 0: on_read_leaves_queue(req.coord.rank, idx, req); break;
     case 1:
       --pending_writes_[req.coord.rank];
       write_index_.erase(req.line_addr);
@@ -421,10 +454,12 @@ void Controller::issue_pick(const SchedulerPick& pick, Cycle now) {
   if (req.type == ReqType::kWrite) {
     // Writes are posted: the data burst retires silently.
     h_.writes_issued->inc();
+    arena_.release(idx);
     return;
   }
   req.completion = done;
-  in_flight_.push_back(req);
+  in_flight_.push_back(idx);
+  inflight_min_completion_ = std::min(inflight_min_completion_, done);
   if (req.type == ReqType::kPrefetch) {
     ++inflight_prefetches_[req.coord.rank];
     h_.prefetch_issued->inc();
@@ -486,13 +521,13 @@ void Controller::step(Cycle now) {
   std::array<QueueView, 3> views;
   std::size_t n_views = 0;
   if (draining_writes_) {
-    views[n_views++] = QueueView{&write_q_, 1};
-    views[n_views++] = QueueView{&read_q_, 0};
+    views[n_views++] = QueueView{&arena_, &write_q_, 1};
+    views[n_views++] = QueueView{&arena_, &read_q_, 0};
   } else {
-    views[n_views++] = QueueView{&read_q_, 0};
-    if (read_q_.empty()) views[n_views++] = QueueView{&write_q_, 1};
+    views[n_views++] = QueueView{&arena_, &read_q_, 0};
+    if (read_q_.empty()) views[n_views++] = QueueView{&arena_, &write_q_, 1};
   }
-  views[n_views++] = QueueView{&prefetch_q_, 2};
+  views[n_views++] = QueueView{&arena_, &prefetch_q_, 2};
 
   const std::span<const QueueView> view_span(views.data(), n_views);
   if (const auto pick = scheduler_.pick(view_span, channel_, now, blocked)) {
@@ -502,7 +537,14 @@ void Controller::step(Cycle now) {
 
 std::vector<Request> Controller::drain_completed() {
   std::vector<Request> out;
-  out.swap(completed_);
+  if (!completed_.empty()) {
+    out.reserve(completed_.size());
+    for (const RequestIndex idx : completed_) {
+      out.push_back(arena_[idx]);
+      arena_.release(idx);
+    }
+    completed_.clear();
+  }
   if (auditor_ != nullptr) {
     for (const Request& req : out) auditor_->on_retired(req);
   }
@@ -512,30 +554,131 @@ std::vector<Request> Controller::drain_completed() {
 void Controller::complete_matching_reads(
     RankId rank,
     const std::function<std::optional<Cycle>(const Request&)>& probe) {
-  for (auto it = read_q_.begin(); it != read_q_.end();) {
-    if (it->coord.rank != rank) {
-      ++it;
-      continue;
-    }
-    const auto done = probe(*it);
+  // The per-rank index walks exactly the candidates (in age order, which
+  // matches read-queue order for one rank) instead of rescanning the whole
+  // read queue per probe.
+  auto& by_rank = reads_by_rank_[rank];
+  std::size_t out = 0;
+  for (const RequestIndex idx : by_rank) {
+    Request& req = arena_[idx];
+    const auto done = probe(req);
     if (!done) {
-      ++it;
+      by_rank[out++] = idx;
       continue;
     }
-    Request req = *it;
-    it = read_q_.erase(it);
-    --pending_reads_[req.coord.rank];
+    const auto it = std::find(read_q_.begin(), read_q_.end(), idx);
+    ROP_ASSERT(it != read_q_.end());
+    read_q_.erase(it);
+    --pending_reads_[rank];
+    if (locked_at_[rank] != kNeverCycle && req.arrival <= locked_at_[rank]) {
+      ROP_ASSERT(drain_pending_[rank] > 0);
+      --drain_pending_[rank];
+    }
     req.completion = *done;
     req.serviced_by = ServicedBy::kSramBuffer;
     h_.sram_serviced->inc();
     record_read_latency(req.completion - req.arrival);
-    completed_.push_back(req);
+    completed_.push_back(idx);
   }
+  by_rank.resize(out);
 }
 
 void Controller::finalize(Cycle now) {
+  if (listener_ != nullptr) listener_->on_finalize(now);
   channel_.settle_accounting(now);
   blocking_.finalize();
+}
+
+Cycle Controller::seal_ready_cycle(RankId r) const {
+  // Mirrors issue_refresh_commands: while rows are open the next action is
+  // one PRE per tick (the earliest legal one); once all banks are closed
+  // (and any per-bank locks have released) the REF itself goes out.
+  const dram::Rank& rank = channel_.rank(r);
+  Cycle pre = kNeverCycle;
+  bool any_active = false;
+  for (BankId b = 0; b < rank.num_banks(); ++b) {
+    if (rank.bank(b).state() != dram::BankState::kActive) continue;
+    any_active = true;
+    pre = std::min(pre,
+                   channel_.earliest_issue(dram::Command{
+                       dram::CmdType::kPrecharge, DramCoord{id_, r, b, 0, 0},
+                       0}));
+  }
+  if (any_active) return pre;
+  return rank.earliest_refresh_ready();
+}
+
+Cycle Controller::refresh_event_cycle(RankId r, Cycle now) const {
+  // Earliest cycle the refresh machinery for (non-refreshing) rank `r` can
+  // act or change eligibility. Waiting states return the cycle the wait
+  // can end *without any command landing first*; progress that comes from
+  // commands (drains, prefetch fills) is covered by the scheduler scan and
+  // in-flight completions, and every executed tick recomputes this.
+  if (cfg_.per_bank_refresh) {
+    if (rm_.owed(r, now) == 0) return rm_.next_owed_increase(r, now);
+    const dram::Rank& rank = channel_.rank(r);
+    const BankId b = next_refresh_bank_[r];
+    const dram::Bank& bank = rank.bank(b);
+    if (bank.state() == dram::BankState::kRefreshing) {
+      // Cursor bank still locked: the machinery idles until it releases.
+      return bank.next_activate();
+    }
+    const dram::CmdType type = bank.state() == dram::BankState::kActive
+                                   ? dram::CmdType::kPrecharge
+                                   : dram::CmdType::kRefreshBank;
+    return channel_.earliest_issue(
+        dram::Command{type, DramCoord{id_, r, b, 0, 0}, 0});
+  }
+
+  if (cfg_.policy == RefreshPolicy::kPausing) {
+    if (refresh_remaining_[r] == 0) {
+      if (rm_.owed(r, now) == 0) return rm_.next_owed_increase(r, now);
+      return now + 1;  // the obligation opens on the next tick
+    }
+    if (!rm_.urgent(r, now) && pending_demand(r) > 0) {
+      // Paused: demand progress comes from the scan; urgency (which forces
+      // the finish) can only flip at the next boundary crossing.
+      return rm_.next_owed_increase(r, now);
+    }
+    // Resuming or forced: the next segment begins once the rank seals.
+    return seal_ready_cycle(r);
+  }
+
+  if (phase_[r] == RefreshPhase::kIdle) {
+    const std::uint32_t owed = rm_.owed(r, now);
+    if (owed == 0) return rm_.next_owed_increase(r, now);
+    if (cfg_.policy == RefreshPolicy::kElastic && !rm_.urgent(r, now)) {
+      // Locks once the rank has been idle for the backlog-scaled
+      // threshold. Arrivals reset the idle clock (and dirty-force a
+      // tick); the threshold shrinks at the next boundary.
+      const std::uint32_t budget = channel_.timings().max_postponed_refreshes;
+      const std::uint32_t slack = owed >= budget ? 0 : budget - owed;
+      const Cycle threshold = cfg_.elastic_base_idle * slack / budget;
+      return std::min(std::max(last_arrival_[r] + threshold, now + 1),
+                      rm_.next_owed_increase(r, now));
+    }
+    return now + 1;  // the lock engages on the next tick
+  }
+
+  const bool urgent = rm_.urgent(r, now);
+  const Cycle bound_end = locked_at_[r] + cfg_.drain_bound;
+
+  if (phase_[r] == RefreshPhase::kDraining) {
+    if (!urgent && now < bound_end && drain_pending_[r] > 0) {
+      // Reads drain through the scheduler (scan) or the SRAM buffer (tick
+      // events); failing that, the bound or a budget flip forces the seal.
+      return std::min(bound_end, rm_.next_owed_increase(r, now));
+    }
+    return now + 1;  // the seal transition happens on the next tick
+  }
+
+  // kSealing. ROP holds the REF while staged prefetches are still in the
+  // queue or in the air (their progress is scan/in-flight events).
+  if (cfg_.policy == RefreshPolicy::kRopDrain && !urgent &&
+      now < bound_end && pending_prefetches(r) > 0) {
+    return std::min(bound_end, rm_.next_owed_increase(r, now));
+  }
+  return seal_ready_cycle(r);
 }
 
 Cycle Controller::next_event_cycle(Cycle now) const {
@@ -545,38 +688,65 @@ Cycle Controller::next_event_cycle(Cycle now) const {
   const Cycle soonest = now + 1;
   Cycle next = kNeverCycle;
   const auto consider = [&next, soonest](Cycle c) {
-    next = std::min(next, std::max(c, soonest));
+    if (c != kNeverCycle) next = std::min(next, std::max(c, soonest));
   };
 
-  for (const Request& r : in_flight_) consider(r.completion);
+  // Data bursts in flight (cached min, rebuilt by complete_bursts).
+  consider(inflight_min_completion_);
+  if (next == soonest) return next;
 
   for (RankId r = 0; r < channel_.num_ranks(); ++r) {
-    // An active drain/seal makes progress (or re-evaluates) every tick.
-    if (phase_[r] != RefreshPhase::kIdle) return soonest;
-    if (channel_.rank(r).refreshing()) {
-      consider(channel_.rank(r).refresh_done());
+    const dram::Rank& rank = channel_.rank(r);
+    if (rank.refreshing()) {
+      // The thaw is observable (demand resumes, the ROP window closes,
+      // pausing re-evaluates) and must land on its exact cycle.
+      consider(rank.refresh_done());
+      continue;  // the refresh machinery skips refreshing ranks
     }
+    if (rank.pb_refreshing()) consider(rank.earliest_pb_release());
+    if (cfg_.refresh_enabled) consider(refresh_event_cycle(r, now));
+    if (next == soonest) return next;
   }
 
-  if (cfg_.refresh_enabled) {
+  if (read_q_.empty() && write_q_.empty() && prefetch_q_.empty()) {
+    return next;
+  }
+
+  // Scheduler horizon: the earliest cycle any queued request could put a
+  // command on the bus. Queue sizes are frozen until the next executed
+  // tick (enqueues dirty-force one), so the next tick's write-drain
+  // hysteresis and view order are pure functions of current state.
+  bool drain_next = draining_writes_;
+  if (write_q_.size() >= cfg_.sched.write_drain_high) drain_next = true;
+  if (write_q_.size() <= cfg_.sched.write_drain_low) drain_next = false;
+
+  std::uint32_t urgent_mask = 0;
+  if (cfg_.refresh_enabled && cfg_.policy == RefreshPolicy::kPausing) {
     for (RankId r = 0; r < channel_.num_ranks(); ++r) {
-      // A paused refresh or an owed one may act on any tick (elastic waits
-      // for an idle window, pausing for a demand gap) — stay conservative.
-      if (cfg_.policy == RefreshPolicy::kPausing && refresh_remaining_[r] > 0) {
-        return soonest;
-      }
-      if (rm_.owed(r, now) > 0) return soonest;
-      consider(rm_.next_event_cycle(r, now));
+      if (rm_.urgent(r, now)) urgent_mask |= 1u << r;
     }
   }
+  const auto blocked = [this, urgent_mask](const Request& req, int queue_id) {
+    const RankId r = req.coord.rank;
+    if (channel_.rank(r).refreshing()) return true;
+    if ((urgent_mask >> r) & 1u) return true;
+    if (queue_id == 2) return false;
+    return phase_[r] == RefreshPhase::kSealing;
+  };
 
-  // Queued work for a rank that is not frozen can issue on any tick.
-  for (RankId r = 0; r < channel_.num_ranks(); ++r) {
-    if (channel_.rank(r).refreshing()) continue;
-    if (pending_reads_[r] + pending_writes_[r] + queued_prefetches_[r] > 0) {
-      return soonest;
-    }
+  std::array<QueueView, 3> views;
+  std::size_t n_views = 0;
+  if (drain_next) {
+    views[n_views++] = QueueView{&arena_, &write_q_, 1};
+    views[n_views++] = QueueView{&arena_, &read_q_, 0};
+  } else {
+    views[n_views++] = QueueView{&arena_, &read_q_, 0};
+    if (read_q_.empty()) views[n_views++] = QueueView{&arena_, &write_q_, 1};
   }
+  views[n_views++] = QueueView{&arena_, &prefetch_q_, 2};
+  const std::span<const QueueView> view_span(views.data(), n_views);
+  consider(scheduler_.earliest_issue_cycle(view_span, channel_, now, blocked));
+
   return next;
 }
 

@@ -5,7 +5,6 @@
 // into. One command is issued on the command bus per controller clock.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -54,7 +53,19 @@ class ControllerListener {
 
   /// Called once per controller tick before scheduling, so the engine can
   /// enqueue prefetch requests ahead of an imminent refresh.
+  ///
+  /// Under the event-driven clock (cpu::System fast-forward) ticks between
+  /// controller events are skipped, so consecutive calls may be more than
+  /// one cycle apart. Listener state must therefore be a function of `now`,
+  /// not of the call count — the ROP engine accumulates deltas.
   virtual void on_tick(Cycle now) = 0;
+
+  /// End of run at controller cycle `now`: settle any time-integrated
+  /// accounting (the last on_tick may have landed well before `now` when
+  /// ticks were skipped). Called from Controller::finalize in both the
+  /// naive and the event-driven loop with the same cycle, which keeps
+  /// accumulated statistics bit-identical between them.
+  virtual void on_finalize(Cycle now) { (void)now; }
 };
 
 class Controller;
@@ -194,6 +205,20 @@ class Controller {
   [[nodiscard]] std::size_t write_queue_depth() const {
     return write_q_.size();
   }
+  /// Cycle the pending refresh came due (kNeverCycle when no lock is
+  /// active) and the count of pre-lock reads still draining — exposed for
+  /// the invariant checker and the determinism state dump.
+  [[nodiscard]] Cycle locked_at(RankId rank) const {
+    return locked_at_.at(rank);
+  }
+  [[nodiscard]] std::uint32_t drain_pending(RankId rank) const {
+    return drain_pending_.at(rank);
+  }
+  /// Refresh phase as a raw value (0 idle, 1 draining, 2 sealing) for
+  /// state dumps.
+  [[nodiscard]] std::uint8_t refresh_phase(RankId rank) const {
+    return static_cast<std::uint8_t>(phase_.at(rank));
+  }
 
   /// True when no demand work is queued, in flight, or awaiting drain.
   [[nodiscard]] bool idle() const {
@@ -204,17 +229,19 @@ class Controller {
   // -- Read-only inspection surface for the invariant checker ------------
   // (src/check/sim_checker.cpp). Exposes the raw structures the fast paths
   // maintain incrementally so an auditor can recompute them from scratch.
-  [[nodiscard]] const std::deque<Request>& read_queue() const {
-    return read_q_;
+  // Queues are arena-backed; the views iterate like the Request containers
+  // they replaced.
+  [[nodiscard]] RequestView read_queue() const {
+    return RequestView(&arena_, &read_q_);
   }
-  [[nodiscard]] const std::deque<Request>& write_queue() const {
-    return write_q_;
+  [[nodiscard]] RequestView write_queue() const {
+    return RequestView(&arena_, &write_q_);
   }
-  [[nodiscard]] const std::deque<Request>& prefetch_queue() const {
-    return prefetch_q_;
+  [[nodiscard]] RequestView prefetch_queue() const {
+    return RequestView(&arena_, &prefetch_q_);
   }
-  [[nodiscard]] const std::vector<Request>& in_flight() const {
-    return in_flight_;
+  [[nodiscard]] RequestView in_flight() const {
+    return RequestView(&arena_, &in_flight_);
   }
   [[nodiscard]] const std::unordered_set<Address>& write_index() const {
     return write_index_;
@@ -242,10 +269,15 @@ class Controller {
 
   /// Earliest controller cycle > `now` at which this controller can do
   /// anything observable (complete a burst, issue a command, start or end a
-  /// refresh, hit a refresh boundary). Conservative: may return `now + 1`
-  /// when nothing will actually happen, but never a cycle later than the
-  /// true next action — the frozen-cycle fast-forward in cpu::System relies
-  /// on every tick in (now, next_event_cycle) being a no-op.
+  /// refresh, hit a refresh boundary), assuming no new request is enqueued
+  /// in between (an enqueue invalidates the answer; cpu::System tracks that
+  /// with a dirty flag). Must be called right after tick(now). May return a
+  /// cycle where nothing happens (conservative-early is harmless: the tick
+  /// executes as a no-op and recomputes), but never a cycle later than the
+  /// true next action — the event-driven loop in cpu::System relies on
+  /// every tick in (now, next_event_cycle) being a provable no-op.
+  /// kNeverCycle when nothing is queued, in flight, or scheduled (e.g. the
+  /// refresh-disabled idle controller).
   [[nodiscard]] Cycle next_event_cycle(Cycle now) const;
 
  private:
@@ -255,8 +287,6 @@ class Controller {
   bool manage_refresh(Cycle now);
   void issue_pick(const SchedulerPick& pick, Cycle now);
   void complete_bursts(Cycle now);
-  /// Demand requests queued before the lock that still await service.
-  [[nodiscard]] std::size_t pending_drain(RankId rank) const;
   /// Flush queued prefetches for a rank (urgent refresh override).
   void drop_prefetches(RankId rank);
   void record_read_latency(Cycle latency);
@@ -265,6 +295,17 @@ class Controller {
   bool issue_refresh_commands(RankId rank, Cycle now);
   bool manage_refresh_per_bank(Cycle now);
   bool manage_refresh_pausing(Cycle now);
+
+  /// next_event_cycle helpers: earliest cycle the refresh machinery for
+  /// rank `r` can act or change eligibility (policy-specific), and the
+  /// earliest cycle issue_refresh_commands could put a command on the bus
+  /// for `r` given frozen bank state.
+  [[nodiscard]] Cycle refresh_event_cycle(RankId r, Cycle now) const;
+  [[nodiscard]] Cycle seal_ready_cycle(RankId r) const;
+
+  /// Remove `idx` from rank `r`'s read index and from the drain counter
+  /// when the request predates the rank's lock.
+  void on_read_leaves_queue(RankId r, RequestIndex idx, const Request& req);
 
   /// Hot-path statistics, resolved to stable pointers once at construction.
   /// Event code must go through these — a string-keyed registry lookup per
@@ -300,16 +341,27 @@ class Controller {
   ControllerListener* listener_ = nullptr;
   ControllerAuditor* auditor_ = nullptr;
 
-  std::deque<Request> read_q_;
-  std::deque<Request> write_q_;
-  std::deque<Request> prefetch_q_;
-  std::vector<Request> in_flight_;  // reads/prefetches waiting on data
-  std::vector<Request> completed_;
+  /// Pooled request storage; every queue below holds indices into it.
+  RequestArena arena_;
+  std::vector<RequestIndex> read_q_;
+  std::vector<RequestIndex> write_q_;
+  std::vector<RequestIndex> prefetch_q_;
+  std::vector<RequestIndex> in_flight_;  // reads/prefetches waiting on data
+  std::vector<RequestIndex> completed_;
+  /// Queued demand reads per rank, in age order — the per-rank view of
+  /// read_q_ that complete_matching_reads and the drain machinery use
+  /// instead of rescanning the whole read queue.
+  std::vector<std::vector<RequestIndex>> reads_by_rank_;
+
+  /// Min completion cycle over in_flight_, maintained incrementally
+  /// (tightened on push, rebuilt during the complete_bursts sweep) so
+  /// next_event_cycle avoids a per-call linear scan.
+  Cycle inflight_min_completion_ = kNeverCycle;
 
   /// Lines currently present in write_q_. Coalescing keeps at most one
   /// queued write per line, so a set gives O(1) read-after-write forwarding,
   /// coalescing, and stale-prefetch checks without index fix-ups when
-  /// issue_pick erases from the middle of the deque.
+  /// issue_pick erases from the middle of the queue.
   std::unordered_set<Address> write_index_;
   /// Incrementally-maintained per-rank queue occupancy, replacing the
   /// count_if scans the refresh machinery used to run every tick.
@@ -329,6 +381,11 @@ class Controller {
   std::vector<RefreshPhase> phase_;
   /// Cycle the pending refresh came due (bounds the drain window).
   std::vector<Cycle> locked_at_;
+  /// Queued reads that predate the rank's lock and still await service —
+  /// the count the ROP drain waits on. Snapshot of pending_reads_ at lock
+  /// time, incremented by lock-cycle arrivals, decremented as pre-lock
+  /// reads leave the queue. Replaces a per-tick count_if over read_q_.
+  std::vector<std::uint32_t> drain_pending_;
   /// kElastic: last demand arrival per rank (idle detection).
   std::vector<Cycle> last_arrival_;
   /// kPausing: refresh work remaining per rank (0 = none in progress) and

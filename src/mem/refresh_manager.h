@@ -52,6 +52,17 @@ class RefreshManager {
     return owed(rank, now) > 0 ? now : next_boundary(rank, now);
   }
 
+  /// First cycle strictly after `now` at which owed(rank, ·) increases —
+  /// the next tREFI boundary crossing. owed() is a step function of time
+  /// between refresh issues, so this is the only instant where idle-rank
+  /// refresh machinery (and urgency, and the elastic threshold) can change
+  /// without a command landing first.
+  [[nodiscard]] Cycle next_owed_increase(RankId rank, Cycle now) const {
+    const Cycle offset = phase_offset(rank);
+    if (now < offset + interval()) return offset + interval();
+    return offset + ((now - offset) / interval() + 1) * interval();
+  }
+
   /// Record an issued REF command.
   void on_refresh_issued(RankId rank);
 

@@ -1,7 +1,10 @@
-// Memory transactions as seen by the controller.
+// Memory transactions as seen by the controller, plus the pooled arena
+// that backs every controller queue.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/types.h"
 
@@ -32,6 +35,98 @@ struct Request {
   ServicedBy serviced_by = ServicedBy::kDram;
 
   [[nodiscard]] bool is_read() const { return type != ReqType::kWrite; }
+};
+
+/// Stable handle into a RequestArena slot.
+using RequestIndex = std::uint32_t;
+inline constexpr RequestIndex kNoRequest = 0xffffffffu;
+
+/// Pooled storage for in-controller requests. Queues hold RequestIndex
+/// values instead of Request copies, so moving a request between queues
+/// (read queue -> in flight -> completed) is an index move, not a 64-byte
+/// copy, and queue erases shuffle 4-byte indices. Slots are recycled
+/// through a free list; indices stay stable for the lifetime of the
+/// request inside the controller.
+class RequestArena {
+ public:
+  [[nodiscard]] RequestIndex alloc(const Request& req) {
+    if (!free_.empty()) {
+      const RequestIndex idx = free_.back();
+      free_.pop_back();
+      slots_[idx] = req;
+      return idx;
+    }
+    const auto idx = static_cast<RequestIndex>(slots_.size());
+    ROP_ASSERT(idx != kNoRequest);
+    slots_.push_back(req);
+    return idx;
+  }
+
+  void release(RequestIndex idx) { free_.push_back(idx); }
+
+  [[nodiscard]] Request& operator[](RequestIndex idx) { return slots_[idx]; }
+  [[nodiscard]] const Request& operator[](RequestIndex idx) const {
+    return slots_[idx];
+  }
+
+  /// Number of live (allocated, not yet released) slots.
+  [[nodiscard]] std::size_t live() const {
+    return slots_.size() - free_.size();
+  }
+
+ private:
+  std::vector<Request> slots_;
+  std::vector<RequestIndex> free_;
+};
+
+/// Read-only view of one index queue dereferenced through its arena.
+/// Iterates like the container of Request values it replaces, so
+/// inspection code (the invariant checker, tests) keeps its range-for
+/// loops.
+class RequestView {
+ public:
+  RequestView(const RequestArena* arena,
+              const std::vector<RequestIndex>* indices)
+      : arena_(arena), indices_(indices) {}
+
+  class iterator {
+   public:
+    using value_type = Request;
+    using reference = const Request&;
+    using difference_type = std::ptrdiff_t;
+
+    iterator(const RequestArena* arena,
+             const std::vector<RequestIndex>::const_iterator it)
+        : arena_(arena), it_(it) {}
+    reference operator*() const { return (*arena_)[*it_]; }
+    const Request* operator->() const { return &(*arena_)[*it_]; }
+    iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return it_ == o.it_; }
+    bool operator!=(const iterator& o) const { return it_ != o.it_; }
+
+   private:
+    const RequestArena* arena_;
+    std::vector<RequestIndex>::const_iterator it_;
+  };
+
+  [[nodiscard]] iterator begin() const {
+    return iterator(arena_, indices_->begin());
+  }
+  [[nodiscard]] iterator end() const {
+    return iterator(arena_, indices_->end());
+  }
+  [[nodiscard]] std::size_t size() const { return indices_->size(); }
+  [[nodiscard]] bool empty() const { return indices_->empty(); }
+  [[nodiscard]] const Request& operator[](std::size_t i) const {
+    return (*arena_)[(*indices_)[i]];
+  }
+
+ private:
+  const RequestArena* arena_;
+  const std::vector<RequestIndex>* indices_;
 };
 
 }  // namespace rop::mem

@@ -7,9 +7,9 @@
 // coalesce with them on open rows (paper §IV-D).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <span>
@@ -38,8 +38,11 @@ struct SchedulerPick {
 };
 
 /// A queue the scheduler may draw from this cycle, in priority order.
+/// Queues store arena indices; the view carries the arena to dereference
+/// them.
 struct QueueView {
-  const std::deque<Request>* requests = nullptr;
+  const RequestArena* arena = nullptr;
+  const std::vector<RequestIndex>* indices = nullptr;
   int id = -1;
 };
 
@@ -65,6 +68,22 @@ class Scheduler {
   [[nodiscard]] std::optional<SchedulerPick> pick(
       std::span<const QueueView> queues, const dram::Channel& channel,
       Cycle now, const BlockedPred& blocked) const;
+
+  /// Earliest cycle > `now` at which pick() over the same (frozen) queues
+  /// could return a command, or kNeverCycle when no unblocked request can
+  /// ever issue without other state changing first. Mirrors pick()'s
+  /// candidate enumeration exactly — including the keep-row-open taker
+  /// rule, which must not be over-approximated: treating a taker-suppressed
+  /// PRE as a candidate would yield a perpetually-past cycle and degrade
+  /// the event loop to per-cycle ticking. Blocked requests are skipped;
+  /// their unblock points (refresh completion, seal/REF transitions) are
+  /// separate controller events. Returns as soon as a candidate at
+  /// `now + 1` is found.
+  template <typename BlockedPred>
+  [[nodiscard]] Cycle earliest_issue_cycle(std::span<const QueueView> queues,
+                                           const dram::Channel& channel,
+                                           Cycle now,
+                                           const BlockedPred& blocked) const;
 
  private:
   SchedulerConfig cfg_;
@@ -99,7 +118,8 @@ inline dram::CmdType column_cmd_for(const Request& req) {
 inline bool open_row_has_taker(std::span<const QueueView> queues,
                                const DramCoord& coord, RowId open_row) {
   for (const QueueView& qv : queues) {
-    for (const Request& req : *qv.requests) {
+    for (const RequestIndex ri : *qv.indices) {
+      const Request& req = (*qv.arena)[ri];
       if (req.coord.rank == coord.rank && req.coord.bank == coord.bank &&
           req.coord.row == open_row) {
         return true;
@@ -125,7 +145,8 @@ std::optional<SchedulerPick> Scheduler::pick(std::span<const QueueView> queues,
   // Pass 1: first-ready column commands, in queue priority then age order.
   for (const QueueView& qv : queues) {
     std::size_t i = 0;
-    for (const Request& req : *qv.requests) {
+    for (const RequestIndex ri : *qv.indices) {
+      const Request& req = (*qv.arena)[ri];
       const std::size_t at = i++;
       if (blocked(req, qv.id)) continue;
       const dram::Bank& bank =
@@ -151,7 +172,8 @@ std::optional<SchedulerPick> Scheduler::pick(std::span<const QueueView> queues,
   // Pass 2: row commands (ACT / PRE) for the oldest requests.
   for (const QueueView& qv : queues) {
     std::size_t i = 0;
-    for (const Request& req : *qv.requests) {
+    for (const RequestIndex ri : *qv.indices) {
+      const Request& req = (*qv.arena)[ri];
       const std::size_t at = i++;
       if (blocked(req, qv.id)) continue;
       const dram::Bank& bank =
@@ -204,6 +226,70 @@ std::optional<SchedulerPick> Scheduler::pick(std::span<const QueueView> queues,
     }
   }
   return std::nullopt;
+}
+
+template <typename BlockedPred>
+Cycle Scheduler::earliest_issue_cycle(std::span<const QueueView> queues,
+                                      const dram::Channel& channel, Cycle now,
+                                      const BlockedPred& blocked) const {
+  memo_banks_ = channel.num_ranks() > 0 ? channel.rank(0).num_banks() : 0;
+  memo_.assign(std::size_t{channel.num_ranks()} * memo_banks_, BankMemo{});
+  const auto memo_for = [this](const DramCoord& c) -> BankMemo& {
+    return memo_[std::size_t{c.rank} * memo_banks_ + c.bank];
+  };
+
+  // Candidates already issuable (or issuable at now + 1) clamp to the very
+  // next tick: at most one command leaves per cycle, so a second ready
+  // candidate simply waits its turn.
+  const Cycle soonest = now + 1;
+  Cycle best = kNeverCycle;
+  const auto consider = [&best, soonest](Cycle c) {
+    if (c != kNeverCycle) best = std::min(best, std::max(c, soonest));
+  };
+
+  for (const QueueView& qv : queues) {
+    for (const RequestIndex ri : *qv.indices) {
+      const Request& req = (*qv.arena)[ri];
+      if (blocked(req, qv.id)) continue;
+      const dram::Bank& bank =
+          channel.rank(req.coord.rank).bank(req.coord.bank);
+      switch (bank.state()) {
+        case dram::BankState::kActive:
+          if (bank.open_row() && *bank.open_row() == req.coord.row) {
+            // Pass-1 candidate: column command on the open row.
+            const dram::CmdType type = scheduler_detail::column_cmd_for(req);
+            consider(channel.earliest_issue(
+                dram::Command{type, req.coord, req.id}));
+          } else {
+            // Pass-3 candidate: row conflict wants a PRE — but only once no
+            // queued request still row-hits the open row (pick() keeps the
+            // row open for takers, and takers only disappear at issue or
+            // enqueue ticks, both of which recompute this scan).
+            BankMemo& m = memo_for(req.coord);
+            if (m.taker == Verdict::kUnknown) {
+              m.taker = scheduler_detail::open_row_has_taker(
+                            queues, req.coord, *bank.open_row())
+                            ? Verdict::kYes
+                            : Verdict::kNo;
+            }
+            if (m.taker == Verdict::kNo) {
+              consider(channel.earliest_issue(
+                  dram::Command{dram::CmdType::kPrecharge, req.coord, 0}));
+            }
+          }
+          break;
+        case dram::BankState::kPrecharged:
+        case dram::BankState::kRefreshing:
+          // Pass-2 candidate: ACT (a refreshing bank releases at its
+          // recorded next_activate, folded in by Bank::earliest_issue).
+          consider(channel.earliest_issue(
+              dram::Command{dram::CmdType::kActivate, req.coord, req.id}));
+          break;
+      }
+      if (best <= soonest) return best;
+    }
+  }
+  return best;
 }
 
 }  // namespace rop::mem

@@ -198,6 +198,14 @@ void RopEngine::on_tick(Cycle now) {
   last_tick_ = now;
 }
 
+void RopEngine::on_finalize(Cycle now) {
+  // Settle the delta accounting at the end-of-run cycle. Under the
+  // event-driven clock the last executed tick may land well before `now`;
+  // both loops call finalize with the same cycle, so the accumulated
+  // SRAM-on time and profiler windows end up bit-identical.
+  on_tick(now);
+}
+
 void RopEngine::on_refresh_issued(RankId rank, Cycle start, Cycle /*done*/) {
   // Age the pattern frequencies so the next Eq. 3 split favours the banks
   // that were hot during this window.

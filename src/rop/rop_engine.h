@@ -85,6 +85,7 @@ class RopEngine final : public mem::ControllerListener {
   void on_refresh_issued(RankId rank, Cycle start, Cycle done) override;
   void on_prefetch_filled(const mem::Request& req, Cycle now) override;
   void on_tick(Cycle now) override;
+  void on_finalize(Cycle now) override;
 
   [[nodiscard]] RopState state() const { return state_; }
   /// The controller this engine is attached to (checker uses it to pair

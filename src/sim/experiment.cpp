@@ -1,5 +1,6 @@
 #include "sim/experiment.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -78,7 +79,12 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   }
 
   cpu::System system(sys_cfg, memory, trace_ptrs);
+  const auto wall_start = std::chrono::steady_clock::now();
   result.run = system.run(spec.instructions_per_core, spec.max_cpu_cycles);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   if (checker) {
     checker->finalize();

@@ -47,6 +47,18 @@ struct ExperimentResult {
   std::uint64_t checker_ticks = 0;
   std::uint64_t checker_violations = 0;
 
+  /// Wall-clock seconds spent inside System::run (simulation only — no
+  /// construction, finalization, or energy accounting).
+  double wall_seconds = 0.0;
+
+  /// Simulation throughput: simulated memory-controller cycles per
+  /// wall-clock second. The headline number for the event-driven clock.
+  [[nodiscard]] double sim_cycles_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(run.mem_cycles) / wall_seconds
+               : 0.0;
+  }
+
   // ROP-specific metrics (zero/defaults for baseline and no-refresh).
   double sram_hit_rate = 0.0;
   double lambda = 1.0;

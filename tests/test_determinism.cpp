@@ -3,9 +3,14 @@
 // bit-identical to the serial/naive baseline — not approximately equal.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "rop/rop_engine.h"
 #include "sim/runner.h"
+#include "workload/synthetic.h"
 
 namespace rop::sim {
 namespace {
@@ -89,6 +94,117 @@ TEST(FastForward, BitIdenticalSingleCore) {
     ExperimentSpec naive = fast;
     naive.fast_forward = false;
     expect_identical(run_experiment(naive), run_experiment(fast));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mid-span state dump: beyond aggregate stats, the *micro-architectural*
+// state — every queue entry, refresh phase register, and per-bank timing
+// register — must match the naive loop at arbitrary off-ratio cutoffs.
+// Aggregate identity could in principle survive compensating errors; this
+// cannot.
+
+std::string dump_memory_state(
+    const mem::MemorySystem& memory,
+    const std::vector<std::unique_ptr<engine::RopEngine>>& engines) {
+  std::ostringstream os;
+  for (ChannelId ch = 0; ch < memory.num_channels(); ++ch) {
+    const mem::Controller& c = memory.controller(ch);
+    os << "ch" << ch << "\n";
+    const auto dump_queue = [&os](const char* name, mem::RequestView q) {
+      os << " " << name << ":";
+      for (const mem::Request& r : q) {
+        os << " [" << r.id << " t" << static_cast<int>(r.type) << " r"
+           << r.coord.rank << " b" << r.coord.bank << " row" << r.coord.row
+           << " a" << r.arrival << " c" << r.completion << "]";
+      }
+      os << "\n";
+    };
+    dump_queue("reads", c.read_queue());
+    dump_queue("writes", c.write_queue());
+    dump_queue("prefetch", c.prefetch_queue());
+    dump_queue("inflight", c.in_flight());
+    const dram::Channel& dch = c.channel();
+    for (RankId r = 0; r < dch.num_ranks(); ++r) {
+      os << " rank" << r << " phase=" << static_cast<int>(c.refresh_phase(r))
+         << " locked_at=" << c.locked_at(r)
+         << " drain_pending=" << c.drain_pending(r)
+         << " pending=" << c.pending_reads(r) << "/" << c.pending_writes(r)
+         << "/" << c.queued_prefetches(r) << "/" << c.inflight_prefetches(r)
+         << " refresh_remaining=" << c.refresh_remaining(r) << "\n";
+      const dram::Rank& rank = dch.rank(r);
+      os << "  rank_timing next_act=" << rank.next_activate()
+         << " next_col=" << rank.next_column()
+         << " refreshing=" << rank.refreshing()
+         << " done=" << rank.refresh_done() << " pb=" << rank.pb_refreshing()
+         << "\n";
+      for (BankId b = 0; b < rank.num_banks(); ++b) {
+        const dram::Bank& bank = rank.bank(b);
+        os << "  bank" << b << " s=" << static_cast<int>(bank.state())
+           << " row="
+           << (bank.open_row() ? std::to_string(*bank.open_row()) : "-")
+           << " act=" << bank.next_activate() << " rd=" << bank.next_read()
+           << " wr=" << bank.next_write() << " pre=" << bank.next_precharge()
+           << "\n";
+      }
+    }
+  }
+  for (const auto& eng : engines) {
+    os << "rop state=" << static_cast<int>(eng->state())
+       << " sram_on=" << eng->sram_on_cycles()
+       << " buffer=" << eng->buffer().size() << "\n";
+  }
+  return os.str();
+}
+
+std::string run_truncated_and_dump(MemoryMode mode, bool fast_forward,
+                                   std::uint64_t max_cpu_cycles) {
+  StatRegistry stats;
+  mem::MemorySystem memory(make_memory_config(4, mode), &stats);
+
+  std::vector<std::unique_ptr<engine::RopEngine>> engines;
+  if (mode == MemoryMode::kRop) {
+    for (ChannelId ch = 0; ch < memory.num_channels(); ++ch) {
+      engine::RopConfig rop_cfg;
+      rop_cfg.seed ^= ch;
+      engines.push_back(std::make_unique<engine::RopEngine>(
+          rop_cfg, memory.controller(ch), memory.address_map(), &stats));
+    }
+  }
+
+  std::vector<std::unique_ptr<workload::SyntheticTrace>> traces;
+  std::vector<workload::TraceSource*> trace_ptrs;
+  const std::vector<std::string> mix = workload::workload_mix(1);
+  for (std::size_t c = 0; c < mix.size(); ++c) {
+    traces.push_back(std::make_unique<workload::SyntheticTrace>(
+        workload::spec_profile(mix[c], c)));
+    trace_ptrs.push_back(traces.back().get());
+  }
+
+  cpu::SystemConfig sys_cfg =
+      make_system_config(4ull << 20, /*rank_partition=*/true);
+  sys_cfg.fast_forward = fast_forward;
+  cpu::System system(sys_cfg, memory, trace_ptrs);
+  system.run(/*target_instructions=*/50'000'000, max_cpu_cycles);
+  return dump_memory_state(memory, engines);
+}
+
+TEST(FastForward, MidSpanStateDumpMatchesNaiveLoop) {
+  // Off-ratio cutoffs land inside boundary windows (and, for the fast run,
+  // inside skip spans), so the comparison catches any state the event loop
+  // failed to bring current before stopping.
+  for (const MemoryMode mode : {MemoryMode::kRop, MemoryMode::kPausing}) {
+    for (const std::uint64_t cutoff : {199'999ull, 400'001ull, 800'003ull}) {
+      SCOPED_TRACE(testing::Message() << "mode=" << static_cast<int>(mode)
+                                      << " cutoff=" << cutoff);
+      const std::string naive = run_truncated_and_dump(mode, false, cutoff);
+      const std::string fast = run_truncated_and_dump(mode, true, cutoff);
+      EXPECT_EQ(naive, fast);
+      if (mode == MemoryMode::kPausing) continue;
+      // A healthy cutoff run must actually have state in motion — guard
+      // against the dump trivially matching because everything drained.
+      EXPECT_NE(fast.find("rop state="), std::string::npos);
+    }
   }
 }
 

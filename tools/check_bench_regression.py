@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""CI gate: compare a google-benchmark JSON run against the committed
+baseline and fail on significant regressions.
+
+Usage:
+    check_bench_regression.py RESULTS_JSON BASELINE_JSON [--threshold 1.25]
+
+RESULTS_JSON is the output of `--benchmark_format=json`. BASELINE_JSON is a
+committed measurement file (e.g. BENCH_eventcore.json) whose top-level
+`ci_baseline_ns` object maps benchmark names to reference per-iteration
+times in nanoseconds. Only benchmarks listed there are gated; everything
+else is informational. A benchmark regresses when its measured real_time
+exceeds baseline * threshold (default 1.25 — wide enough to absorb shared
+CI runner noise, tight enough to catch a hot-path slip).
+
+Exit status: 0 when every gated benchmark is within the threshold, 1 on any
+regression or when a gated benchmark is missing from the results.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def to_ns(value, unit):
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    return value * scale.get(unit, 1.0)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="google-benchmark JSON output")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="fail when measured > baseline * threshold")
+    args = parser.parse_args()
+
+    with open(args.results) as f:
+        results = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    gated = baseline.get("ci_baseline_ns")
+    if not gated:
+        print(f"error: {args.baseline} has no ci_baseline_ns object")
+        return 1
+
+    measured = {}
+    for bench in results.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        measured[bench["name"]] = to_ns(bench["real_time"],
+                                        bench.get("time_unit", "ns"))
+
+    failed = False
+    for name, base_ns in sorted(gated.items()):
+        if name not in measured:
+            print(f"FAIL {name}: gated benchmark missing from results")
+            failed = True
+            continue
+        got = measured[name]
+        ratio = got / base_ns
+        verdict = "FAIL" if ratio > args.threshold else "ok"
+        print(f"{verdict:4} {name}: {got:.1f} ns vs baseline {base_ns:.1f} ns "
+              f"(x{ratio:.2f}, limit x{args.threshold:.2f})")
+        if ratio > args.threshold:
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -229,7 +229,7 @@ int run_compare(const Options& opt) {
 
   TextTable table("mode comparison");
   table.set_header({"mode", "IPC", "speedup", "energy (mJ)", "energy ratio",
-                    "refreshes"});
+                    "refreshes", "wall (s)", "Mcyc/s"});
   for (std::size_t i = 0; i < results.size(); ++i) {
     const sim::ExperimentResult& r = results[i];
     table.add_row({kAllModes[i].name, TextTable::fmt(total_ipc(r), 4),
@@ -237,9 +237,14 @@ int run_compare(const Options& opt) {
                    TextTable::fmt(r.total_energy_mj(), 2),
                    TextTable::fmt(r.total_energy_mj() / base.total_energy_mj(),
                                   4),
-                   std::to_string(r.refreshes)});
+                   std::to_string(r.refreshes),
+                   TextTable::fmt(r.wall_seconds, 2),
+                   TextTable::fmt(r.sim_cycles_per_second() / 1e6, 1)});
   }
   table.print();
+  std::printf("\nhost speed: simulated controller megacycles per wall-clock "
+              "second per mode\n(timed inside System::run; --jobs overlap "
+              "makes per-mode wall time conservative)\n");
 
   const sim::ExperimentResult& rop = results[1];
   if (rop.sram_hit_rate > 0.0) {
