@@ -13,12 +13,14 @@ int main() {
   table.set_header({"benchmark", "intensive", "1x tRFC", "2x tRFC",
                     "4x tRFC"});
 
+  bench::StatsSidecar sidecar("bench_fig2_nonblocking");
   double quiet_avg = 0;
   int quiet_n = 0;
   for (const auto name : workload::kBenchmarkNames) {
-    const auto base = sim::run_experiment(
+    const auto base = sim::run_experiment(bench::with_epochs(
         bench::bench_spec(std::string(name), sim::MemoryMode::kBaseline,
-                          instr));
+                          instr)));
+    sidecar.add(std::string(name), base);
     table.add_row({std::string(name),
                    workload::is_intensive(name) ? "Y" : "",
                    TextTable::pct(base.nonblocking_fraction[0]),
@@ -37,5 +39,6 @@ int main() {
       "paper: many refreshes block nothing; non-intensive benchmarks "
       "average 79.3% non-blocking at the 1x window, and the fraction can "
       "only drop as the window widens.");
+  sidecar.write();
   return 0;
 }

@@ -13,10 +13,12 @@ int main() {
   table.set_header({"benchmark", "mean blocked", "max blocked",
                     "refreshes"});
 
+  bench::StatsSidecar sidecar("bench_fig3_blocked_requests");
   for (const auto name : workload::kBenchmarkNames) {
-    const auto base = sim::run_experiment(
+    const auto base = sim::run_experiment(bench::with_epochs(
         bench::bench_spec(std::string(name), sim::MemoryMode::kBaseline,
-                          instr));
+                          instr)));
+    sidecar.add(std::string(name), base);
     table.add_row({std::string(name),
                    TextTable::fmt(base.mean_blocked_per_blocking_refresh[0],
                                   2),
@@ -30,5 +32,6 @@ int main() {
       "requests (max observed 12). The bound here is the per-core MLP "
       "window (16) plus queue drain, so expect small means and a max in "
       "the low tens.");
+  sidecar.write();
   return 0;
 }

@@ -13,15 +13,17 @@ int main() {
   TextTable table("Fig. 9 — SRAM buffer hit rate by capacity");
   table.set_header({"benchmark", "16", "32", "64", "128"});
 
+  bench::StatsSidecar sidecar("bench_fig9_hitrate");
   std::vector<double> rates64;
   for (const auto name : workload::kBenchmarkNames) {
     std::vector<std::string> row{std::string(name)};
     for (const std::uint32_t cap : capacities) {
-      sim::ExperimentSpec spec = bench::bench_spec(
-          std::string(name), sim::MemoryMode::kRop, instr);
+      sim::ExperimentSpec spec = bench::with_epochs(bench::bench_spec(
+          std::string(name), sim::MemoryMode::kRop, instr));
       spec.rop.buffer_lines = cap;
       const auto rop = sim::run_experiment(spec);
       if (cap == 64) rates64.push_back(rop.sram_hit_rate);
+      sidecar.add(std::string(name) + "/" + std::to_string(cap), rop);
       row.push_back(TextTable::fmt(rop.sram_hit_rate, 3));
     }
     table.add_row(std::move(row));
@@ -39,5 +41,6 @@ int main() {
       "Here the metric counts reads arriving during refresh periods; for "
       "quiet benchmarks the denominator is tiny and the lambda/beta gating "
       "skips most refreshes, so their rates are noisy.");
+  sidecar.write();
   return 0;
 }

@@ -8,12 +8,15 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
 #include "sim/runner.h"
+#include "telemetry/stats_json.h"
 #include "workload/spec_profiles.h"
 
 namespace rop::bench {
@@ -98,5 +101,66 @@ class AloneIpcCache {
 inline void print_paper_note(const char* what, const char* paper_says) {
   std::printf("\npaper reference: %s\n%s\n", what, paper_says);
 }
+
+/// Add epoch sampling (one epoch per tREFI by default) to a spec so the
+/// bench's JSON sidecar carries time-series alongside the printed tables.
+inline sim::ExperimentSpec with_epochs(sim::ExperimentSpec spec,
+                                       Cycle epoch_cycles = 6240) {
+  spec.telemetry.sampler.epoch_cycles = epoch_cycles;
+  return spec;
+}
+
+/// Machine-readable sidecar for the figure benches: collects labelled
+/// ExperimentResult::to_json documents and writes `<bench>.stats.json`
+/// (one object keyed by label) next to the working directory. Disabled by
+/// ROP_BENCH_SIDECAR=0; plots and the CI schema check consume the output.
+class StatsSidecar {
+ public:
+  explicit StatsSidecar(std::string bench_name)
+      : path_(bench_name + ".stats.json") {
+    if (const char* env = std::getenv("ROP_BENCH_SIDECAR")) {
+      enabled_ = std::strcmp(env, "0") != 0;
+    }
+  }
+
+  void add(const std::string& label, const sim::ExperimentResult& result) {
+    if (!enabled_) return;
+    std::string doc = result.to_json();
+    while (!doc.empty() && doc.back() == '\n') doc.pop_back();
+    entries_.emplace_back(label, std::move(doc));
+  }
+
+  /// For harnesses that do not produce an ExperimentResult (e.g. the
+  /// listener-based Fig. 4 observer): attach a pre-rendered JSON value.
+  void add_raw(const std::string& label, std::string json_value) {
+    if (!enabled_) return;
+    entries_.emplace_back(label, std::move(json_value));
+  }
+
+  /// Write the collected documents; prints the path (or the failure).
+  void write() const {
+    if (!enabled_ || entries_.empty()) return;
+    std::ofstream os(path_, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "sidecar: cannot open %s for writing\n",
+                   path_.c_str());
+      return;
+    }
+    os << "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      os << '"' << telemetry::JsonWriter::escape(entries_[i].first)
+         << "\": " << entries_[i].second;
+      os << (i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    os << "}\n";
+    std::printf("\nwrote stats sidecar: %s (%zu runs)\n", path_.c_str(),
+                entries_.size());
+  }
+
+ private:
+  std::string path_;
+  bool enabled_ = true;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace rop::bench

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "telemetry/trace_sink.h"
+
 namespace rop::check {
 
 SimChecker::SimChecker(CheckerConfig cfg) : cfg_(cfg) {}
@@ -30,9 +32,20 @@ void SimChecker::watch(const engine::RopEngine& eng) {
   engines_.push_back(&eng);
 }
 
+void SimChecker::set_trace(const telemetry::TraceSink* trace,
+                           std::size_t context_events) {
+  trace_ = trace;
+  trace_context_ = context_events;
+}
+
 void SimChecker::violate(std::string msg) {
   ++violation_count_;
   if (reports_.size() < cfg_.max_reports) reports_.push_back(std::move(msg));
+  // Snapshot the trace tail at the *first* violation: that is the timeline
+  // that led into the bug; later violations are usually fallout.
+  if (violation_count_ == 1 && trace_ != nullptr) {
+    trace_tail_ = trace_->format_recent(trace_context_);
+  }
 }
 
 void SimChecker::on_tick_end(const mem::Controller& ctrl, Cycle now) {
@@ -255,6 +268,11 @@ std::string SimChecker::summary() const {
   for (const auto& r : reports_) os << "\n  " << r;
   if (violation_count_ > reports_.size()) {
     os << "\n  ... " << violation_count_ - reports_.size() << " more";
+  }
+  if (!trace_tail_.empty()) {
+    os << "\n  trace context (last " << trace_tail_.size()
+       << " events before the first violation):";
+    for (const auto& line : trace_tail_) os << "\n    " << line;
   }
   return os.str();
 }

@@ -55,6 +55,12 @@ class SimChecker final : public mem::ControllerAuditor {
   /// Include a ROP engine's SRAM buffer in the per-tick coherence sweep.
   void watch(const engine::RopEngine& eng);
 
+  /// Attach a trace sink (non-owning): the first violation snapshots the
+  /// last `context_events` trace events and summary() appends them, so a
+  /// CI failure carries the command/refresh timeline that led up to it.
+  void set_trace(const telemetry::TraceSink* trace,
+                 std::size_t context_events = 32);
+
   // mem::ControllerAuditor
   void on_tick_end(const mem::Controller& ctrl, Cycle now) override;
   void on_retired(const mem::Request& req) override;
@@ -87,6 +93,9 @@ class SimChecker final : public mem::ControllerAuditor {
   CheckerConfig cfg_;
   mem::MemorySystem* mem_ = nullptr;
   std::vector<const engine::RopEngine*> engines_;
+  const telemetry::TraceSink* trace_ = nullptr;
+  std::size_t trace_context_ = 32;
+  std::vector<std::string> trace_tail_;  // captured at the first violation
   std::vector<std::string> reports_;
   std::uint64_t violation_count_ = 0;
   std::uint64_t ticks_checked_ = 0;

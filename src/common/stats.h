@@ -79,6 +79,30 @@ class Histogram {
   [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
   [[nodiscard]] std::uint64_t bucket_width() const { return width_; }
 
+  /// Percentile estimate from the buckets with linear interpolation inside
+  /// the containing bucket, `p` in [0, 100]. Continuous counterpart of
+  /// quantile(): p50/p95/p99 for reports and the JSON export. Samples in
+  /// the overflow bucket interpolate within one further bucket width — an
+  /// approximation, so a percentile that lands there is a lower bound.
+  [[nodiscard]] double percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    const double target = (p / 100.0) * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i] == 0) continue;
+      const double lo = static_cast<double>(seen);
+      seen += buckets_[i];
+      if (static_cast<double>(seen) >= target) {
+        const double frac =
+            std::clamp((target - lo) / static_cast<double>(buckets_[i]),
+                       0.0, 1.0);
+        return (static_cast<double>(i) + frac) *
+               static_cast<double>(width_);
+      }
+    }
+    return static_cast<double>(buckets_.size() * width_);
+  }
+
   /// Smallest v such that at least `q` fraction of samples are <= v
   /// (bucket-upper-bound approximation).
   [[nodiscard]] std::uint64_t quantile(double q) const {
@@ -134,6 +158,18 @@ class StatRegistry {
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
   [[nodiscard]] const Scalar* find_scalar(const std::string& name) const;
   [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Whole-registry iteration (JSON export, epoch sampling). The node-based
+  /// maps keep references stable across later registrations.
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Scalar>& scalars() const {
+    return scalars_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
 
   void reset_all();
 

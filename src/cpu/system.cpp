@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "telemetry/epoch_sampler.h"
+
 namespace rop::cpu {
 
 System::System(const SystemConfig& cfg, mem::MemorySystem& memory,
@@ -100,10 +102,16 @@ RunResult System::run(std::uint64_t target_instructions,
   Cycle mem_next_event = 0;  // next memory cycle whose tick must execute
   mem_dirty_ = false;
 
+  // Epoch boundaries must be sampled at every *visited* memory cycle, ticked
+  // or not: a skipped tick is a provable no-op for the controllers, so the
+  // registry state at the boundary is exactly what the naive loop would see.
+  telemetry::EpochSampler* const sampler = memory_.sampler();
+
   std::uint64_t cpu_cycle = 0;
   while (cpu_cycle < max_cpu_cycles && remaining > 0) {
     if (cpu_cycle % cfg_.cpu_ratio == 0) {
       mem_now_ = cpu_cycle / cfg_.cpu_ratio;
+      if (sampler != nullptr) sampler->advance_to(mem_now_);
       if (!cfg_.fast_forward || mem_dirty_ || mem_now_ >= mem_next_event) {
         memory_.tick(mem_now_);
         for (const mem::Request& req : memory_.drain_completed()) {
@@ -162,6 +170,13 @@ RunResult System::run(std::uint64_t target_instructions,
   }
 
   result.hit_cycle_limit = remaining > 0;
+  // Settle the sampler at the final memory cycle *before* the core-counter
+  // mirror below: frozen-cycle skips may have jumped past epoch boundaries,
+  // and emitting them lazily after the mirror would fold end-of-run core
+  // totals into the last full epoch — breaking bit-identity with the naive
+  // loop, which sampled those boundaries pre-mirror. The trailing partial
+  // epoch (emitted by close() in finalize) captures the mirror in both modes.
+  if (sampler != nullptr) sampler->advance_to(cpu_cycle / cfg_.cpu_ratio);
   // Freeze any core that never crossed (cycle-limit safety net).
   for (std::size_t c = 0; c < cores_.size(); ++c) {
     if (crossed[c]) continue;

@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "telemetry/trace_sink.h"
+
 namespace rop::dram {
+
+namespace {
+
+telemetry::EventKind cmd_event_kind(CmdType type) {
+  switch (type) {
+    case CmdType::kActivate: return telemetry::EventKind::kCmdActivate;
+    case CmdType::kPrecharge: return telemetry::EventKind::kCmdPrecharge;
+    case CmdType::kRead: return telemetry::EventKind::kCmdRead;
+    case CmdType::kWrite: return telemetry::EventKind::kCmdWrite;
+    case CmdType::kRefresh: return telemetry::EventKind::kCmdRefresh;
+    case CmdType::kRefreshBank: return telemetry::EventKind::kCmdRefreshBank;
+  }
+  return telemetry::EventKind::kCmdActivate;
+}
+
+}  // namespace
 
 Channel::Channel(const DramTimings& timings, const DramOrganization& org)
     : t_(timings) {
@@ -50,44 +68,66 @@ Cycle Channel::issue(const Command& cmd, Cycle now) {
   ROP_ASSERT(can_issue(cmd, now));
   Rank& rank = ranks_.at(cmd.coord.rank);
   rank.issue(cmd, now);
+  Cycle done = now;
   switch (cmd.type) {
     case CmdType::kActivate:
       ++events_.activates;
-      return now;
+      break;
     case CmdType::kPrecharge:
       ++events_.precharges;
-      return now;
-    case CmdType::kRead: {
+      break;
+    case CmdType::kRead:
       ++events_.reads;
-      const Cycle done = t_.read_data_done(now);
+      done = t_.read_data_done(now);
       bus_busy_until_ = done;
       last_bus_op_ = CmdType::kRead;
       last_bus_rank_ = cmd.coord.rank;
       bus_used_ = true;
-      return done;
-    }
-    case CmdType::kWrite: {
+      break;
+    case CmdType::kWrite:
       ++events_.writes;
-      const Cycle done = t_.write_data_done(now);
+      done = t_.write_data_done(now);
       bus_busy_until_ = done;
       last_bus_op_ = CmdType::kWrite;
       last_bus_rank_ = cmd.coord.rank;
       bus_used_ = true;
-      return done;
-    }
+      break;
     case CmdType::kRefresh:
       ++events_.refreshes;
-      return now + t_.tRFC;
+      done = now + t_.tRFC;
+      break;
     case CmdType::kRefreshBank:
       ++events_.bank_refreshes;
-      return now + t_.tRFCpb;
+      done = now + t_.tRFCpb;
+      break;
   }
-  return now;
+  if (trace_ != nullptr && trace_->wants(telemetry::kCatCmds)) {
+    telemetry::TraceEvent e;
+    e.ts = now;
+    e.dur = done - now;
+    e.kind = cmd_event_kind(cmd.type);
+    e.category = telemetry::kCatCmds;
+    e.channel = static_cast<std::uint16_t>(trace_channel_);
+    e.rank = static_cast<std::uint16_t>(cmd.coord.rank);
+    e.bank = static_cast<std::uint16_t>(cmd.coord.bank);
+    trace_->record(e);
+  }
+  return done;
 }
 
 void Channel::begin_refresh_segment(RankId rank, Cycle now, Cycle duration) {
   ++events_.refresh_segments;
   ranks_.at(rank).begin_refresh_segment(now, duration);
+  if (trace_ != nullptr && trace_->wants(telemetry::kCatRefresh)) {
+    telemetry::TraceEvent e;
+    e.ts = now;
+    e.dur = duration;
+    e.kind = telemetry::EventKind::kPauseSegment;
+    e.category = telemetry::kCatRefresh;
+    e.channel = static_cast<std::uint16_t>(trace_channel_);
+    e.rank = static_cast<std::uint16_t>(rank);
+    trace_->record(e);
+  }
 }
 
 void Channel::tick(Cycle now) {

@@ -14,6 +14,10 @@
 #include "dram/rank.h"
 #include "dram/timing.h"
 
+namespace rop::telemetry {
+class TraceSink;
+}
+
 namespace rop::dram {
 
 /// Event counts the energy model charges per command.
@@ -64,6 +68,15 @@ class Channel {
 
   [[nodiscard]] const DramTimings& timings() const { return t_; }
 
+  /// Attach a trace sink (nullptr detaches): issue() records every command
+  /// and begin_refresh_segment() every pausing segment. The channel has no
+  /// identity of its own, so the owning controller passes its id along.
+  void set_trace(telemetry::TraceSink* trace, ChannelId channel_id) {
+    trace_ = trace;
+    trace_channel_ = channel_id;
+  }
+  [[nodiscard]] telemetry::TraceSink* trace() const { return trace_; }
+
  private:
   /// First cycle at which a new burst by `type` on `rank` may occupy the
   /// data bus.
@@ -79,6 +92,8 @@ class Channel {
   bool bus_used_ = false;
 
   ChannelEvents events_;
+  telemetry::TraceSink* trace_ = nullptr;
+  ChannelId trace_channel_ = 0;
 };
 
 }  // namespace rop::dram

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "telemetry/trace_sink.h"
+
 namespace rop::mem {
 
 Controller::Controller(ChannelId id, const dram::DramTimings& timings,
@@ -55,9 +57,23 @@ Controller::Controller(ChannelId id, const dram::DramTimings& timings,
       stats->histogram_handle("mem.read_latency_hist", 8, 128);
 }
 
-void Controller::record_read_latency(Cycle latency) {
+void Controller::record_read_latency(const Request& req) {
+  const Cycle latency = req.completion - req.arrival;
   h_.read_latency->record(static_cast<double>(latency));
   h_.read_latency_hist->record(latency);
+  if (trace_ != nullptr && trace_->wants(telemetry::kCatReqs)) {
+    telemetry::TraceEvent e;
+    e.ts = req.arrival;
+    e.dur = latency;
+    e.arg = static_cast<std::uint64_t>(req.serviced_by);
+    e.kind = telemetry::EventKind::kReadSpan;
+    e.category = telemetry::kCatReqs;
+    e.channel = static_cast<std::uint16_t>(id_);
+    e.rank = static_cast<std::uint16_t>(req.coord.rank);
+    e.bank = static_cast<std::uint16_t>(req.coord.bank);
+    e.core = req.core;
+    trace_->record(e);
+  }
 }
 
 bool Controller::can_accept(ReqType type) const {
@@ -92,7 +108,7 @@ bool Controller::enqueue(Request req, Cycle now) {
         req.completion = *done;
         req.serviced_by = ServicedBy::kSramBuffer;
         h_.sram_serviced->inc();
-        record_read_latency(*done - now);
+        record_read_latency(req);
         completed_.push_back(arena_.alloc(req));
         return true;
       }
@@ -103,7 +119,7 @@ bool Controller::enqueue(Request req, Cycle now) {
       req.completion = now + 1;
       req.serviced_by = ServicedBy::kWriteForward;
       h_.read_forwarded->inc();
-      record_read_latency(1);
+      record_read_latency(req);
       completed_.push_back(arena_.alloc(req));
       return true;
     }
@@ -170,6 +186,18 @@ void Controller::drop_prefetches(RankId rank) {
   for (const RequestIndex idx : prefetch_q_) {
     if (arena_[idx].coord.rank == rank) {
       h_.prefetch_dropped->inc();
+      if (trace_ != nullptr && trace_->wants(telemetry::kCatRop)) {
+        const Request& req = arena_[idx];
+        telemetry::TraceEvent e;
+        e.ts = req.arrival;
+        e.arg = req.line_addr;
+        e.kind = telemetry::EventKind::kPrefetchDrop;
+        e.category = telemetry::kCatRop;
+        e.channel = static_cast<std::uint16_t>(id_);
+        e.rank = static_cast<std::uint16_t>(rank);
+        e.bank = static_cast<std::uint16_t>(req.coord.bank);
+        trace_->record(e);
+      }
       --queued_prefetches_[rank];
       arena_.release(idx);
     } else {
@@ -200,12 +228,23 @@ void Controller::complete_bursts(Cycle now) {
       // never hold data staler than the write queue.
       if (write_index_.count(req.line_addr) != 0) {
         h_.prefetch_dropped_stale->inc();
+        if (trace_ != nullptr && trace_->wants(telemetry::kCatRop)) {
+          telemetry::TraceEvent e;
+          e.ts = now;
+          e.arg = req.line_addr;
+          e.kind = telemetry::EventKind::kStaleDrop;
+          e.category = telemetry::kCatRop;
+          e.channel = static_cast<std::uint16_t>(id_);
+          e.rank = static_cast<std::uint16_t>(req.coord.rank);
+          e.bank = static_cast<std::uint16_t>(req.coord.bank);
+          trace_->record(e);
+        }
       } else {
         h_.prefetch_completed->inc();
         if (listener_ != nullptr) listener_->on_prefetch_filled(req, now);
       }
     } else {
-      record_read_latency(arena_[idx].completion - arena_[idx].arrival);
+      record_read_latency(arena_[idx]);
       completed_.push_back(idx);
     }
   }
@@ -219,6 +258,25 @@ bool Controller::issue_refresh_commands(RankId r, Cycle now) {
   if (channel_.can_issue(ref, now)) {
     // Any prefetch that failed to issue before the seal is pointless now.
     drop_prefetches(r);
+    // Snapshot before the bookkeeping resets: postponement depth at issue
+    // and the due-time lock this REF closes.
+    if (trace_ != nullptr && trace_->wants(telemetry::kCatRefresh)) {
+      telemetry::TraceEvent e;
+      e.category = telemetry::kCatRefresh;
+      e.channel = static_cast<std::uint16_t>(id_);
+      e.rank = static_cast<std::uint16_t>(r);
+      if (locked_at_[r] != kNeverCycle && now > locked_at_[r]) {
+        e.ts = locked_at_[r];
+        e.dur = now - locked_at_[r];
+        e.kind = telemetry::EventKind::kRankLock;
+        trace_->record(e);
+      }
+      e.ts = now;
+      e.dur = channel_.timings().tRFC;
+      e.kind = telemetry::EventKind::kRefreshWindow;
+      e.arg = rm_.owed(r, now);
+      trace_->record(e);
+    }
     channel_.issue(ref, now);
     rm_.on_refresh_issued(r);
     blocking_.on_refresh_start(r, now);
@@ -374,6 +432,19 @@ bool Controller::manage_refresh_pausing(Cycle now) {
     if (!refresh_window_opened_[r]) {
       blocking_.on_refresh_start(r, now);
       refresh_window_opened_[r] = true;
+      // Nominal tRFC span; the actual segments (and their pause gaps) are
+      // traced individually via begin_refresh_segment.
+      if (trace_ != nullptr && trace_->wants(telemetry::kCatRefresh)) {
+        telemetry::TraceEvent e;
+        e.ts = now;
+        e.dur = channel_.timings().tRFC;
+        e.arg = rm_.owed(r, now);
+        e.kind = telemetry::EventKind::kRefreshWindow;
+        e.category = telemetry::kCatRefresh;
+        e.channel = static_cast<std::uint16_t>(id_);
+        e.rank = static_cast<std::uint16_t>(r);
+        trace_->record(e);
+      }
     }
     channel_.begin_refresh_segment(r, now, duration);
     refresh_started_[r] = true;
@@ -577,7 +648,7 @@ void Controller::complete_matching_reads(
     req.completion = *done;
     req.serviced_by = ServicedBy::kSramBuffer;
     h_.sram_serviced->inc();
-    record_read_latency(req.completion - req.arrival);
+    record_read_latency(req);
     completed_.push_back(idx);
   }
   by_rank.resize(out);

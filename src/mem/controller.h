@@ -146,6 +146,16 @@ class Controller {
   void set_auditor(ControllerAuditor* auditor) { auditor_ = auditor; }
   [[nodiscard]] ControllerAuditor* auditor() const { return auditor_; }
 
+  /// Attach a telemetry trace sink (nullptr detaches). The controller
+  /// records refresh windows, request latency spans and ROP drop events;
+  /// the channel (handed the sink here too) records command issues. A null
+  /// sink costs one pointer compare per would-be event.
+  void set_trace(telemetry::TraceSink* trace) {
+    trace_ = trace;
+    channel_.set_trace(trace, id_);
+  }
+  [[nodiscard]] telemetry::TraceSink* trace() const { return trace_; }
+
   [[nodiscard]] bool can_accept(ReqType type) const;
 
   /// Enqueue a demand request. Returns false when the target queue is full
@@ -289,7 +299,9 @@ class Controller {
   void complete_bursts(Cycle now);
   /// Flush queued prefetches for a rank (urgent refresh override).
   void drop_prefetches(RankId rank);
-  void record_read_latency(Cycle latency);
+  /// Latency bookkeeping + a kReadSpan trace event for a serviced demand
+  /// read; `req` must have arrival and completion set.
+  void record_read_latency(const Request& req);
   /// Issue PRE for an open bank or the REF itself; true when a command
   /// went out this cycle.
   bool issue_refresh_commands(RankId rank, Cycle now);
@@ -399,6 +411,11 @@ class Controller {
   std::vector<bool> refresh_window_opened_;
   /// per_bank_refresh: round-robin cursor of the next bank to refresh.
   std::vector<BankId> next_refresh_bank_;
+
+  /// Event recorder for the telemetry timelines; null in the common case
+  /// (every hook is a pointer compare). Kept at the cold end of the class
+  /// so attaching telemetry support does not shift the hot queue members.
+  telemetry::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace rop::mem

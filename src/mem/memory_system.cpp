@@ -1,5 +1,7 @@
 #include "mem/memory_system.h"
 
+#include "telemetry/epoch_sampler.h"
+
 namespace rop::mem {
 
 MemorySystem::MemorySystem(const MemoryConfig& cfg, StatRegistry* stats)
@@ -34,6 +36,9 @@ std::optional<RequestId> MemorySystem::enqueue(Address byte_addr, ReqType type,
 }
 
 void MemorySystem::tick(Cycle now) {
+  // Epoch boundaries at or before `now` must snapshot the registry before
+  // this cycle executes (sample at B = state strictly before B).
+  if (sampler_ != nullptr) sampler_->advance_to(now);
   for (auto& ctrl : controllers_) ctrl->tick(now);
 }
 
@@ -48,6 +53,7 @@ std::vector<Request> MemorySystem::drain_completed() {
 
 void MemorySystem::finalize(Cycle now) {
   for (auto& ctrl : controllers_) ctrl->finalize(now);
+  if (sampler_ != nullptr) sampler_->close(now);
 }
 
 bool MemorySystem::idle() const {

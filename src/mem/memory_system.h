@@ -16,6 +16,11 @@
 #include "mem/address_map.h"
 #include "mem/controller.h"
 
+namespace rop::telemetry {
+class EpochSampler;
+class TraceSink;
+}
+
 namespace rop::mem {
 
 struct MemoryConfig {
@@ -58,6 +63,18 @@ class MemorySystem {
     return *controllers_.at(ch);
   }
 
+  /// Attach an epoch sampler (non-owning; nullptr detaches). tick() then
+  /// advances it to every executed cycle and finalize() closes it; the
+  /// event-driven loop in cpu::System additionally advances it at skipped
+  /// boundaries so sampling points stay exact (see telemetry/epoch_sampler).
+  void set_sampler(telemetry::EpochSampler* sampler) { sampler_ = sampler; }
+  [[nodiscard]] telemetry::EpochSampler* sampler() const { return sampler_; }
+
+  /// Attach a trace sink to every controller (non-owning; nullptr detaches).
+  void set_trace(telemetry::TraceSink* trace) {
+    for (auto& ctrl : controllers_) ctrl->set_trace(trace);
+  }
+
   /// Settle energy/blocking accounting at end of run.
   void finalize(Cycle now);
 
@@ -85,6 +102,7 @@ class MemorySystem {
   StatRegistry* stats_;
   std::vector<std::unique_ptr<Controller>> controllers_;
   RequestId next_id_ = 1;
+  telemetry::EpochSampler* sampler_ = nullptr;
 };
 
 }  // namespace rop::mem

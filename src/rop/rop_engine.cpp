@@ -79,8 +79,11 @@ std::optional<Cycle> RopEngine::on_enqueue(const mem::Request& req,
       if (in_refresh) {
         ++overall_hits_;
         h_.buffer_hits->inc();
+        trace_rop(telemetry::EventKind::kBufferHit, rank, req.line_addr, now);
       } else {
         h_.lock_window_served->inc();
+        trace_rop(telemetry::EventKind::kLockServed, rank, req.line_addr,
+                  now);
       }
       return now + cfg_.sram_latency;
     }
@@ -234,13 +237,16 @@ void RopEngine::on_refresh_issued(RankId rank, Cycle start, Cycle /*done*/) {
     // now holds instead of letting them stall for tRFC. These are lock-
     // window services, outside the paper's refresh-period hit-rate metric.
     ctrl_.complete_matching_reads(
-        rank, [this, start](const mem::Request& req) -> std::optional<Cycle> {
+        rank,
+        [this, start, rank](const mem::Request& req) -> std::optional<Cycle> {
           if (buffer_.lookup(req.line_addr)) {
             ++phase_hits_;
             if (round_consumed_.insert(req.line_addr).second) {
               ++phase_consumed_;
             }
             h_.lock_window_served->inc();
+            trace_rop(telemetry::EventKind::kLockServed, rank, req.line_addr,
+                      start);
             return start + cfg_.sram_latency;
           }
           return std::nullopt;
@@ -291,6 +297,8 @@ void RopEngine::on_prefetch_filled(const mem::Request& req, Cycle now) {
   buffer_.insert(req.line_addr);
   ++phase_fills_;
   h_.buffer_fills->inc();
+  trace_rop(telemetry::EventKind::kPrefetchFill, req.coord.rank,
+            req.line_addr, now);
 
   // A blocked read for this exact line may already be queued (it arrived
   // during the seal before the fill landed); release it immediately rather
@@ -307,8 +315,24 @@ void RopEngine::on_prefetch_filled(const mem::Request& req, Cycle now) {
           ++phase_consumed_;
         }
         h_.lock_window_served->inc();
+        trace_rop(telemetry::EventKind::kLockServed, queued.coord.rank,
+                  queued.line_addr, now);
         return now + cfg_.sram_latency;
       });
+}
+
+void RopEngine::trace_rop(telemetry::EventKind kind, RankId rank,
+                          Address line, Cycle now) {
+  telemetry::TraceSink* trace = ctrl_.trace();
+  if (trace == nullptr || !trace->wants(telemetry::kCatRop)) return;
+  telemetry::TraceEvent e;
+  e.ts = now;
+  e.arg = line;
+  e.kind = kind;
+  e.category = telemetry::kCatRop;
+  e.channel = static_cast<std::uint16_t>(ctrl_.id());
+  e.rank = static_cast<std::uint16_t>(rank);
+  trace->record(e);
 }
 
 }  // namespace rop::engine

@@ -30,6 +30,7 @@
 #include "rop/pattern_profiler.h"
 #include "rop/prefetcher.h"
 #include "rop/sram_buffer.h"
+#include "telemetry/trace_sink.h"
 
 namespace rop::engine {
 
@@ -110,6 +111,10 @@ class RopEngine final : public mem::ControllerListener {
  private:
   void evaluate_phase();
   [[nodiscard]] Cycle window() const { return window_; }
+  /// Record an instant ROP trace event (fill/hit/serve) into the
+  /// controller's sink; a detached sink costs one pointer compare.
+  void trace_rop(telemetry::EventKind kind, RankId rank, Address line,
+                 Cycle now);
 
   /// Hot-path stat handles, resolved once at construction (the registry
   /// guarantees pointer stability) — no string-keyed lookups per event.

@@ -5,9 +5,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <sstream>
 
 #include "check/sim_checker.h"
 #include "mem/refresh_stats.h"
+#include "telemetry/stats_json.h"
 #include "workload/synthetic.h"
 
 namespace rop::sim {
@@ -34,6 +36,121 @@ double ExperimentResult::weighted_speedup(
   return ws;
 }
 
+std::string ExperimentResult::to_json() const {
+  std::ostringstream os;
+  telemetry::JsonWriter w(os);
+  w.begin_object();
+  w.key("schema_version");
+  w.value(std::uint64_t{1});
+
+  w.key("run");
+  w.begin_object();
+  w.key("cpu_cycles");
+  w.value(run.cpu_cycles);
+  w.key("mem_cycles");
+  w.value(run.mem_cycles);
+  w.key("hit_cycle_limit");
+  w.value(run.hit_cycle_limit);
+  w.key("wall_seconds");
+  w.value(wall_seconds);
+  w.key("sim_cycles_per_second");
+  w.value(sim_cycles_per_second());
+  w.key("cores");
+  w.begin_array();
+  for (const cpu::CoreResult& c : run.cores) {
+    w.begin_object();
+    w.key("instructions");
+    w.value(c.instructions);
+    w.key("cpu_cycles");
+    w.value(c.cpu_cycles);
+    w.key("ipc");
+    w.value(c.ipc);
+    w.key("mem_reads");
+    w.value(c.mem_reads);
+    w.key("mem_writebacks");
+    w.value(c.mem_writebacks);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("energy_mj");
+  w.begin_object();
+  w.key("background");
+  w.value(energy.background_mj);
+  w.key("act_pre");
+  w.value(energy.act_pre_mj);
+  w.key("read");
+  w.value(energy.read_mj);
+  w.key("write");
+  w.value(energy.write_mj);
+  w.key("refresh");
+  w.value(energy.refresh_mj);
+  w.key("io");
+  w.value(energy.io_mj);
+  w.key("sram");
+  w.value(energy.sram_mj);
+  w.key("total");
+  w.value(energy.total_mj());
+  w.end_object();
+
+  w.key("rop");
+  w.begin_object();
+  w.key("sram_hit_rate");
+  w.value(sram_hit_rate);
+  w.key("lambda");
+  w.value(lambda);
+  w.key("beta");
+  w.value(beta);
+  w.key("refreshes");
+  w.value(refreshes);
+  w.end_object();
+
+  w.key("refresh_blocking");
+  w.begin_array();
+  for (std::size_t k = 0; k < nonblocking_fraction.size(); ++k) {
+    w.begin_object();
+    w.key("window_multiple");
+    w.value(static_cast<std::uint64_t>(
+        mem::RefreshBlockingStats::kExaminedMultiples[k]));
+    w.key("nonblocking_fraction");
+    w.value(nonblocking_fraction[k]);
+    w.key("mean_blocked_per_blocking_refresh");
+    w.value(mean_blocked_per_blocking_refresh[k]);
+    w.key("max_blocked");
+    w.value(max_blocked[k]);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("checker");
+  w.begin_object();
+  w.key("ticks");
+  w.value(checker_ticks);
+  w.key("violations");
+  w.value(checker_violations);
+  w.end_object();
+
+  telemetry::write_registry_sections(w, stats);
+  telemetry::write_epoch_section(w, epochs.get());
+
+  w.key("trace");
+  if (trace) {
+    w.begin_object();
+    w.key("events");
+    w.value(static_cast<std::uint64_t>(trace->size()));
+    w.key("dropped");
+    w.value(trace->dropped());
+    w.end_object();
+  } else {
+    w.null();
+  }
+
+  w.end_object();
+  os << '\n';
+  return os.str();
+}
+
 ExperimentResult run_experiment(const ExperimentSpec& spec) {
   ROP_ASSERT(!spec.benchmarks.empty());
   ExperimentResult result;
@@ -42,6 +159,16 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       make_memory_config(spec.ranks, spec.mode, spec.refresh_mode);
   mem::MemorySystem memory(mem_cfg, &result.stats);
 
+  // Event trace: attach before anything can issue a command so the timeline
+  // is complete from cycle 0. The cycle->microsecond scale always follows
+  // the resolved memory config, not the spec's placeholder.
+  if (spec.telemetry.tracing()) {
+    telemetry::TraceConfig trace_cfg = spec.telemetry.trace;
+    trace_cfg.tck_ps = memory.config().timings.tCK_ps;
+    result.trace = std::make_shared<telemetry::TraceSink>(trace_cfg);
+    memory.set_trace(result.trace.get());
+  }
+
   // Opt-in invariant auditor: per-tick structural checks plus an end-of-run
   // conservation audit. Any violation aborts the experiment with a report —
   // a simulator whose bookkeeping has drifted produces meaningless numbers.
@@ -49,6 +176,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   if (spec.check || checker_enabled_by_environment()) {
     checker = std::make_unique<check::SimChecker>();
     checker->attach(memory);
+    if (result.trace) checker->set_trace(result.trace.get());
   }
 
   // ROP engines attach one per channel and live for the whole run.
@@ -79,6 +207,15 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   }
 
   cpu::System system(sys_cfg, memory, trace_ptrs);
+
+  // Epoch sampler: constructed after the full system so an empty counter
+  // list captures everything the subsystems registered.
+  if (spec.telemetry.sampling()) {
+    result.epochs = std::make_shared<telemetry::EpochSampler>(
+        spec.telemetry.sampler, &result.stats);
+    memory.set_sampler(result.epochs.get());
+  }
+
   const auto wall_start = std::chrono::steady_clock::now();
   result.run = system.run(spec.instructions_per_core, spec.max_cpu_cycles);
   result.wall_seconds =

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "energy/dram_power.h"
 #include "rop/rop_engine.h"
 #include "sim/presets.h"
+#include "telemetry/telemetry.h"
 #include "workload/spec_profiles.h"
 
 namespace rop::sim {
@@ -36,6 +38,9 @@ struct ExperimentSpec {
   /// report. Also enabled by ROP_CHECK=1 in the environment or the
   /// ROP_ENABLE_CHECKER CMake option (ROP_CHECK=0 overrides the latter).
   bool check = false;
+  /// Observability: epoch sampling and/or event tracing. Both default off
+  /// (zero hot-path cost beyond a null-pointer compare).
+  telemetry::TelemetryConfig telemetry{};
 };
 
 struct ExperimentResult {
@@ -70,10 +75,21 @@ struct ExperimentResult {
   std::vector<double> mean_blocked_per_blocking_refresh;
   std::vector<std::uint64_t> max_blocked;
 
+  /// Epoch time-series / event trace captured during the run (null when the
+  /// spec did not enable them). shared_ptr keeps the result copyable and the
+  /// sinks alive independent of the (destroyed) memory system.
+  std::shared_ptr<telemetry::EpochSampler> epochs;
+  std::shared_ptr<telemetry::TraceSink> trace;
+
   [[nodiscard]] double ipc(std::size_t core = 0) const {
     return run.cores.at(core).ipc;
   }
   [[nodiscard]] double total_energy_mj() const { return energy.total_mj(); }
+
+  /// Full machine-readable dump: run metrics, energy breakdown, every
+  /// registered counter/scalar/histogram, and the epoch series (schema in
+  /// telemetry/stats_json.h and docs/OBSERVABILITY.md).
+  [[nodiscard]] std::string to_json() const;
 
   /// Weighted-speedup helper (Eq. 4): sum over cores of
   /// IPC_shared / IPC_alone, with IPC_alone supplied by the caller.

@@ -1,0 +1,206 @@
+#include "telemetry/stats_json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "telemetry/epoch_sampler.h"
+
+namespace rop::telemetry {
+
+void JsonWriter::open(char c) {
+  separate();
+  os_ << c;
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::close(char c) {
+  ROP_ASSERT(!need_comma_.empty());
+  ROP_ASSERT(!pending_key_);
+  need_comma_.pop_back();
+  os_ << c;
+  if (!need_comma_.empty()) need_comma_.back() = true;
+}
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted the comma and the ':' follows it
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) os_ << ',';
+    need_comma_.back() = true;
+  }
+}
+
+void JsonWriter::key(std::string_view k) {
+  ROP_ASSERT(!pending_key_);
+  if (!need_comma_.empty() && need_comma_.back()) os_ << ',';
+  if (!need_comma_.empty()) need_comma_.back() = true;
+  os_ << '"' << escape(k) << "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  separate();
+  os_ << '"' << escape(s) << '"';
+}
+
+void JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os_ << buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separate();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  os_ << buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separate();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  os_ << buf;
+}
+
+void JsonWriter::value(bool v) {
+  separate();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  separate();
+  os_ << "null";
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_registry_sections(JsonWriter& w, const StatRegistry& stats) {
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : stats.counters()) {
+    w.key(name);
+    w.value(c.value());
+  }
+  w.end_object();
+
+  w.key("scalars");
+  w.begin_object();
+  for (const auto& [name, s] : stats.scalars()) {
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(s.count());
+    w.key("sum");
+    w.value(s.sum());
+    w.key("mean");
+    w.value(s.mean());
+    // Empty scalars export null bounds: Scalar::min()/max() return 0.0 on
+    // no samples, which downstream tooling would mistake for an observed 0.
+    w.key("min");
+    if (s.count() > 0) {
+      w.value(s.min());
+    } else {
+      w.null();
+    }
+    w.key("max");
+    if (s.count() > 0) {
+      w.value(s.max());
+    } else {
+      w.null();
+    }
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : stats.histograms()) {
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(h.count());
+    w.key("mean");
+    w.value(h.mean());
+    w.key("bucket_width");
+    w.value(h.bucket_width());
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+      w.value(h.bucket(i));
+    }
+    w.end_array();
+    w.key("p50");
+    w.value(h.percentile(50.0));
+    w.key("p95");
+    w.value(h.percentile(95.0));
+    w.key("p99");
+    w.value(h.percentile(99.0));
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void write_epoch_section(JsonWriter& w, const EpochSampler* sampler) {
+  w.key("epochs");
+  if (sampler == nullptr || !sampler->enabled()) {
+    w.null();
+    return;
+  }
+  w.begin_object();
+  w.key("epoch_cycles");
+  w.value(static_cast<std::uint64_t>(sampler->epoch_cycles()));
+  w.key("first_epoch_index");
+  w.value(sampler->first_epoch_index());
+  w.key("end_cycles");
+  w.begin_array();
+  for (std::size_t i = 0; i < sampler->num_epochs(); ++i) {
+    w.value(static_cast<std::uint64_t>(sampler->epoch_end(i)));
+  }
+  w.end_array();
+  w.key("series");
+  w.begin_object();
+  const auto& names = sampler->counter_names();
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    w.key(names[c]);
+    w.begin_array();
+    for (std::size_t i = 0; i < sampler->num_epochs(); ++i) {
+      w.value(sampler->delta(i, c));
+    }
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace rop::telemetry

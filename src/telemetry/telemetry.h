@@ -1,0 +1,21 @@
+// Umbrella configuration for the telemetry layer: one struct an experiment
+// spec embeds to turn on epoch sampling and/or event tracing. Both are off
+// by default — the simulator's hot paths then pay only null-pointer checks
+// (the <1% overhead bound CI enforces; see docs/OBSERVABILITY.md).
+#pragma once
+
+#include "telemetry/epoch_sampler.h"
+#include "telemetry/trace_sink.h"
+
+namespace rop::telemetry {
+
+struct TelemetryConfig {
+  SamplerConfig sampler{};
+  TraceConfig trace{};
+
+  [[nodiscard]] bool sampling() const { return sampler.epoch_cycles > 0; }
+  [[nodiscard]] bool tracing() const { return trace.categories != 0; }
+  [[nodiscard]] bool any() const { return sampling() || tracing(); }
+};
+
+}  // namespace rop::telemetry

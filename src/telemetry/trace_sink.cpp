@@ -1,0 +1,271 @@
+#include "telemetry/trace_sink.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <utility>
+
+namespace rop::telemetry {
+
+std::optional<std::uint32_t> parse_trace_categories(const std::string& csv) {
+  std::uint32_t mask = 0;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t end = csv.find(',', start);
+    if (end == std::string::npos) end = csv.size();
+    const std::string token = csv.substr(start, end - start);
+    if (token == "all") {
+      mask |= kCatAll;
+    } else if (token == "cmds") {
+      mask |= kCatCmds;
+    } else if (token == "refresh") {
+      mask |= kCatRefresh;
+    } else if (token == "rop") {
+      mask |= kCatRop;
+    } else if (token == "reqs") {
+      mask |= kCatReqs;
+    } else if (!token.empty()) {
+      return std::nullopt;
+    }
+    start = end + 1;
+  }
+  return mask;
+}
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCmdActivate: return "ACT";
+    case EventKind::kCmdPrecharge: return "PRE";
+    case EventKind::kCmdRead: return "RD";
+    case EventKind::kCmdWrite: return "WR";
+    case EventKind::kCmdRefresh: return "REF";
+    case EventKind::kCmdRefreshBank: return "REFpb";
+    case EventKind::kRefreshWindow: return "refresh_window";
+    case EventKind::kRankLock: return "rank_lock";
+    case EventKind::kPauseSegment: return "refresh_segment";
+    case EventKind::kPrefetchFill: return "prefetch_fill";
+    case EventKind::kBufferHit: return "buffer_hit";
+    case EventKind::kLockServed: return "lock_window_served";
+    case EventKind::kStaleDrop: return "stale_drop";
+    case EventKind::kPrefetchDrop: return "prefetch_drop";
+    case EventKind::kReadSpan: return "read";
+  }
+  return "?";
+}
+
+const char* event_category_name(std::uint32_t category) {
+  switch (category) {
+    case kCatCmds: return "cmds";
+    case kCatRefresh: return "refresh";
+    case kCatRop: return "rop";
+    case kCatReqs: return "reqs";
+    default: return "other";
+  }
+}
+
+TraceSink::TraceSink(const TraceConfig& cfg) : cfg_(cfg) {
+  ROP_ASSERT(cfg.capacity > 0);
+  buf_.reserve(cfg.capacity);
+}
+
+void TraceSink::record(const TraceEvent& e) {
+  if ((cfg_.categories & e.category) == 0) return;
+  if (buf_.size() < cfg_.capacity) {
+    buf_.push_back(e);
+    return;
+  }
+  buf_[head_] = e;
+  head_ = (head_ + 1) % cfg_.capacity;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceSink::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buf_.size());
+  // head_ is the oldest slot once the ring has wrapped (it is the next to
+  // be overwritten); before that the buffer is already in order.
+  for (std::size_t i = 0; i < buf_.size(); ++i) {
+    out.push_back(buf_[(head_ + i) % buf_.size()]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Microseconds with enough precision for single-cycle resolution
+/// (1 cycle = 1.25 ns at DDR4-1600).
+void append_us(std::string& out, Cycle cycles, std::uint32_t tck_ps) {
+  char buf[64];
+  const double us =
+      static_cast<double>(cycles) * static_cast<double>(tck_ps) / 1e6;
+  std::snprintf(buf, sizeof buf, "%.6f", us);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+const char* serviced_by_name(std::uint64_t v) {
+  switch (v) {
+    case 0: return "dram";
+    case 1: return "sram_buffer";
+    case 2: return "write_forward";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void TraceSink::write_json(std::ostream& os) const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 120 + 4096);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+
+  // Track every (pid, tid) lane so metadata events can name them.
+  std::set<std::uint32_t> pids;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> lanes;
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    const std::uint32_t pid = e.channel;
+    const std::uint32_t tid = e.kind == EventKind::kReadSpan
+                                  ? 1000u + e.core
+                                  : static_cast<std::uint32_t>(e.rank);
+    pids.insert(pid);
+    lanes.emplace(pid, tid);
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += event_kind_name(e.kind);
+    out += "\",\"cat\":\"";
+    out += event_category_name(e.category);
+    out += "\",\"ph\":\"";
+    out += e.dur > 0 ? 'X' : 'i';
+    out += "\",\"ts\":";
+    append_us(out, e.ts, cfg_.tck_ps);
+    if (e.dur > 0) {
+      out += ",\"dur\":";
+      append_us(out, e.dur, cfg_.tck_ps);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"pid\":";
+    append_u64(out, pid);
+    out += ",\"tid\":";
+    append_u64(out, tid);
+    out += ",\"args\":{";
+    switch (e.kind) {
+      case EventKind::kReadSpan:
+        out += "\"serviced_by\":\"";
+        out += serviced_by_name(e.arg);
+        out += "\",\"rank\":";
+        append_u64(out, e.rank);
+        out += ",\"bank\":";
+        append_u64(out, e.bank);
+        out += ",\"latency_cycles\":";
+        append_u64(out, e.dur);
+        break;
+      case EventKind::kRefreshWindow:
+        out += "\"owed\":";
+        append_u64(out, e.arg);
+        break;
+      case EventKind::kRankLock:
+      case EventKind::kPauseSegment:
+        out += "\"cycles\":";
+        append_u64(out, e.dur);
+        break;
+      case EventKind::kPrefetchFill:
+      case EventKind::kBufferHit:
+      case EventKind::kLockServed:
+      case EventKind::kStaleDrop:
+      case EventKind::kPrefetchDrop:
+        out += "\"line\":";
+        append_u64(out, e.arg);
+        break;
+      default:  // DRAM commands
+        out += "\"bank\":";
+        append_u64(out, e.bank);
+        break;
+    }
+    out += "}}";
+  }
+
+  // Metadata: name the process/thread lanes after their hardware meaning.
+  char buf[96];
+  for (const std::uint32_t pid : pids) {
+    std::snprintf(buf, sizeof buf,
+                  ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                  "\"args\":{\"name\":\"channel %u\"}}",
+                  pid, pid);
+    out += buf;
+  }
+  for (const auto& [pid, tid] : lanes) {
+    if (tid >= 1000u) {
+      std::snprintf(buf, sizeof buf,
+                    ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
+                    "\"tid\":%u,\"args\":{\"name\":\"core %u\"}}",
+                    pid, tid, tid - 1000u);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
+                    "\"tid\":%u,\"args\":{\"name\":\"rank %u\"}}",
+                    pid, tid, tid);
+    }
+    out += buf;
+  }
+  out += "]}";
+  os << out;
+}
+
+void TraceSink::write_binary(std::ostream& os) const {
+  const auto put = [&os](const auto& v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  os.write("ROPTRC01", 8);
+  const std::uint32_t version = 1;
+  const std::uint32_t tck_ps = cfg_.tck_ps;
+  const std::uint64_t count = buf_.size();
+  put(version);
+  put(tck_ps);
+  put(count);
+  put(dropped_);
+  for (const TraceEvent& e : snapshot()) {
+    put(e.ts);
+    put(e.dur);
+    put(e.arg);
+    const auto kind = static_cast<std::uint8_t>(e.kind);
+    put(kind);
+    put(e.category);
+    put(e.channel);
+    put(e.rank);
+    put(e.bank);
+    put(e.core);
+  }
+}
+
+std::vector<std::string> TraceSink::format_recent(std::size_t n) const {
+  const std::vector<TraceEvent> events = snapshot();
+  const std::size_t take = std::min(n, events.size());
+  std::vector<std::string> out;
+  out.reserve(take);
+  for (std::size_t i = events.size() - take; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "[%" PRIu64 "] %-16s ch=%u rank=%u bank=%u dur=%" PRIu64
+                  " arg=%" PRIu64,
+                  e.ts, event_kind_name(e.kind),
+                  static_cast<unsigned>(e.channel),
+                  static_cast<unsigned>(e.rank),
+                  static_cast<unsigned>(e.bank), e.dur, e.arg);
+    out.emplace_back(buf);
+  }
+  return out;
+}
+
+}  // namespace rop::telemetry

@@ -1,0 +1,123 @@
+// TraceSink: ring-buffered event recorder behind every telemetry timeline.
+//
+// The DRAM channel, the controller, and the ROP engine record fixed-size
+// TraceEvent records (command issues, refresh windows, prefetch activity,
+// per-request queue-latency spans) into a preallocated ring. Category
+// filtering happens at record time via a bitmask, so a sink constructed
+// with only `kCatRefresh` never pays for command events. A null sink (the
+// default everywhere) costs one pointer compare per would-be event.
+//
+// Export formats:
+//  - write_json: Chrome trace-event JSON ("traceEvents" array) that loads
+//    directly in chrome://tracing and Perfetto. pid = channel, tid = rank
+//    (or 1000 + core for request spans); timestamps are microseconds
+//    derived from controller cycles via tCK.
+//  - write_binary: compact host-endian records behind a magic header, for
+//    runs long enough that JSON would dominate the wall time.
+//  - format_recent: human-readable tail for diagnostics (SimChecker
+//    violation reports attach it as immediate context).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rop::telemetry {
+
+/// Category bits (`--trace-cats=cmds,refresh,rop,reqs`).
+inline constexpr std::uint32_t kCatCmds = 1u << 0;     // ACT/PRE/RD/WR/REF
+inline constexpr std::uint32_t kCatRefresh = 1u << 1;  // windows, segments
+inline constexpr std::uint32_t kCatRop = 1u << 2;      // fills, hits, drops
+inline constexpr std::uint32_t kCatReqs = 1u << 3;     // queue-latency spans
+inline constexpr std::uint32_t kCatAll =
+    kCatCmds | kCatRefresh | kCatRop | kCatReqs;
+
+/// Parse a comma-separated category list ("cmds,refresh", "all", "rop").
+/// nullopt on an unknown token.
+[[nodiscard]] std::optional<std::uint32_t> parse_trace_categories(
+    const std::string& csv);
+
+enum class EventKind : std::uint8_t {
+  kCmdActivate,
+  kCmdPrecharge,
+  kCmdRead,
+  kCmdWrite,
+  kCmdRefresh,
+  kCmdRefreshBank,
+  kRefreshWindow,  // tRFC span; arg = postponement depth at issue
+  kRankLock,       // due-time lock until REF went out (drain + seal)
+  kPauseSegment,   // one Refresh Pausing segment
+  kPrefetchFill,   // arg = line address
+  kBufferHit,      // SRAM hit during refresh; arg = line address
+  kLockServed,     // SRAM service inside the lock window; arg = line
+  kStaleDrop,      // fill dropped: newer write queued; arg = line
+  kPrefetchDrop,   // queued prefetch flushed at seal; arg = line
+  kReadSpan,       // demand read arrival -> completion; arg = ServicedBy
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind kind);
+[[nodiscard]] const char* event_category_name(std::uint32_t category);
+
+struct TraceEvent {
+  Cycle ts = 0;   // controller cycle the event starts
+  Cycle dur = 0;  // span length in cycles (0 = instant)
+  std::uint64_t arg = 0;
+  EventKind kind = EventKind::kCmdActivate;
+  std::uint8_t category = 0;  // one of the kCat* bits (low byte)
+  std::uint16_t channel = 0;
+  std::uint16_t rank = 0;
+  std::uint16_t bank = 0;
+  std::uint32_t core = 0;
+};
+
+struct TraceConfig {
+  /// Bitmask of kCat* values; 0 disables recording entirely.
+  std::uint32_t categories = 0;
+  /// Ring capacity in events (~40 B each). When full, the oldest events
+  /// are overwritten and `dropped()` counts them.
+  std::size_t capacity = 1u << 18;
+  /// Cycle -> wall-time scale for JSON export (DDR4-1600 default).
+  std::uint32_t tck_ps = 1250;
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(const TraceConfig& cfg);
+
+  /// Record-time filter; callers skip event assembly when false.
+  [[nodiscard]] bool wants(std::uint32_t category) const {
+    return (cfg_.categories & category) != 0;
+  }
+
+  void record(const TraceEvent& e);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] const TraceConfig& config() const { return cfg_; }
+
+  /// Events oldest-first (unwraps the ring).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace-event JSON (chrome://tracing / Perfetto).
+  void write_json(std::ostream& os) const;
+
+  /// Compact binary: "ROPTRC01" magic, version/tck/count header, then
+  /// fixed 36-byte host-endian records (ts, dur, arg, kind, category,
+  /// channel, rank, bank, core).
+  void write_binary(std::ostream& os) const;
+
+  /// Last `n` events as human-readable lines, oldest first.
+  [[nodiscard]] std::vector<std::string> format_recent(std::size_t n) const;
+
+ private:
+  TraceConfig cfg_;
+  std::vector<TraceEvent> buf_;
+  std::size_t head_ = 0;  // next overwrite slot once the ring is full
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace rop::telemetry

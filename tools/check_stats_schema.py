@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""CI gate: validate a ropsim --stats-json document against the export
+schema (telemetry/stats_json.h, docs/OBSERVABILITY.md).
+
+Usage:
+    check_stats_schema.py STATS_JSON [--require-epochs]
+                          [--require-counter NAME]...
+
+Checks, per document:
+  - top-level sections present: run, energy_mj, counters, scalars,
+    histograms, epochs, refresh_blocking, checker
+  - every counter value is a non-negative integer
+  - every scalar has count/sum/mean/min/max, and min/max are null exactly
+    when count == 0 (the "no samples" encoding)
+  - every histogram has count/mean/bucket_width/buckets/p50/p95/p99, the
+    bucket counts sum to `count`, and the percentiles are monotone
+  - with --require-epochs: the epochs section is non-null, has at least one
+    epoch, and every series has one delta per epoch
+  - with --require-counter NAME: NAME exists in the counters section
+
+The file may also be a --compare document ({"benchmark", "modes": {...}})
+or a bench sidecar (an object whose values are stats documents); every
+embedded document is validated.
+
+Exit status: 0 when every document passes, 1 otherwise. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_SECTIONS = ["run", "energy_mj", "counters", "scalars",
+                     "histograms", "epochs", "refresh_blocking", "checker"]
+
+
+def fail(errors, where, msg):
+    errors.append(f"{where}: {msg}")
+
+
+def check_document(doc, where, errors, require_epochs, require_counters):
+    for section in REQUIRED_SECTIONS:
+        if section not in doc:
+            fail(errors, where, f"missing section '{section}'")
+    if errors:
+        return
+
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(errors, where,
+                 f"counter '{name}' is not a non-negative integer: {value!r}")
+    for name in require_counters:
+        if name not in doc["counters"]:
+            fail(errors, where, f"required counter '{name}' missing")
+
+    for name, s in doc["scalars"].items():
+        for field in ("count", "sum", "mean", "min", "max"):
+            if field not in s:
+                fail(errors, where, f"scalar '{name}' missing '{field}'")
+                break
+        else:
+            empty = s["count"] == 0
+            for field in ("min", "max"):
+                if empty and s[field] is not None:
+                    fail(errors, where,
+                         f"scalar '{name}' has count 0 but {field} is "
+                         f"{s[field]!r} (must be null)")
+                if not empty and s[field] is None:
+                    fail(errors, where,
+                         f"scalar '{name}' has samples but {field} is null")
+
+    for name, h in doc["histograms"].items():
+        for field in ("count", "mean", "bucket_width", "buckets",
+                      "p50", "p95", "p99"):
+            if field not in h:
+                fail(errors, where, f"histogram '{name}' missing '{field}'")
+                break
+        else:
+            if not isinstance(h["buckets"], list) or not h["buckets"]:
+                fail(errors, where, f"histogram '{name}' has no buckets")
+            elif sum(h["buckets"]) != h["count"]:
+                fail(errors, where,
+                     f"histogram '{name}' buckets sum to "
+                     f"{sum(h['buckets'])}, count says {h['count']}")
+            if not (h["p50"] <= h["p95"] <= h["p99"]):
+                fail(errors, where,
+                     f"histogram '{name}' percentiles not monotone: "
+                     f"{h['p50']}, {h['p95']}, {h['p99']}")
+
+    epochs = doc["epochs"]
+    if require_epochs and epochs is None:
+        fail(errors, where, "epochs section is null but --require-epochs set")
+    if epochs is not None:
+        for field in ("epoch_cycles", "first_epoch_index", "end_cycles",
+                      "series"):
+            if field not in epochs:
+                fail(errors, where, f"epochs missing '{field}'")
+                return
+        n = len(epochs["end_cycles"])
+        if require_epochs and n == 0:
+            fail(errors, where, "epochs present but empty")
+        if require_epochs and not epochs["series"]:
+            fail(errors, where, "epochs has no series")
+        for name, deltas in epochs["series"].items():
+            if len(deltas) != n:
+                fail(errors, where,
+                     f"series '{name}' has {len(deltas)} deltas for "
+                     f"{n} epochs")
+        ends = epochs["end_cycles"]
+        if any(b <= a for a, b in zip(ends, ends[1:])):
+            fail(errors, where, "epoch end_cycles not strictly increasing")
+
+
+def collect_documents(obj, where):
+    """Yield (document, label) for a stats doc, a --compare doc, or a
+    bench sidecar."""
+    if "counters" in obj:
+        yield obj, where
+    elif "modes" in obj:
+        for mode, doc in obj["modes"].items():
+            yield doc, f"{where}[{mode}]"
+    else:
+        for label, doc in obj.items():
+            if isinstance(doc, dict) and "counters" in doc:
+                yield doc, f"{where}[{label}]"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("stats", help="ropsim --stats-json output (or a "
+                                      "--compare / sidecar document)")
+    parser.add_argument("--require-epochs", action="store_true",
+                        help="fail unless a non-empty epoch series is present")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME", help="fail unless NAME is exported")
+    args = parser.parse_args()
+
+    with open(args.stats) as f:
+        obj = json.load(f)
+
+    errors = []
+    n_docs = 0
+    for doc, where in collect_documents(obj, args.stats):
+        n_docs += 1
+        check_document(doc, where, errors, args.require_epochs,
+                       args.require_counter)
+    if n_docs == 0:
+        errors.append(f"{args.stats}: no stats documents found")
+
+    for e in errors:
+        print(f"FAIL {e}")
+    if not errors:
+        print(f"ok   {args.stats}: {n_docs} document(s) conform to the "
+              f"stats schema")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,11 @@
 //   ropsim --benchmark lbm --compare --jobs 4
 //   ropsim --trace /path/app.trace --mode baseline
 //   ropsim --help
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -22,9 +24,14 @@
 #include "cpu/system.h"
 #include "energy/dram_power.h"
 #include "mem/memory_system.h"
+#include "mem/refresh_stats.h"
 #include "rop/rop_engine.h"
+#include "sim/experiment.h"
 #include "sim/presets.h"
 #include "sim/runner.h"
+#include "telemetry/epoch_sampler.h"
+#include "telemetry/stats_json.h"
+#include "telemetry/trace_sink.h"
 #include "workload/spec_profiles.h"
 #include "workload/synthetic.h"
 #include "workload/trace_io.h"
@@ -51,6 +58,11 @@ struct Options {
   unsigned jobs = 0;
   bool fast_forward = true;
   bool check = false;
+  std::string stats_json;             // --stats-json PATH
+  std::string trace_out;              // --trace-out PATH
+  std::string trace_cats = "all";     // --trace-cats CATS
+  std::string trace_format = "json";  // --trace-format json|binary
+  std::uint64_t epoch = 0;            // --epoch N; 0 = auto (tREFI)
 };
 
 [[noreturn]] void usage(int code) {
@@ -81,6 +93,17 @@ struct Options {
       "  --check              audit the run with the SimChecker invariant\n"
       "                       checker (see docs/CORRECTNESS.md); nonzero\n"
       "                       exit on any violation\n"
+      "  --stats-json PATH    write every counter/scalar/histogram plus the\n"
+      "                       epoch time-series as JSON (schema in\n"
+      "                       docs/OBSERVABILITY.md); with --compare, one\n"
+      "                       document keyed by mode\n"
+      "  --epoch N            epoch-sampling period in controller cycles\n"
+      "                       (default: tREFI when --stats-json is given)\n"
+      "  --trace-out PATH     write a Chrome trace-event timeline of the run\n"
+      "                       (open in chrome://tracing or ui.perfetto.dev)\n"
+      "  --trace-cats CATS    trace categories, comma-separated from\n"
+      "                       cmds,refresh,rop,reqs, or all (default all)\n"
+      "  --trace-format FMT   json | binary (default json)\n"
       "  --help\n");
   std::exit(code);
 }
@@ -130,6 +153,16 @@ Options parse(int argc, char** argv) {
       opt.fast_forward = false;
     } else if (arg == "--check") {
       opt.check = true;
+    } else if (arg == "--stats-json") {
+      opt.stats_json = need(i);
+    } else if (arg == "--epoch") {
+      opt.epoch = std::strtoull(need(i), nullptr, 10);
+    } else if (arg == "--trace-out") {
+      opt.trace_out = need(i);
+    } else if (arg == "--trace-cats") {
+      opt.trace_cats = need(i);
+    } else if (arg == "--trace-format") {
+      opt.trace_format = need(i);
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -168,6 +201,26 @@ dram::RefreshMode parse_refresh(const std::string& s) {
 bool is_workload_mix(const std::string& name) {
   return name.size() == 3 && name.compare(0, 2, "wl") == 0 &&
          name[2] >= '1' && name[2] <= '6';
+}
+
+std::uint32_t parse_categories(const std::string& csv) {
+  const auto cats = telemetry::parse_trace_categories(csv);
+  if (!cats) {
+    std::fprintf(stderr, "unknown trace category in: %s\n", csv.c_str());
+    usage(2);
+  }
+  return *cats;
+}
+
+/// Write `text` to `path`; stderr + false on failure.
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  os << text;
+  return static_cast<bool>(os);
 }
 
 sim::ExperimentSpec spec_from_options(const Options& opt,
@@ -213,6 +266,16 @@ int run_compare(const Options& opt) {
   for (const auto& m : kAllModes) {
     specs.push_back(spec_from_options(opt, m.mode));
   }
+  if (!opt.stats_json.empty() || opt.epoch != 0) {
+    for (auto& spec : specs) {
+      spec.telemetry.sampler.epoch_cycles =
+          opt.epoch != 0
+              ? opt.epoch
+              : sim::make_memory_config(spec.ranks, spec.mode,
+                                        spec.refresh_mode)
+                    .timings.tREFI;
+    }
+  }
   std::printf("ropsim: comparing %zu modes on %s (%llu instructions/core, "
               "jobs=%u)\n",
               specs.size(), opt.benchmark.c_str(),
@@ -229,19 +292,27 @@ int run_compare(const Options& opt) {
 
   TextTable table("mode comparison");
   table.set_header({"mode", "IPC", "speedup", "energy (mJ)", "energy ratio",
-                    "refreshes", "wall (s)", "Mcyc/s"});
+                    "refreshes", "lat p50", "lat p95", "lat p99", "wall (s)",
+                    "Mcyc/s"});
   for (std::size_t i = 0; i < results.size(); ++i) {
     const sim::ExperimentResult& r = results[i];
+    const Histogram* lat = r.stats.find_histogram("mem.read_latency_hist");
+    const auto pct = [&](double p) {
+      return lat != nullptr ? TextTable::fmt(lat->percentile(p), 1)
+                            : std::string("-");
+    };
     table.add_row({kAllModes[i].name, TextTable::fmt(total_ipc(r), 4),
                    TextTable::fmt(total_ipc(r) / total_ipc(base), 4),
                    TextTable::fmt(r.total_energy_mj(), 2),
                    TextTable::fmt(r.total_energy_mj() / base.total_energy_mj(),
                                   4),
-                   std::to_string(r.refreshes),
-                   TextTable::fmt(r.wall_seconds, 2),
+                   std::to_string(r.refreshes), pct(50.0), pct(95.0),
+                   pct(99.0), TextTable::fmt(r.wall_seconds, 2),
                    TextTable::fmt(r.sim_cycles_per_second() / 1e6, 1)});
   }
   table.print();
+  std::printf("\nread-latency percentiles in controller cycles "
+              "(bucket-interpolated; see docs/OBSERVABILITY.md)\n");
   std::printf("\nhost speed: simulated controller megacycles per wall-clock "
               "second per mode\n(timed inside System::run; --jobs overlap "
               "makes per-mode wall time conservative)\n");
@@ -251,6 +322,28 @@ int run_compare(const Options& opt) {
     std::printf("\nROP: sram-hit-rate=%.3f lambda=%.2f beta=%.2f\n",
                 rop.sram_hit_rate, rop.lambda, rop.beta);
   }
+
+  if (!opt.stats_json.empty()) {
+    // One document, full per-mode dumps keyed by mode name. Each embedded
+    // document is itself the single-run schema.
+    std::string doc = "{\n\"benchmark\": \"" +
+                      telemetry::JsonWriter::escape(opt.benchmark) +
+                      "\",\n\"modes\": {\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::string sub = results[i].to_json();
+      while (!sub.empty() && (sub.back() == '\n' || sub.back() == ' ')) {
+        sub.pop_back();
+      }
+      doc += '"';
+      doc += kAllModes[i].name;
+      doc += "\": ";
+      doc += sub;
+      doc += (i + 1 < results.size()) ? ",\n" : "\n";
+    }
+    doc += "}\n}\n";
+    if (!write_file(opt.stats_json, doc)) return 1;
+    std::printf("\nwrote per-mode stats JSON to %s\n", opt.stats_json.c_str());
+  }
   return 0;
 }
 
@@ -258,9 +351,19 @@ int run_compare(const Options& opt) {
 
 int main(int argc, char** argv) {
   Options opt = parse(argc, argv);
+  if (opt.trace_format != "json" && opt.trace_format != "binary") {
+    std::fprintf(stderr, "unknown --trace-format: %s\n",
+                 opt.trace_format.c_str());
+    usage(2);
+  }
   if (opt.compare) {
     if (!opt.trace_path.empty()) {
       std::fprintf(stderr, "--compare does not support --trace\n");
+      return 2;
+    }
+    if (!opt.trace_out.empty()) {
+      std::fprintf(stderr, "--compare does not support --trace-out (six "
+                           "modes, one timeline file); run modes singly\n");
       return 2;
     }
     return run_compare(opt);
@@ -299,10 +402,19 @@ int main(int argc, char** argv) {
   const mem::MemoryConfig mem_cfg =
       sim::make_memory_config(opt.ranks, mode, parse_refresh(opt.refresh_mode));
   mem::MemorySystem memory(mem_cfg, &stats);
+  std::shared_ptr<telemetry::TraceSink> trace;
+  if (!opt.trace_out.empty()) {
+    telemetry::TraceConfig trace_cfg;
+    trace_cfg.categories = parse_categories(opt.trace_cats);
+    trace_cfg.tck_ps = memory.config().timings.tCK_ps;
+    trace = std::make_shared<telemetry::TraceSink>(trace_cfg);
+    memory.set_trace(trace.get());
+  }
   std::unique_ptr<check::SimChecker> checker;
   if (opt.check || sim::checker_enabled_by_environment()) {
     checker = std::make_unique<check::SimChecker>();
     checker->attach(memory);
+    if (trace) checker->set_trace(trace.get());
   }
   std::vector<std::unique_ptr<engine::RopEngine>> engines;
   if (mode == sim::MemoryMode::kRop) {
@@ -321,6 +433,20 @@ int main(int argc, char** argv) {
   cpu::System system(sys_cfg, memory, source_ptrs);
   if (checker) {
     for (const auto& eng : engines) checker->watch(*eng);
+  }
+  // Sampler last: an empty counter list snapshots everything registered,
+  // which is complete only once the whole system is assembled.
+  std::shared_ptr<telemetry::EpochSampler> sampler;
+  const std::uint64_t epoch_cycles =
+      opt.epoch != 0 ? opt.epoch
+                     : (!opt.stats_json.empty()
+                            ? memory.config().timings.tREFI
+                            : 0);
+  if (epoch_cycles != 0) {
+    telemetry::SamplerConfig sampler_cfg;
+    sampler_cfg.epoch_cycles = epoch_cycles;
+    sampler = std::make_shared<telemetry::EpochSampler>(sampler_cfg, &stats);
+    memory.set_sampler(sampler.get());
   }
 
   std::printf("ropsim: mode=%s ranks=%u llc=%lluMiB refresh=%s cores=%u\n",
@@ -391,10 +517,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   memory.controller(0).channel().events().refresh_segments));
   if (const auto* hist = stats.find_histogram("mem.read_latency_hist")) {
-    std::printf("read latency: mean %.1f, p95 %llu, p99 %llu cycles\n",
+    std::printf("read latency: mean %.1f, p50 %.1f, p95 %.1f, p99 %.1f "
+                "cycles\n",
                 stats.find_scalar("mem.read_latency")->mean(),
-                static_cast<unsigned long long>(hist->quantile(0.95)),
-                static_cast<unsigned long long>(hist->quantile(0.99)));
+                hist->percentile(50.0), hist->percentile(95.0),
+                hist->percentile(99.0));
   }
   const auto& bs = memory.controller(0).blocking_stats();
   std::printf("non-blocking refreshes (1x tRFC window): %.1f%%; mean blocked "
@@ -416,10 +543,75 @@ int main(int argc, char** argv) {
     std::printf("\n--- raw statistics ---\n%s", stats.report().c_str());
   }
 
+  int exit_code = 0;
   if (checker) {
     checker->finalize();
     std::printf("\n%s\n", checker->summary().c_str());
-    if (!checker->ok()) return 1;
+    if (!checker->ok()) exit_code = 1;
   }
-  return 0;
+
+  if (trace) {
+    std::ofstream os(opt.trace_out, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   opt.trace_out.c_str());
+      return 1;
+    }
+    if (opt.trace_format == "binary") {
+      trace->write_binary(os);
+    } else {
+      trace->write_json(os);
+    }
+    std::printf("\nwrote %s trace to %s (%zu events, %llu dropped)\n",
+                opt.trace_format.c_str(), opt.trace_out.c_str(),
+                trace->size(),
+                static_cast<unsigned long long>(trace->dropped()));
+  }
+
+  if (!opt.stats_json.empty()) {
+    // Assemble the same document run_experiment-based callers get from
+    // ExperimentResult::to_json, from the manually-built system.
+    sim::ExperimentResult result;
+    result.run = run;
+    result.energy = total;
+    result.stats = stats;
+    result.epochs = sampler;
+    result.trace = trace;
+    if (checker) {
+      result.checker_ticks = checker->ticks_checked();
+      result.checker_violations = checker->violation_count();
+    }
+    if (!engines.empty()) {
+      double rate_sum = 0.0;
+      for (const auto& eng : engines) rate_sum += eng->overall_hit_rate();
+      result.sram_hit_rate = rate_sum / static_cast<double>(engines.size());
+      result.lambda = engines.front()->lambda();
+      result.beta = engines.front()->beta();
+    }
+    const std::size_t num_windows =
+        mem::RefreshBlockingStats::kExaminedMultiples.size();
+    result.nonblocking_fraction.assign(num_windows, 0.0);
+    result.mean_blocked_per_blocking_refresh.assign(num_windows, 0.0);
+    result.max_blocked.assign(num_windows, 0);
+    for (ChannelId ch = 0; ch < memory.num_channels(); ++ch) {
+      const auto& b = memory.controller(ch).blocking_stats();
+      result.refreshes += b.total_refreshes();
+      for (std::size_t k = 0; k < num_windows; ++k) {
+        result.nonblocking_fraction[k] += b.non_blocking_fraction(k);
+        result.mean_blocked_per_blocking_refresh[k] +=
+            b.mean_blocked_per_blocking_refresh(k);
+        result.max_blocked[k] =
+            std::max(result.max_blocked[k], b.max_blocked(k));
+      }
+    }
+    if (memory.num_channels() > 1) {
+      for (std::size_t k = 0; k < num_windows; ++k) {
+        result.nonblocking_fraction[k] /= memory.num_channels();
+        result.mean_blocked_per_blocking_refresh[k] /= memory.num_channels();
+      }
+    }
+    if (!write_file(opt.stats_json, result.to_json())) return 1;
+    std::printf("wrote stats JSON to %s\n", opt.stats_json.c_str());
+  }
+  return exit_code;
 }
