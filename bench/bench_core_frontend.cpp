@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) for the CPU front end: per-core gap
+// retirement (naive vs closed-form run_until), the synthetic-trace record
+// ring, and the LLC MRU fast path. Gated numbers live in
+// BENCH_corefront.json (ci_baseline_ns).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "cache/llc.h"
+#include "common/rng.h"
+#include "cpu/core.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace rop;
+
+/// Memory port that accepts everything instantly — the benches target the
+/// core's retirement arithmetic, not the memory system.
+struct NullPort final : cpu::MemoryPort {
+  std::optional<RequestId> issue_read(CoreId, Address) override {
+    return ++id;
+  }
+  bool issue_write(CoreId, Address) override { return true; }
+  RequestId id = 0;
+};
+
+workload::SyntheticConfig compute_heavy_trace(std::uint32_t batch) {
+  workload::SyntheticConfig cfg;
+  cfg.mean_gap = 400.0;  // gap-dominated: the event loop's best case
+  cfg.write_fraction = 0.2;
+  cfg.footprint_lines = 1ull << 16;
+  cfg.random_fraction = 0.1;
+  cfg.batch_records = batch;
+  return cfg;
+}
+
+cpu::CoreConfig bench_core_config() {
+  cpu::CoreConfig cfg;
+  cfg.issue_width = 4;
+  // Effectively unbounded: a capped MSHR count would block the core on
+  // the NullPort (which never completes mid-iteration) and turn both
+  // loops into stall-spinning, hiding the retirement cost under test.
+  cfg.max_outstanding = 1u << 20;
+  // No critical loads: the core never sleeps, so both strategies measure
+  // pure retirement cost over the same cycle count.
+  cfg.critical_load_fraction = 0.0;
+  return cfg;
+}
+
+constexpr std::uint64_t kCyclesPerIter = 4096;
+
+void drain(cpu::Core& core) {
+  while (core.outstanding() > 0) {
+    core.on_read_complete(0, core.stats().cycles);
+  }
+}
+
+void BM_CoreNaiveGapCycles(benchmark::State& state) {
+  // Reference loop: one cycle() call per CPU cycle, ~100 of every 101
+  // cycles pure compute-gap arithmetic at mean_gap 400 / width 4.
+  workload::SyntheticTrace trace(compute_heavy_trace(32));
+  cache::LlcConfig llc;
+  llc.size_bytes = 1ull << 20;
+  NullPort port;
+  cpu::Core core(0, bench_core_config(), llc, trace, port);
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < kCyclesPerIter; ++i) core.cycle();
+    drain(core);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kCyclesPerIter));
+}
+BENCHMARK(BM_CoreNaiveGapCycles);
+
+void BM_CoreEventGapCycles(benchmark::State& state) {
+  // Same simulated cycles through next_event_cycle + run_until: compute
+  // gaps collapse into one bulk update each.
+  workload::SyntheticTrace trace(compute_heavy_trace(32));
+  cache::LlcConfig llc;
+  llc.size_bytes = 1ull << 20;
+  NullPort port;
+  cpu::Core core(0, bench_core_config(), llc, trace, port);
+  for (auto _ : state) {
+    const std::uint64_t target = core.stats().cycles + kCyclesPerIter;
+    while (core.stats().cycles < target) {
+      const std::uint64_t next = core.next_event_cycle();
+      if (next > core.stats().cycles) {
+        core.run_until(std::min(next, target));
+      } else {
+        core.cycle();
+      }
+    }
+    drain(core);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kCyclesPerIter));
+}
+BENCHMARK(BM_CoreEventGapCycles);
+
+void BM_SyntheticTraceNext(benchmark::State& state) {
+  // Per-record generation cost; arg = batch_records (0 disables the ring).
+  workload::SyntheticConfig cfg;
+  cfg.mean_gap = 180.0;
+  cfg.streams = {{{+1, +1, +130}, 1.0}, {{+1}, 2.0}};
+  cfg.random_fraction = 0.2;
+  cfg.burst_ops = 100.0;
+  cfg.idle_instructions = 1000.0;
+  cfg.batch_records = static_cast<std::uint32_t>(state.range(0));
+  workload::SyntheticTrace trace(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace.next());
+  }
+}
+BENCHMARK(BM_SyntheticTraceNext)->Arg(0)->Arg(32);
+
+void BM_LlcMruHit(benchmark::State& state) {
+  // Repeated touches to the hottest line in a set: the MRU probe resolves
+  // the hit with one tag compare instead of a 16-way scan.
+  cache::LlcConfig cfg;
+  cfg.size_bytes = 2ull << 20;
+  cache::Llc llc(cfg);
+  llc.access(0x40000, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(llc.access(0x40000, false));
+  }
+}
+BENCHMARK(BM_LlcMruHit);
+
+}  // namespace

@@ -21,6 +21,7 @@ Llc::Llc(const LlcConfig& cfg) : cfg_(cfg) {
   ROP_ASSERT(is_pow2(sets));
   num_sets_ = static_cast<std::uint32_t>(sets);
   ways_.resize(static_cast<std::size_t>(num_sets_) * cfg.associativity);
+  mru_.assign(num_sets_, 0);
 }
 
 std::uint32_t Llc::set_index(Address addr) const {
@@ -56,12 +57,26 @@ LlcAccessResult Llc::access(Address addr, bool is_write) {
   const std::uint64_t tag = tag_of(addr);
   Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.associativity];
 
+  // MRU fast path: repeated touches to the hottest line in a set resolve
+  // with a single tag compare. The set scan below is the slow path.
+  {
+    Way& mru = base[mru_[set]];
+    if (mru.valid && mru.tag == tag) {
+      ++stats_.hits;
+      if (h_.hits != nullptr) h_.hits->inc();
+      mru.lru = clock_;
+      if (is_write) mru.dirty = true;
+      return LlcAccessResult{true, std::nullopt};
+    }
+  }
+
   for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
     if (base[w].valid && base[w].tag == tag) {
       ++stats_.hits;
       if (h_.hits != nullptr) h_.hits->inc();
       base[w].lru = clock_;
       if (is_write) base[w].dirty = true;
+      mru_[set] = w;
       return LlcAccessResult{true, std::nullopt};
     }
   }
@@ -90,11 +105,13 @@ LlcAccessResult Llc::access(Address addr, bool is_write) {
   victim->tag = tag;
   victim->lru = clock_;
   victim->dirty = is_write;
+  mru_[set] = static_cast<std::uint32_t>(victim - base);
   return result;
 }
 
 void Llc::reset() {
   std::fill(ways_.begin(), ways_.end(), Way{});
+  std::fill(mru_.begin(), mru_.end(), 0u);
   clock_ = 0;
   stats_ = LlcStats{};
 }

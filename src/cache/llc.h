@@ -84,6 +84,10 @@ class Llc {
   LlcConfig cfg_;
   std::uint32_t num_sets_;
   std::vector<Way> ways_;  // num_sets_ * associativity, row-major by set
+  /// Per-set most-recently-touched way: access() probes it with a single
+  /// tag compare before falling back to the set scan. Purely an access
+  /// accelerator — hit/miss/victim decisions are unchanged by it.
+  std::vector<std::uint32_t> mru_;
   std::uint64_t clock_ = 0;
   LlcStats stats_;
   StatHandles h_;  // null until bind_stats

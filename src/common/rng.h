@@ -87,6 +87,13 @@ class Rng {
     return out == 0 ? 1 : out;
   }
 
+  /// Generator state snapshot, for determinism tests that pin RNG
+  /// positions across execution strategies (two streams that consumed the
+  /// same draws have equal state).
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const {
+    return state_;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

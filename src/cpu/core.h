@@ -66,32 +66,66 @@ class Core {
   /// LLC is bypassed. Must be set before the first cycle.
   void set_shared_llc(cache::Llc* shared) { shared_llc_ = shared; }
 
-  /// Advance one CPU cycle.
+  /// Advance one CPU cycle. This is the reference implementation every
+  /// bulk-advance path must be bit-identical to.
   void cycle();
 
-  /// A read this core issued has completed.
-  void on_read_complete(RequestId id) {
+  /// A read this core issued has completed at CPU cycle `now_cycle`. If it
+  /// was the critical load blocking retirement, the slept span (cycles the
+  /// event loop never executed on this core) is back-filled as stall in one
+  /// add — zero in the per-cycle modes, where a stalled core is billed
+  /// every cycle and `cycles` already equals `now_cycle`.
+  void on_read_complete(RequestId id, std::uint64_t now_cycle) {
     ROP_ASSERT(outstanding_ > 0);
     --outstanding_;
     if (critical_pending_ && *critical_pending_ == id) {
+      ROP_ASSERT(now_cycle >= stats_.cycles);
+      const std::uint64_t slept = now_cycle - stats_.cycles;
+      stats_.cycles += slept;
+      stats_.stall_cycles += slept;
       critical_pending_.reset();
     }
   }
 
   /// True while retirement is blocked on an outstanding critical load. In
   /// this state cycle() is a pure stall (cycles and stall_cycles advance,
-  /// nothing else), which is what makes frozen-cycle fast-forward exact.
+  /// nothing else), which is what lets the core sleep until the fill
+  /// returns.
   [[nodiscard]] bool stalled_on_memory() const {
     return critical_pending_.has_value();
   }
 
-  /// Account `n` cycles of memory stall in one step — exactly equivalent to
-  /// calling cycle() `n` times while stalled_on_memory() holds. Only the
-  /// System's fast-forward may call this.
-  void skip_stalled_cycles(std::uint64_t n) {
-    ROP_ASSERT(stalled_on_memory());
-    stats_.cycles += n;
-    stats_.stall_cycles += n;
+  /// Highest CPU cycle this core can be bulk-advanced to with run_until —
+  /// i.e. every cycle before it is provably pure (stall or closed-form gap
+  /// retirement). kNeverCycle while asleep on a critical load: the wake
+  /// (on_read_complete) bounds the span, not the core. Equal to `cycles`
+  /// when the next cycle must execute for real (a memory op, or a trace
+  /// fetch — never prefetched, so the RNG draw order matches the naive
+  /// loop).
+  [[nodiscard]] std::uint64_t next_event_cycle() const {
+    if (critical_pending_) return kNeverCycle;
+    if (!have_record_) return stats_.cycles;
+    return stats_.cycles + remaining_gap_ / cfg_.issue_width;
+  }
+
+  /// Advance to `target_cycle` in closed form — exactly equivalent to
+  /// calling cycle() `target_cycle - cycles` times. Legal only over pure
+  /// spans: while stalled on memory (bulk stall billing), or while the
+  /// remaining compute gap covers the whole span at `issue_width` per
+  /// cycle (see next_event_cycle). No-op when already at or past the
+  /// target, so callers may settle all cores unconditionally.
+  void run_until(std::uint64_t target_cycle) {
+    if (target_cycle <= stats_.cycles) return;
+    const std::uint64_t n = target_cycle - stats_.cycles;
+    stats_.cycles = target_cycle;
+    if (critical_pending_) {
+      stats_.stall_cycles += n;
+      return;
+    }
+    ROP_ASSERT(have_record_);
+    ROP_ASSERT(remaining_gap_ / cfg_.issue_width >= n);
+    stats_.instructions += n * cfg_.issue_width;
+    remaining_gap_ -= static_cast<std::uint32_t>(n * cfg_.issue_width);
   }
 
   [[nodiscard]] const CoreStats& stats() const { return stats_; }
@@ -99,6 +133,20 @@ class Core {
   [[nodiscard]] std::uint32_t outstanding() const { return outstanding_; }
   [[nodiscard]] const cache::Llc& llc() const { return private_llc_; }
   [[nodiscard]] cache::Llc& private_llc() { return private_llc_; }
+
+  // Micro-architectural state accessors for the determinism suite: a
+  // bulk-advanced core must be indistinguishable from one that executed
+  // every cycle.
+  [[nodiscard]] std::uint32_t remaining_gap() const { return remaining_gap_; }
+  [[nodiscard]] bool have_record() const { return have_record_; }
+  [[nodiscard]] bool mem_op_pending() const { return mem_op_pending_; }
+  [[nodiscard]] const std::optional<Address>& pending_writeback() const {
+    return pending_writeback_;
+  }
+  [[nodiscard]] const std::optional<RequestId>& critical_pending() const {
+    return critical_pending_;
+  }
+  [[nodiscard]] const Rng& rng() const { return rng_; }
 
  private:
   /// Attempt the memory operation of the current record. Returns true when

@@ -37,6 +37,21 @@ System::System(const SystemConfig& cfg, mem::MemorySystem& memory,
     h.mem_writebacks = reg.counter_handle(prefix + "mem_writebacks");
     core_stat_handles_.push_back(h);
   }
+
+  // Relocation bases, hoisted out of the per-request path. Flat layout:
+  // carve the physical space into equal per-core regions so footprints
+  // never alias; every region spans all ranks/banks (the default
+  // interleaving cycles through them in the low address bits).
+  const auto& map = memory_.address_map();
+  region_lines_ = map.organization().total_lines() / cores_.size();
+  ROP_ASSERT(region_lines_ > 0);
+  const std::uint32_t ranks = map.organization().ranks;
+  reloc_base_line_.reserve(cores_.size());
+  reloc_rank_.reserve(cores_.size());
+  for (CoreId c = 0; c < cores_.size(); ++c) {
+    reloc_base_line_.push_back(static_cast<std::uint64_t>(c) * region_lines_);
+    reloc_rank_.push_back(c % ranks);
+  }
 }
 
 bool System::all_cores_stalled() const {
@@ -47,21 +62,16 @@ bool System::all_cores_stalled() const {
 }
 
 Address System::relocate(CoreId core, Address local) const {
-  const auto& map = memory_.address_map();
   const std::uint64_t local_line = local >> kLineShift;
   if (cfg_.rank_partition) {
-    const std::uint32_t ranks = map.organization().ranks;
-    return map.compose_in_rank(core % ranks, local_line);
+    return memory_.address_map().compose_in_rank(reloc_rank_[core],
+                                                 local_line);
   }
-  // Flat layout: carve the physical space into equal per-core regions so
-  // footprints never alias. Every region spans all ranks/banks (the default
-  // interleaving cycles through them in the low address bits).
-  const std::uint64_t total_lines = map.organization().total_lines();
-  const std::uint64_t region_lines = total_lines / cores_.size();
-  const std::uint64_t line =
-      static_cast<std::uint64_t>(core) * region_lines +
-      (local_line % region_lines);
-  return line << kLineShift;
+  // The modulo wrap only matters when the footprint exceeds the region;
+  // typical footprints fit, making the common case a single add.
+  const std::uint64_t offset =
+      local_line < region_lines_ ? local_line : local_line % region_lines_;
+  return (reloc_base_line_[core] + offset) << kLineShift;
 }
 
 std::optional<RequestId> System::issue_read(CoreId core, Address addr) {
@@ -83,6 +93,41 @@ bool System::issue_write(CoreId core, Address addr) {
   return ok;
 }
 
+std::uint64_t System::skip_target(std::uint64_t cpu_cycle,
+                                  std::uint64_t next_window_cpu,
+                                  Cycle mem_next_event,
+                                  std::uint64_t target_instructions,
+                                  std::uint64_t max_cpu_cycles,
+                                  const std::vector<bool>& crossed) const {
+  std::uint64_t target = max_cpu_cycles;
+  // Memory cap. A dirty queue forces the next boundary tick (the first
+  // tick that can observe the new request); otherwise every boundary
+  // before mem_next_event is a provable no-op tick and needs no visit.
+  if (mem_dirty_) {
+    target = std::min(target, next_window_cpu);
+  } else if (mem_next_event <= max_cpu_cycles / cfg_.cpu_ratio) {
+    target = std::min(target, mem_next_event * cfg_.cpu_ratio);
+  }
+  // Per-core caps: a sleeping core imposes none (its wake bounds the span
+  // through the memory cap); an awake core can be bulk-advanced through
+  // its remaining compute gap, further capped at its instruction-target
+  // crossing cycle so the crossing snapshot lands exactly where the naive
+  // loop records it.
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    const Core& core = *cores_[c];
+    std::uint64_t next = core.next_event_cycle();
+    if (!crossed[c] && !core.stalled_on_memory()) {
+      const CoreStats& s = core.stats();
+      const std::uint64_t need = target_instructions - s.instructions;
+      const std::uint64_t width = cfg_.core.issue_width;
+      next = std::min(next, s.cycles + (need + width - 1) / width);
+    }
+    target = std::min(target, next);
+    if (target <= cpu_cycle) return target;  // next cycle must execute
+  }
+  return target;
+}
+
 RunResult System::run(std::uint64_t target_instructions,
                       std::uint64_t max_cpu_cycles) {
   RunResult result;
@@ -90,92 +135,113 @@ RunResult System::run(std::uint64_t target_instructions,
   std::vector<bool> crossed(cores_.size(), false);
   std::size_t remaining = cores_.size();
 
-  // Event-driven memory clock. Controller::next_event_cycle guarantees
-  // every tick in (now, event) is a no-op for the frozen controller state,
-  // so boundary ticks before the cached event are skipped even while cores
-  // are running. An enqueue invalidates the cached answer, so it sets
-  // mem_dirty_ (see issue_read/issue_write) and the next boundary tick
-  // executes — which is also the first tick that can observe the request:
-  // the naive tick(M) only sees arrivals <= M - 1. The memory clock itself
-  // (mem_now_) advances at *every* boundary, ticked or not, so arrivals
-  // are stamped identically to the naive loop.
+  const LoopMode mode = cfg_.loop;
+  // Event-loop sleep/wake: a core blocked on a critical load is not
+  // executed (nor billed) per cycle; its cycles/stall_cycles lag until the
+  // wake back-fill in Core::on_read_complete or a bulk run_until catches
+  // it up. The per-cycle modes bill stalled cores every cycle, so the
+  // back-fill is zero there.
+  const bool lazy_sleep = mode == LoopMode::kEventDriven;
+
+  // Event-driven memory clock (see docs/PERFORMANCE.md §4).
+  // Controller::next_event_cycle guarantees every tick in (now, event) is
+  // a no-op for the frozen controller state, so boundary ticks before the
+  // cached event are skipped even while cores are running. An enqueue
+  // invalidates the cached answer, so it sets mem_dirty_ (see
+  // issue_read/issue_write) and the next boundary tick executes — which is
+  // also the first tick that can observe the request: the naive tick(M)
+  // only sees arrivals <= M - 1. The memory clock itself (mem_now_)
+  // advances at every *visited* window, ticked or not, so arrivals are
+  // stamped identically to the naive loop; windows inside a bulk-advanced
+  // span are provably tickless and are not visited at all.
   Cycle mem_next_event = 0;  // next memory cycle whose tick must execute
   mem_dirty_ = false;
 
-  // Epoch boundaries must be sampled at every *visited* memory cycle, ticked
-  // or not: a skipped tick is a provable no-op for the controllers, so the
-  // registry state at the boundary is exactly what the naive loop would see.
+  // Epoch boundaries are sampled at every visited memory cycle; boundaries
+  // crossed inside a bulk-advanced span are emitted lazily at the next
+  // visit, which is exact because skipped spans never touch a registry
+  // counter (no-op ticks by construction; bulk core advance moves only
+  // core-local counters, mirrored into the registry at end of run).
   telemetry::EpochSampler* const sampler = memory_.sampler();
 
+  auto record_crossing = [&](std::size_t c) {
+    crossed[c] = true;
+    --remaining;
+    CoreResult& r = result.cores[c];
+    const CoreStats& s = cores_[c]->stats();
+    r.instructions = s.instructions;
+    r.cpu_cycles = s.cycles;
+    r.ipc = s.ipc();
+    r.mem_reads = s.mem_reads + s.mem_fills;
+    r.mem_writebacks = s.mem_writebacks;
+  };
+
   std::uint64_t cpu_cycle = 0;
+  std::uint64_t next_window_cpu = 0;  // first CPU cycle of the next window
   while (cpu_cycle < max_cpu_cycles && remaining > 0) {
-    if (cpu_cycle % cfg_.cpu_ratio == 0) {
+    // -- Memory-window entry: visit the boundary once per window. A
+    // mid-window entry (a bulk advance landed between boundaries) never
+    // ticks: the skip caps guarantee the current window's boundary tick
+    // was a provable no-op, so only mem_now_/sampler bookkeeping runs.
+    if (cpu_cycle >= next_window_cpu) {
       mem_now_ = cpu_cycle / cfg_.cpu_ratio;
+      next_window_cpu = (mem_now_ + 1) * cfg_.cpu_ratio;
       if (sampler != nullptr) sampler->advance_to(mem_now_);
-      if (!cfg_.fast_forward || mem_dirty_ || mem_now_ >= mem_next_event) {
+      if (mode == LoopMode::kNaive || mem_dirty_ ||
+          mem_now_ >= mem_next_event) {
         memory_.tick(mem_now_);
-        for (const mem::Request& req : memory_.drain_completed()) {
-          cores_.at(req.core)->on_read_complete(req.id);
-        }
+        memory_.for_each_completed([&](const mem::Request& req) {
+          cores_[req.core]->on_read_complete(req.id, cpu_cycle);
+        });
         mem_dirty_ = false;
-        if (cfg_.fast_forward) {
+        if (mode != LoopMode::kNaive) {
           mem_next_event = memory_.next_event_cycle(mem_now_);
         }
       }
     }
+
+    // -- Execute this CPU cycle.
     for (std::size_t c = 0; c < cores_.size(); ++c) {
+      if (lazy_sleep && cores_[c]->stalled_on_memory()) continue;
       cores_[c]->cycle();
       if (!crossed[c] &&
           cores_[c]->stats().instructions >= target_instructions) {
-        crossed[c] = true;
-        --remaining;
-        CoreResult& r = result.cores[c];
-        const CoreStats& s = cores_[c]->stats();
-        r.instructions = s.instructions;
-        r.cpu_cycles = s.cycles;
-        r.ipc = s.ipc();
-        r.mem_reads = s.mem_reads + s.mem_fills;
-        r.mem_writebacks = s.mem_writebacks;
+        record_crossing(c);
       }
     }
     ++cpu_cycle;
 
-    // Frozen-cycle fast-forward: with every core blocked on a critical
-    // load, nothing can retire and no new request can arrive, so every CPU
-    // cycle before the next forced memory tick is a pure stall. Jump
-    // straight there instead of spinning through the frozen cycles.
-    if (!cfg_.fast_forward || remaining == 0 || !all_cores_stalled()) {
-      continue;
-    }
-    std::uint64_t target;
-    if (mem_dirty_) {
-      // A request arrived in this boundary window (the issuing core has
-      // since stalled on it); its first observable tick is the next
-      // boundary.
-      target = ((cpu_cycle + cfg_.cpu_ratio - 1) / cfg_.cpu_ratio) *
-               cfg_.cpu_ratio;
-    } else if (mem_next_event <= max_cpu_cycles / cfg_.cpu_ratio) {
-      target = mem_next_event * cfg_.cpu_ratio;
-    } else {
-      // No upcoming event inside the run (kNeverCycle, or past the cycle
-      // limit): stall out the remainder. End-of-run accounting settles in
-      // finalize(), at the same cycle as the naive loop.
-      target = max_cpu_cycles;
-    }
-    if (target > max_cpu_cycles) target = max_cpu_cycles;
+    // -- Bulk advance: jump the whole system across a span every party has
+    // proven pure. kFrozenStall keeps the PR-3 restriction (skip only the
+    // paper's frozen cycles, when every core is stalled); kEventDriven
+    // folds per-core next events into the same mechanism.
+    if (mode == LoopMode::kNaive || remaining == 0) continue;
+    if (mode == LoopMode::kFrozenStall && !all_cores_stalled()) continue;
+    const std::uint64_t target =
+        skip_target(cpu_cycle, next_window_cpu, mem_next_event,
+                    target_instructions, max_cpu_cycles, crossed);
     if (target <= cpu_cycle) continue;
-    const std::uint64_t skip = target - cpu_cycle;
-    for (auto& core : cores_) core->skip_stalled_cycles(skip);
-    cpu_cycle += skip;
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+      cores_[c]->run_until(target);
+      if (!crossed[c] &&
+          cores_[c]->stats().instructions >= target_instructions) {
+        record_crossing(c);
+      }
+    }
+    cpu_cycle = target;
   }
 
   result.hit_cycle_limit = remaining > 0;
+  // Settle lazily-billed sleepers at the final cycle (a no-op for every
+  // core that executed or was bulk-advanced to cpu_cycle).
+  for (auto& core : cores_) core->run_until(cpu_cycle);
   // Settle the sampler at the final memory cycle *before* the core-counter
-  // mirror below: frozen-cycle skips may have jumped past epoch boundaries,
-  // and emitting them lazily after the mirror would fold end-of-run core
+  // mirror below: bulk advances may have jumped past epoch boundaries, and
+  // emitting them lazily after the mirror would fold end-of-run core
   // totals into the last full epoch — breaking bit-identity with the naive
   // loop, which sampled those boundaries pre-mirror. The trailing partial
-  // epoch (emitted by close() in finalize) captures the mirror in both modes.
+  // epoch (emitted by close() in finalize) captures the mirror in both
+  // modes.
   if (sampler != nullptr) sampler->advance_to(cpu_cycle / cfg_.cpu_ratio);
   // Freeze any core that never crossed (cycle-limit safety net).
   for (std::size_t c = 0; c < cores_.size(); ++c) {

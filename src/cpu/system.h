@@ -16,19 +16,32 @@
 
 namespace rop::cpu {
 
+/// Simulation-loop strategy. All three produce bit-identical results
+/// (enforced by the determinism tests); they differ only in which cycles
+/// they prove skippable.
+enum class LoopMode : std::uint8_t {
+  /// Reference loop: every core cycles every CPU cycle, the memory ticks
+  /// at every controller boundary.
+  kNaive,
+  /// The PR-3 strategy: event-driven memory clock, plus a CPU-clock jump
+  /// only when *every* core is stalled on memory (the paper's frozen
+  /// cycles). One running core forces per-cycle execution of all cores.
+  kFrozenStall,
+  /// Unified next-event loop: per-core next events (closed-form compute-gap
+  /// retirement, sleeping stalled cores with wake back-fill) folded with
+  /// the memory next-event bound, so the clock jumps whenever *each* core
+  /// is individually in a provably pure span.
+  kEventDriven,
+};
+
 struct SystemConfig {
   std::uint32_t cpu_ratio = 4;  // 3.2 GHz cores over an 800 MHz controller
   CoreConfig core{};
   cache::LlcConfig llc{};
   bool shared_llc = true;   // multi-core: one LLC shared by all cores
   bool rank_partition = false;  // paper §IV-A rank-aware mapping
-  /// Event-driven memory clock: skip memory ticks between controller
-  /// events (even while cores run), and when every core is stalled on
-  /// memory jump the CPU clock to the next event instead of spinning.
-  /// Results are bit-identical to the naive per-cycle loop (enforced by
-  /// the determinism tests); set false to run the naive loop for
-  /// cross-checking.
-  bool fast_forward = true;
+  /// See LoopMode; kNaive is the cross-checking reference.
+  LoopMode loop = LoopMode::kEventDriven;
 };
 
 /// Per-core results frozen the cycle the core crossed its instruction
@@ -76,12 +89,22 @@ class System final : public MemoryPort {
   [[nodiscard]] Cycle mem_now() const { return mem_now_; }
 
  private:
-  /// Relocate a core-local address into the physical address space.
+  /// Relocate a core-local address into the physical address space (bases
+  /// precomputed at construction; see reloc_base_line_).
   [[nodiscard]] Address relocate(CoreId core, Address local) const;
 
   /// True when every core is blocked on an outstanding critical load —
   /// the "frozen cycles" of the paper's title.
   [[nodiscard]] bool all_cores_stalled() const;
+
+  /// Highest CPU cycle the whole system can be bulk-advanced to from
+  /// `cpu_cycle` (exclusive caps folded: memory next event / dirty
+  /// boundary, per-core next events, instruction-target crossings). A
+  /// result <= cpu_cycle means the next cycle must execute.
+  [[nodiscard]] std::uint64_t skip_target(
+      std::uint64_t cpu_cycle, std::uint64_t next_window_cpu,
+      Cycle mem_next_event, std::uint64_t target_instructions,
+      std::uint64_t max_cpu_cycles, const std::vector<bool>& crossed) const;
 
   /// Per-core registry mirrors ("coreN.*"), resolved at construction and
   /// published once at the end of run().
@@ -99,6 +122,13 @@ class System final : public MemoryPort {
   cache::Llc shared_llc_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<CoreStatHandles> core_stat_handles_;
+  /// Flat-layout relocation, hoisted out of the per-request path: each
+  /// core's region base line and the shared region size (relocate() pays
+  /// the modulo only when a footprint actually exceeds its region).
+  /// reloc_rank_ is the precomputed `core % ranks` for rank partitioning.
+  std::uint64_t region_lines_ = 0;
+  std::vector<std::uint64_t> reloc_base_line_;
+  std::vector<std::uint32_t> reloc_rank_;
   Cycle mem_now_ = 0;
   /// Set by issue_read/issue_write when a request lands: the cached
   /// next-event cycle is stale and the next boundary tick must execute.

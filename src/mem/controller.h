@@ -175,6 +175,26 @@ class Controller {
   /// not appear here). The caller takes ownership.
   std::vector<Request> drain_completed();
 
+  /// Allocation-free drain: invokes `fn(const Request&)` for each completed
+  /// demand read, in the same order drain_completed() would return them,
+  /// and releases the arena slots. With an auditor attached this falls back
+  /// to the vector path so the retired-audit ordering (all releases, then
+  /// all audits, then delivery) matches the vector API exactly.
+  template <typename Fn>
+  void drain_completed_into(Fn&& fn) {
+    if (completed_.empty()) return;
+    if (auditor_ != nullptr) {
+      for (const Request& req : drain_completed()) fn(req);
+      return;
+    }
+    for (const RequestIndex idx : completed_) {
+      const Request req = arena_[idx];
+      arena_.release(idx);
+      fn(req);
+    }
+    completed_.clear();
+  }
+
   /// Remove queued demand reads to `rank` that `probe` can service (SRAM
   /// buffer hits at refresh start); each serviced request completes at the
   /// cycle `probe` returns.

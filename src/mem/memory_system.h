@@ -51,6 +51,15 @@ class MemorySystem {
   /// All demand reads completed since the last call (any channel).
   std::vector<Request> drain_completed();
 
+  /// Allocation-free variant of drain_completed: invokes
+  /// `fn(const Request&)` per completed read, channels in order, requests
+  /// in completion-drain order within each channel — the same sequence the
+  /// vector API yields. This is the simulation loop's per-tick path.
+  template <typename Fn>
+  void for_each_completed(Fn&& fn) {
+    for (auto& ctrl : controllers_) ctrl->drain_completed_into(fn);
+  }
+
   [[nodiscard]] const AddressMap& address_map() const { return map_; }
   [[nodiscard]] const MemoryConfig& config() const { return cfg_; }
   [[nodiscard]] std::uint32_t num_channels() const {

@@ -201,7 +201,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
 
   cpu::SystemConfig sys_cfg =
       make_system_config(spec.llc_bytes, spec.rank_partition);
-  sys_cfg.fast_forward = spec.fast_forward;
+  sys_cfg.loop = spec.loop;
   if (checker) {
     for (const auto& eng : engines) checker->watch(*eng);
   }

@@ -30,9 +30,9 @@ struct ExperimentSpec {
   std::uint64_t instructions_per_core = 5'000'000;
   std::uint64_t max_cpu_cycles = 2'000'000'000;
   std::uint64_t seed_salt = 0;
-  /// Frozen-cycle fast-forward (bit-identical to the naive loop; see
-  /// cpu::SystemConfig::fast_forward). Off only for cross-checks.
-  bool fast_forward = true;
+  /// Simulation-loop strategy (bit-identical across all three; see
+  /// cpu::LoopMode). kNaive / kFrozenStall are for cross-checks.
+  cpu::LoopMode loop = cpu::LoopMode::kEventDriven;
   /// Audit the run with check::SimChecker (per-tick invariants + end-of-run
   /// request conservation); a violation aborts the experiment with a
   /// report. Also enabled by ROP_CHECK=1 in the environment or the

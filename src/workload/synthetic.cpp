@@ -29,19 +29,42 @@ void SyntheticTrace::reset() {
   }
   ops_until_idle_ =
       cfg_.burst_ops > 0 ? rng_.next_gap(cfg_.burst_ops) : 0;
+  ring_.clear();
+  ring_pos_ = 0;
 }
 
 TraceRecord SyntheticTrace::next() {
+  if (cfg_.batch_records <= 1) return generate(rng_);
+  if (ring_pos_ == ring_.size()) refill();
+  return ring_[ring_pos_++];
+}
+
+void SyntheticTrace::refill() {
+  // Hoist the RNG into a local for the whole batch: the per-record draws
+  // then keep the 256-bit xoshiro state in registers instead of
+  // round-tripping it through the member on every call, and write it back
+  // once. The record stream is identical to the unbatched path — the local
+  // starts from and ends in the exact member state.
+  Rng rng = rng_;
+  ring_.resize(cfg_.batch_records);
+  for (std::uint32_t i = 0; i < cfg_.batch_records; ++i) {
+    ring_[i] = generate(rng);
+  }
+  rng_ = rng;
+  ring_pos_ = 0;
+}
+
+TraceRecord SyntheticTrace::generate(Rng& rng) {
   TraceRecord rec;
   std::uint64_t gap =
-      cfg_.mean_gap > 0 ? rng_.next_gap(cfg_.mean_gap) - 1 : 0;
+      cfg_.mean_gap > 0 ? rng.next_gap(cfg_.mean_gap) - 1 : 0;
 
   // Burst phase accounting: when the busy phase ends, splice in a long
   // idle compute period before the next access.
   if (cfg_.burst_ops > 0 && cfg_.idle_instructions > 0) {
     if (ops_until_idle_ == 0) {
-      gap += rng_.next_gap(cfg_.idle_instructions);
-      ops_until_idle_ = rng_.next_gap(cfg_.burst_ops);
+      gap += rng.next_gap(cfg_.idle_instructions);
+      ops_until_idle_ = rng.next_gap(cfg_.burst_ops);
     } else {
       --ops_until_idle_;
     }
@@ -49,11 +72,11 @@ TraceRecord SyntheticTrace::next() {
 
   rec.gap = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(gap, 0x7FFFFFFFull));
-  rec.is_write = rng_.next_bool(cfg_.write_fraction);
+  rec.is_write = rng.next_bool(cfg_.write_fraction);
 
   std::uint64_t line;
-  if (rng_.next_bool(cfg_.random_fraction)) {
-    line = rng_.next_below(cfg_.footprint_lines);
+  if (rng.next_bool(cfg_.random_fraction)) {
+    line = rng.next_below(cfg_.footprint_lines);
   } else {
     // Streams interleave deterministically in proportion to their weights
     // (weighted round-robin), the way a loop body walks its arrays in a

@@ -44,6 +44,12 @@ struct SyntheticConfig {
   double burst_ops = 0.0;
   double idle_instructions = 0.0;
   std::uint64_t seed = 7;
+  /// Records generated per refill of the internal ring. next() hands out
+  /// prefilled records so the generation cost (RNG draws, credit updates,
+  /// delta walk) amortizes over the batch. 0 or 1 disables batching. The
+  /// record *stream* is identical for any batch size (the generator is
+  /// self-contained, so generation order equals consumption order).
+  std::uint32_t batch_records = 32;
 };
 
 class SyntheticTrace final : public TraceSource {
@@ -56,6 +62,12 @@ class SyntheticTrace final : public TraceSource {
   [[nodiscard]] const SyntheticConfig& config() const { return cfg_; }
 
  private:
+  /// Generate the next record (the pre-batching next()). Draws from `rng`
+  /// so refill() can hand in a register-resident local copy.
+  TraceRecord generate(Rng& rng);
+  /// Refill the record ring with the next batch_records records.
+  void refill();
+
   SyntheticConfig cfg_;
   Rng rng_;
   std::vector<std::uint64_t> positions_;  // per-stream line cursor
@@ -63,6 +75,8 @@ class SyntheticTrace final : public TraceSource {
   std::vector<double> credits_;  // weighted round-robin selection state
   double total_weight_ = 0.0;
   std::uint64_t ops_until_idle_ = 0;
+  std::vector<TraceRecord> ring_;  // prefilled batch; empty when disabled
+  std::size_t ring_pos_ = 0;       // next record to hand out
 };
 
 }  // namespace rop::workload

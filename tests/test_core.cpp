@@ -106,7 +106,7 @@ TEST(Core, MlpBudgetStallsCore) {
   EXPECT_EQ(core.outstanding(), 4u);
   const auto issued = port.reads.size();
   EXPECT_EQ(issued, 4u);
-  core.on_read_complete(1);
+  core.on_read_complete(1, core.stats().cycles);
   core.cycle();
   EXPECT_EQ(port.reads.size(), 5u);
 }
@@ -128,7 +128,7 @@ TEST(Core, CriticalLoadBlocksUntilCompletion) {
   for (int i = 0; i < 10; ++i) core.cycle();
   EXPECT_EQ(core.stats().instructions, retired);  // fully blocked
   EXPECT_GE(core.stats().stall_cycles, 10u);
-  core.on_read_complete(1);
+  core.on_read_complete(1, core.stats().cycles);
   core.cycle();
   EXPECT_GT(core.stats().instructions, retired);
 }
@@ -148,7 +148,9 @@ TEST(Core, WriteMissGeneratesFillAndLaterWriteback) {
   for (int i = 0; i < 100; ++i) {
     core.cycle();
     // Complete all outstanding reads promptly.
-    while (core.outstanding() > 0) core.on_read_complete(0);
+    while (core.outstanding() > 0) {
+      core.on_read_complete(0, core.stats().cycles);
+    }
   }
   // Fill for the write + 2 read fills; the third access evicted dirty 0x0.
   EXPECT_GE(port.reads.size(), 3u);
@@ -175,9 +177,120 @@ TEST(Core, IpcComputation) {
   Core core(0, no_critical(), tiny_llc(), trace, port);
   for (int i = 0; i < 100; ++i) {
     core.cycle();
-    while (core.outstanding() > 0) core.on_read_complete(0);
+    while (core.outstanding() > 0) {
+      core.on_read_complete(0, core.stats().cycles);
+    }
   }
   EXPECT_NEAR(core.stats().ipc(), 4.0, 0.2);
+}
+
+TEST(Core, NextEventCycleTracksComputeGap) {
+  FakePort port;
+  ScriptTrace trace({{40, false, 0x0}});
+  Core core(0, no_critical(), tiny_llc(), trace, port);
+  // No record fetched yet: the next cycle must execute for real.
+  EXPECT_EQ(core.next_event_cycle(), 0u);
+  core.cycle();  // fetches the record, retires 4 of the 40-instruction gap
+  ASSERT_EQ(core.stats().cycles, 1u);
+  ASSERT_EQ(core.remaining_gap(), 36u);
+  // 36 / width 4 = 9 more provably pure cycles.
+  EXPECT_EQ(core.next_event_cycle(), 10u);
+  core.run_until(10);
+  EXPECT_EQ(core.stats().cycles, 10u);
+  EXPECT_EQ(core.stats().instructions, 40u);
+  EXPECT_EQ(core.remaining_gap(), 0u);
+  EXPECT_EQ(core.next_event_cycle(), 10u);  // mem op next: must execute
+  core.cycle();
+  EXPECT_EQ(port.reads.size(), 1u);
+}
+
+TEST(Core, RunUntilMatchesPerCycleExecution) {
+  // Two identical cores over the same scripted trace: one executes every
+  // cycle, one jumps through pure spans with run_until. Full state must
+  // stay bit-identical.
+  const std::vector<workload::TraceRecord> recs{
+      {40, false, 0x0},    {7, true, 64 * 1024}, {0, false, 128 * 1024},
+      {123, false, 0x40},  {2, true, 0x0},       {55, false, 192 * 1024},
+  };
+  FakePort port_a, port_b;
+  ScriptTrace trace_a(recs), trace_b(recs);
+  CoreConfig cfg;
+  cfg.critical_load_fraction = 0.5;
+  Core a(0, cfg, tiny_llc(), trace_a, port_a);
+  Core b(0, cfg, tiny_llc(), trace_b, port_b);
+  for (std::uint64_t now = 0; now < 2000;) {
+    a.cycle();
+    ++now;
+    while (b.stats().cycles < now) {
+      const std::uint64_t next = b.next_event_cycle();
+      if (next > b.stats().cycles) {
+        b.run_until(std::min(next, now));
+      } else {
+        b.cycle();
+      }
+    }
+    if (now % 16 == 0) {
+      // Complete everything outstanding on both (criticals share ids:
+      // both cores issue the same sequence).
+      while (a.outstanding() > 0) a.on_read_complete(port_a.next_id - a.outstanding(), now);
+      while (b.outstanding() > 0) b.on_read_complete(port_b.next_id - b.outstanding(), now);
+    }
+    ASSERT_EQ(a.stats().cycles, b.stats().cycles);
+    ASSERT_EQ(a.stats().instructions, b.stats().instructions);
+    ASSERT_EQ(a.stats().stall_cycles, b.stats().stall_cycles);
+    ASSERT_EQ(a.stats().mem_reads, b.stats().mem_reads);
+    ASSERT_EQ(a.remaining_gap(), b.remaining_gap());
+    ASSERT_EQ(a.have_record(), b.have_record());
+    ASSERT_EQ(a.rng().state(), b.rng().state());
+    ASSERT_EQ(port_a.reads, port_b.reads);
+    ASSERT_EQ(port_a.writes, port_b.writes);
+  }
+}
+
+TEST(Core, WakeBackfillMatchesPerCycleStallBilling) {
+  // A sleeping core woken with a late `now` must bill exactly the cycles a
+  // per-cycle core spent stalling.
+  std::vector<workload::TraceRecord> recs{{0, false, 0x0},
+                                          {0, false, 64 * 1024}};
+  CoreConfig cfg;
+  cfg.critical_load_fraction = 1.0;  // the first miss blocks retirement
+  FakePort port_a, port_b;
+  ScriptTrace trace_a(recs), trace_b(recs);
+  Core a(0, cfg, tiny_llc(), trace_a, port_a);
+  Core b(0, cfg, tiny_llc(), trace_b, port_b);
+  a.cycle();
+  b.cycle();
+  ASSERT_TRUE(a.stalled_on_memory());
+  ASSERT_TRUE(b.stalled_on_memory());
+  // Naive: bill 25 stall cycles one by one, wake at cycle 26.
+  for (int i = 0; i < 25; ++i) a.cycle();
+  a.on_read_complete(1, a.stats().cycles);
+  // Event: never executed while asleep; the wake back-fills the span.
+  EXPECT_EQ(b.stats().cycles, 1u);
+  b.on_read_complete(1, 26);
+  EXPECT_EQ(a.stats().cycles, b.stats().cycles);
+  EXPECT_EQ(a.stats().stall_cycles, b.stats().stall_cycles);
+  EXPECT_EQ(a.stats().instructions, b.stats().instructions);
+  EXPECT_FALSE(b.stalled_on_memory());
+  EXPECT_EQ(b.next_event_cycle(), 26u);  // next record fetch must execute
+}
+
+TEST(Core, RunUntilWhileStalledBillsBulkStall) {
+  std::vector<workload::TraceRecord> recs{{0, false, 0x0}};
+  CoreConfig cfg;
+  cfg.critical_load_fraction = 1.0;
+  FakePort port;
+  ScriptTrace trace(recs);
+  Core core(0, cfg, tiny_llc(), trace, port);
+  core.cycle();
+  ASSERT_TRUE(core.stalled_on_memory());
+  EXPECT_EQ(core.next_event_cycle(), kNeverCycle);
+  const std::uint64_t before_stall = core.stats().stall_cycles;
+  core.run_until(1000);
+  EXPECT_EQ(core.stats().cycles, 1000u);
+  EXPECT_EQ(core.stats().stall_cycles, before_stall + 999u);
+  core.run_until(500);  // no-op: already past
+  EXPECT_EQ(core.stats().cycles, 1000u);
 }
 
 TEST(Core, OnReadCompleteWrongIdKeepsCriticalBlocked) {
@@ -192,7 +305,7 @@ TEST(Core, OnReadCompleteWrongIdKeepsCriticalBlocked) {
   ASSERT_EQ(port.reads.size(), 1u);
   // A completion for some other id must not unblock the critical wait
   // (ids start at 1 in FakePort).
-  core.on_read_complete(999);
+  core.on_read_complete(999, core.stats().cycles);
   const std::uint64_t retired = core.stats().instructions;
   core.cycle();
   EXPECT_EQ(core.stats().instructions, retired);

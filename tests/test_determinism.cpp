@@ -1,5 +1,6 @@
-// Determinism guarantees for the two execution-speed features: the parallel
-// experiment runner and the frozen-cycle fast-forward. Both must be
+// Determinism guarantees for the execution-speed features: the parallel
+// experiment runner and the fast simulation loops (the PR-3 frozen-stall
+// fast-forward and the unified core/memory event loop). All must be
 // bit-identical to the serial/naive baseline — not approximately equal.
 #include <gtest/gtest.h>
 
@@ -77,10 +78,16 @@ TEST(FastForward, BitIdenticalToNaiveLoop) {
        {MemoryMode::kBaseline, MemoryMode::kRop, MemoryMode::kElastic,
         MemoryMode::kPausing, MemoryMode::kPerBank, MemoryMode::kNoRefresh}) {
     SCOPED_TRACE(testing::Message() << "mode=" << static_cast<int>(mode));
-    ExperimentSpec fast = quick_multicore_spec(mode);
-    ExperimentSpec naive = fast;
-    naive.fast_forward = false;
-    expect_identical(run_experiment(naive), run_experiment(fast));
+    ExperimentSpec naive = quick_multicore_spec(mode);
+    naive.loop = cpu::LoopMode::kNaive;
+    const ExperimentResult ref = run_experiment(naive);
+    for (const cpu::LoopMode loop :
+         {cpu::LoopMode::kFrozenStall, cpu::LoopMode::kEventDriven}) {
+      SCOPED_TRACE(testing::Message() << "loop=" << static_cast<int>(loop));
+      ExperimentSpec fast = naive;
+      fast.loop = loop;
+      expect_identical(ref, run_experiment(fast));
+    }
   }
 }
 
@@ -89,20 +96,27 @@ TEST(FastForward, BitIdenticalSingleCore) {
   // longest jumps — the strongest stress on next_event_cycle being exact.
   for (const char* bench : {"libquantum", "lbm", "gobmk"}) {
     SCOPED_TRACE(bench);
-    ExperimentSpec fast = single_core_spec(bench, MemoryMode::kRop);
-    fast.instructions_per_core = 200'000;
-    ExperimentSpec naive = fast;
-    naive.fast_forward = false;
-    expect_identical(run_experiment(naive), run_experiment(fast));
+    ExperimentSpec naive = single_core_spec(bench, MemoryMode::kRop);
+    naive.instructions_per_core = 200'000;
+    naive.loop = cpu::LoopMode::kNaive;
+    const ExperimentResult ref = run_experiment(naive);
+    for (const cpu::LoopMode loop :
+         {cpu::LoopMode::kFrozenStall, cpu::LoopMode::kEventDriven}) {
+      SCOPED_TRACE(testing::Message() << "loop=" << static_cast<int>(loop));
+      ExperimentSpec fast = naive;
+      fast.loop = loop;
+      expect_identical(ref, run_experiment(fast));
+    }
   }
 }
 
 // ---------------------------------------------------------------------------
 // Mid-span state dump: beyond aggregate stats, the *micro-architectural*
-// state — every queue entry, refresh phase register, and per-bank timing
-// register — must match the naive loop at arbitrary off-ratio cutoffs.
-// Aggregate identity could in principle survive compensating errors; this
-// cannot.
+// state — every queue entry, refresh phase register, per-bank timing
+// register, and per-core front-end register (instruction/cycle/stall
+// counters, residual gap, RNG state, outstanding set) — must match the
+// naive loop at arbitrary off-ratio cutoffs. Aggregate identity could in
+// principle survive compensating errors; this cannot.
 
 std::string dump_memory_state(
     const mem::MemorySystem& memory,
@@ -157,7 +171,30 @@ std::string dump_memory_state(
   return os.str();
 }
 
-std::string run_truncated_and_dump(MemoryMode mode, bool fast_forward,
+std::string dump_core_state(const cpu::System& sys) {
+  std::ostringstream os;
+  for (std::uint32_t c = 0; c < sys.num_cores(); ++c) {
+    const cpu::Core& core = sys.core(c);
+    const cpu::CoreStats& s = core.stats();
+    os << "core" << c << " i=" << s.instructions << " cyc=" << s.cycles
+       << " stall=" << s.stall_cycles << " mr=" << s.mem_reads
+       << " mf=" << s.mem_fills << " wb=" << s.mem_writebacks
+       << " out=" << core.outstanding() << " gap=" << core.remaining_gap()
+       << " rec=" << core.have_record() << " pend=" << core.mem_op_pending()
+       << " wbq="
+       << (core.pending_writeback() ? std::to_string(*core.pending_writeback())
+                                    : "-")
+       << " crit="
+       << (core.critical_pending() ? std::to_string(*core.critical_pending())
+                                   : "-")
+       << " rng=";
+    for (const std::uint64_t w : core.rng().state()) os << w << ",";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string run_truncated_and_dump(MemoryMode mode, cpu::LoopMode loop,
                                    std::uint64_t max_cpu_cycles) {
   StatRegistry stats;
   mem::MemorySystem memory(make_memory_config(4, mode), &stats);
@@ -183,43 +220,95 @@ std::string run_truncated_and_dump(MemoryMode mode, bool fast_forward,
 
   cpu::SystemConfig sys_cfg =
       make_system_config(4ull << 20, /*rank_partition=*/true);
-  sys_cfg.fast_forward = fast_forward;
+  sys_cfg.loop = loop;
   cpu::System system(sys_cfg, memory, trace_ptrs);
   system.run(/*target_instructions=*/50'000'000, max_cpu_cycles);
-  return dump_memory_state(memory, engines);
+  return dump_memory_state(memory, engines) + dump_core_state(system);
 }
 
 TEST(FastForward, MidSpanStateDumpMatchesNaiveLoop) {
-  // Off-ratio cutoffs land inside boundary windows (and, for the fast run,
-  // inside skip spans), so the comparison catches any state the event loop
-  // failed to bring current before stopping.
+  // Off-ratio cutoffs land inside boundary windows (and, for the fast runs,
+  // inside skip spans), so the comparison catches any state — controller or
+  // core front end — that a fast loop failed to bring current before
+  // stopping.
   for (const MemoryMode mode : {MemoryMode::kRop, MemoryMode::kPausing}) {
     for (const std::uint64_t cutoff : {199'999ull, 400'001ull, 800'003ull}) {
       SCOPED_TRACE(testing::Message() << "mode=" << static_cast<int>(mode)
                                       << " cutoff=" << cutoff);
-      const std::string naive = run_truncated_and_dump(mode, false, cutoff);
-      const std::string fast = run_truncated_and_dump(mode, true, cutoff);
-      EXPECT_EQ(naive, fast);
+      const std::string naive =
+          run_truncated_and_dump(mode, cpu::LoopMode::kNaive, cutoff);
+      const std::string frozen =
+          run_truncated_and_dump(mode, cpu::LoopMode::kFrozenStall, cutoff);
+      const std::string event =
+          run_truncated_and_dump(mode, cpu::LoopMode::kEventDriven, cutoff);
+      EXPECT_EQ(naive, frozen);
+      EXPECT_EQ(naive, event);
       if (mode == MemoryMode::kPausing) continue;
       // A healthy cutoff run must actually have state in motion — guard
       // against the dump trivially matching because everything drained.
-      EXPECT_NE(fast.find("rop state="), std::string::npos);
+      EXPECT_NE(event.find("rop state="), std::string::npos);
+      EXPECT_NE(event.find("crit="), std::string::npos);
+    }
+  }
+}
+
+TEST(FastForward, HeterogeneousMixBitIdenticalAcrossLoops) {
+  // One memory-hog core (lbm: short gaps, large footprint, mostly asleep
+  // on critical loads) + one compute-bound bursty core (wrf: long gaps,
+  // long idle phases) — the event loop's target case, where the naive loop
+  // burns cycles stepping a sleeping hog and a gap-retiring computer. The
+  // final stats AND the per-epoch time series must be bit-identical across
+  // all three loops.
+  ExperimentSpec naive;
+  naive.benchmarks = {"lbm", "wrf"};
+  naive.mode = MemoryMode::kRop;
+  naive.ranks = 2;
+  naive.rank_partition = true;
+  naive.instructions_per_core = 150'000;
+  naive.telemetry.sampler.epoch_cycles = 2'000;
+  naive.loop = cpu::LoopMode::kNaive;
+  const ExperimentResult ref = run_experiment(naive);
+  ASSERT_TRUE(ref.epochs != nullptr);
+  EXPECT_GE(ref.epochs->num_epochs(), 2u);
+
+  for (const cpu::LoopMode loop :
+       {cpu::LoopMode::kFrozenStall, cpu::LoopMode::kEventDriven}) {
+    SCOPED_TRACE(testing::Message() << "loop=" << static_cast<int>(loop));
+    ExperimentSpec fast = naive;
+    fast.loop = loop;
+    const ExperimentResult r = run_experiment(fast);
+    expect_identical(ref, r);
+    ASSERT_TRUE(r.epochs != nullptr);
+    ASSERT_EQ(ref.epochs->num_epochs(), r.epochs->num_epochs());
+    ASSERT_EQ(ref.epochs->counter_names(), r.epochs->counter_names());
+    for (std::size_t i = 0; i < ref.epochs->num_epochs(); ++i) {
+      ASSERT_EQ(ref.epochs->epoch_end(i), r.epochs->epoch_end(i))
+          << "epoch " << i;
+      for (std::size_t c = 0; c < ref.epochs->counter_names().size(); ++c) {
+        ASSERT_EQ(ref.epochs->delta(i, c), r.epochs->delta(i, c))
+            << "epoch " << i << " counter " << ref.epochs->counter_names()[c];
+      }
     }
   }
 }
 
 TEST(FastForward, CycleLimitEndsIdentically) {
-  // Ending a run *inside* a frozen span exercises the clamp to the last
-  // memory-tick boundary (the final listener tick must still happen).
-  ExperimentSpec fast = quick_multicore_spec(MemoryMode::kRop);
-  fast.instructions_per_core = 50'000'000;  // unreachable
-  fast.max_cpu_cycles = 300'001;            // cut off mid-run, off-ratio
-  ExperimentSpec naive = fast;
-  naive.fast_forward = false;
+  // Ending a run *inside* a skip span exercises the clamp to the cycle
+  // limit (the final listener tick must still happen, and lazily-billed
+  // sleeping cores must settle at the same final cycle).
+  ExperimentSpec naive = quick_multicore_spec(MemoryMode::kRop);
+  naive.instructions_per_core = 50'000'000;  // unreachable
+  naive.max_cpu_cycles = 300'001;            // cut off mid-run, off-ratio
+  naive.loop = cpu::LoopMode::kNaive;
   const ExperimentResult a = run_experiment(naive);
-  const ExperimentResult b = run_experiment(fast);
   EXPECT_TRUE(a.run.hit_cycle_limit);
-  expect_identical(a, b);
+  for (const cpu::LoopMode loop :
+       {cpu::LoopMode::kFrozenStall, cpu::LoopMode::kEventDriven}) {
+    SCOPED_TRACE(testing::Message() << "loop=" << static_cast<int>(loop));
+    ExperimentSpec fast = naive;
+    fast.loop = loop;
+    expect_identical(a, run_experiment(fast));
+  }
 }
 
 }  // namespace

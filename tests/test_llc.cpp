@@ -151,6 +151,37 @@ INSTANTIATE_TEST_SUITE_P(
                       LlcSweepParams{4, 16, 0.5}, LlcSweepParams{8, 64, 0.2},
                       LlcSweepParams{16, 128, 0.4}));
 
+TEST(Llc, MruFastPathStatsUnchangedOnReplayTrace) {
+  // Replay a locality-heavy trace (60% repeat-last-line, the traffic the
+  // MRU probe accelerates) against the reference model, which has no MRU
+  // fast path: per-access results and the aggregate hit/miss/writeback
+  // stats must be unchanged by the fast path.
+  Llc llc(tiny(16, 64));
+  ReferenceCache ref(16, 64);
+  Rng rng(99);
+  Address last = 0;
+  std::uint64_t hits = 0, misses = 0, writebacks = 0;
+  constexpr int kAccesses = 50'000;
+  for (int i = 0; i < kAccesses; ++i) {
+    const Address addr = (i > 0 && rng.next_bool(0.6))
+                             ? last
+                             : rng.next_below(16 * 64 * 4) << kLineShift;
+    last = addr;
+    const bool is_write = rng.next_bool(0.3);
+    const auto got = llc.access(addr, is_write);
+    const auto want = ref.access(addr, is_write);
+    ASSERT_EQ(got.hit, want.hit) << "iteration " << i;
+    ASSERT_EQ(got.writeback, want.writeback) << "iteration " << i;
+    hits += want.hit ? 1 : 0;
+    misses += want.hit ? 0 : 1;
+    writebacks += want.writeback.has_value() ? 1 : 0;
+  }
+  EXPECT_EQ(llc.stats().accesses, static_cast<std::uint64_t>(kAccesses));
+  EXPECT_EQ(llc.stats().hits, hits);
+  EXPECT_EQ(llc.stats().misses, misses);
+  EXPECT_EQ(llc.stats().writebacks, writebacks);
+}
+
 TEST(Llc, RealisticConfigSizes) {
   LlcConfig cfg;
   cfg.size_bytes = 2ull << 20;

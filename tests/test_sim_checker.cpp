@@ -186,23 +186,26 @@ TEST_F(SimCheckerTest, EventCoreSoakStaysCleanUnderEveryPolicy) {
         sim::MemoryMode::kElastic, sim::MemoryMode::kPausing,
         sim::MemoryMode::kPerBank}) {
     SCOPED_TRACE(testing::Message() << "mode=" << static_cast<int>(mode));
-    sim::ExperimentSpec fast =
+    sim::ExperimentSpec naive =
         sim::multi_core_spec(1, mode, /*rank_partition=*/true);
-    fast.instructions_per_core = 100'000;
-    fast.check = true;
-    fast.fast_forward = true;
-    const auto fast_result = sim::run_experiment(fast);
-    EXPECT_GT(fast_result.checker_ticks, 0u);
-    EXPECT_EQ(fast_result.checker_violations, 0u);
-
-    sim::ExperimentSpec naive = fast;
-    naive.fast_forward = false;
+    naive.instructions_per_core = 100'000;
+    naive.check = true;
+    naive.loop = cpu::LoopMode::kNaive;
     const auto naive_result = sim::run_experiment(naive);
     EXPECT_EQ(naive_result.checker_violations, 0u);
-    // The event core must audit *fewer* ticks (that is the whole point)
-    // while producing identical simulation results.
-    EXPECT_LT(fast_result.checker_ticks, naive_result.checker_ticks);
-    EXPECT_EQ(fast_result.stats.report(), naive_result.stats.report());
+    for (const cpu::LoopMode loop :
+         {cpu::LoopMode::kFrozenStall, cpu::LoopMode::kEventDriven}) {
+      SCOPED_TRACE(testing::Message() << "loop=" << static_cast<int>(loop));
+      sim::ExperimentSpec fast = naive;
+      fast.loop = loop;
+      const auto fast_result = sim::run_experiment(fast);
+      EXPECT_GT(fast_result.checker_ticks, 0u);
+      EXPECT_EQ(fast_result.checker_violations, 0u);
+      // The fast loops must audit *fewer* ticks (that is the whole point)
+      // while producing identical simulation results.
+      EXPECT_LT(fast_result.checker_ticks, naive_result.checker_ticks);
+      EXPECT_EQ(fast_result.stats.report(), naive_result.stats.report());
+    }
   }
 }
 

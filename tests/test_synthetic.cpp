@@ -35,6 +35,44 @@ TEST(Synthetic, ResetReplaysFromStart) {
   }
 }
 
+TEST(Synthetic, RecordRingOnOffProducesIdenticalStream) {
+  // The prefilled record ring is a pure amortization: any batch size (off,
+  // default, odd) must hand out exactly the same record stream, including
+  // across a bursty profile that exercises the idle-gap state machine.
+  SyntheticConfig base = spec_profile("omnetpp", 3);
+  base.burst_ops = 40;
+  base.idle_instructions = 20'000;
+  for (const std::uint32_t batch : {32u, 5u, 1u}) {
+    SyntheticConfig off = base;
+    off.batch_records = 0;
+    SyntheticConfig on = base;
+    on.batch_records = batch;
+    SyntheticTrace a(off), b(on);
+    for (int i = 0; i < 10'000; ++i) {
+      const TraceRecord ra = a.next();
+      const TraceRecord rb = b.next();
+      ASSERT_EQ(ra.addr, rb.addr) << "batch=" << batch << " i=" << i;
+      ASSERT_EQ(ra.gap, rb.gap) << "batch=" << batch << " i=" << i;
+      ASSERT_EQ(ra.is_write, rb.is_write) << "batch=" << batch << " i=" << i;
+    }
+  }
+}
+
+TEST(Synthetic, ResetMidBatchReplaysFromStart) {
+  SyntheticConfig cfg;
+  cfg.batch_records = 16;
+  SyntheticTrace t(cfg);
+  std::vector<TraceRecord> first;
+  for (int i = 0; i < 100; ++i) first.push_back(t.next());
+  t.reset();  // ring_pos_ is mid-batch here; reset must discard the ring
+  for (int i = 0; i < 100; ++i) {
+    const TraceRecord r = t.next();
+    ASSERT_EQ(r.addr, first[i].addr) << i;
+    ASSERT_EQ(r.gap, first[i].gap) << i;
+    ASSERT_EQ(r.is_write, first[i].is_write) << i;
+  }
+}
+
 TEST(Synthetic, AddressesStayWithinFootprint) {
   SyntheticConfig cfg;
   cfg.footprint_lines = 1000;

@@ -239,32 +239,39 @@ TEST(EpochSampler, DisabledSamplerIsInert) {
   EXPECT_EQ(s.num_epochs(), 0u);
 }
 
-// The pinned contract: the epoch series is bit-identical whether or not the
-// event-driven clock skips ticks and frozen cycles. Sampling points are
-// exact, not approximately placed.
+// The pinned contract: the epoch series is bit-identical no matter which
+// simulation loop ran — naive, frozen-stall fast-forward, or the unified
+// core/memory event loop. Sampling points are exact, not approximately
+// placed, even when a bulk advance jumps several epoch boundaries at once.
 TEST(EpochSampler, BitIdenticalAcrossFastForward) {
   for (const sim::MemoryMode mode :
        {sim::MemoryMode::kBaseline, sim::MemoryMode::kRop,
         sim::MemoryMode::kPausing}) {
     SCOPED_TRACE(testing::Message() << "mode=" << static_cast<int>(mode));
-    sim::ExperimentSpec fast = sim::single_core_spec("gobmk", mode);
-    fast.instructions_per_core = 150'000;
-    fast.telemetry.sampler.epoch_cycles = 1000;  // off-tREFI on purpose
-    sim::ExperimentSpec naive = fast;
-    naive.fast_forward = false;
+    sim::ExperimentSpec naive = sim::single_core_spec("gobmk", mode);
+    naive.instructions_per_core = 150'000;
+    naive.telemetry.sampler.epoch_cycles = 1000;  // off-tREFI on purpose
+    naive.loop = cpu::LoopMode::kNaive;
 
     const sim::ExperimentResult a = sim::run_experiment(naive);
-    const sim::ExperimentResult b = sim::run_experiment(fast);
     ASSERT_TRUE(a.epochs != nullptr);
-    ASSERT_TRUE(b.epochs != nullptr);
-    ASSERT_EQ(a.epochs->num_epochs(), b.epochs->num_epochs());
-    ASSERT_EQ(a.epochs->counter_names(), b.epochs->counter_names());
     EXPECT_GE(a.epochs->num_epochs(), 2u);
-    for (std::size_t i = 0; i < a.epochs->num_epochs(); ++i) {
-      ASSERT_EQ(a.epochs->epoch_end(i), b.epochs->epoch_end(i)) << "epoch " << i;
-      for (std::size_t c = 0; c < a.epochs->counter_names().size(); ++c) {
-        ASSERT_EQ(a.epochs->delta(i, c), b.epochs->delta(i, c))
-            << "epoch " << i << " counter " << a.epochs->counter_names()[c];
+    for (const cpu::LoopMode loop :
+         {cpu::LoopMode::kFrozenStall, cpu::LoopMode::kEventDriven}) {
+      SCOPED_TRACE(testing::Message() << "loop=" << static_cast<int>(loop));
+      sim::ExperimentSpec fast = naive;
+      fast.loop = loop;
+      const sim::ExperimentResult b = sim::run_experiment(fast);
+      ASSERT_TRUE(b.epochs != nullptr);
+      ASSERT_EQ(a.epochs->num_epochs(), b.epochs->num_epochs());
+      ASSERT_EQ(a.epochs->counter_names(), b.epochs->counter_names());
+      for (std::size_t i = 0; i < a.epochs->num_epochs(); ++i) {
+        ASSERT_EQ(a.epochs->epoch_end(i), b.epochs->epoch_end(i))
+            << "epoch " << i;
+        for (std::size_t c = 0; c < a.epochs->counter_names().size(); ++c) {
+          ASSERT_EQ(a.epochs->delta(i, c), b.epochs->delta(i, c))
+              << "epoch " << i << " counter " << a.epochs->counter_names()[c];
+        }
       }
     }
   }

@@ -56,7 +56,7 @@ struct Options {
   bool dump_stats = false;
   bool compare = false;
   unsigned jobs = 0;
-  bool fast_forward = true;
+  std::string loop = "event";  // --loop event|frozen|naive
   bool check = false;
   std::string stats_json;             // --stats-json PATH
   std::string trace_out;              // --trace-out PATH
@@ -88,7 +88,9 @@ struct Options {
       "                       print a comparison table (ignores --mode)\n"
       "  --jobs N             worker threads for --compare (default: one\n"
       "                       per hardware thread)\n"
-      "  --no-fast-forward    disable the frozen-cycle fast-forward\n"
+      "  --loop MODE          simulation loop: event | frozen | naive\n"
+      "                       (default event; all three are bit-identical)\n"
+      "  --no-fast-forward    alias for --loop naive (cross-checking)\n"
       "                       (results are bit-identical either way)\n"
       "  --check              audit the run with the SimChecker invariant\n"
       "                       checker (see docs/CORRECTNESS.md); nonzero\n"
@@ -149,8 +151,10 @@ Options parse(int argc, char** argv) {
       opt.compare = true;
     } else if (arg == "--jobs") {
       opt.jobs = static_cast<unsigned>(std::atoi(need(i)));
+    } else if (arg == "--loop") {
+      opt.loop = need(i);
     } else if (arg == "--no-fast-forward") {
-      opt.fast_forward = false;
+      opt.loop = "naive";
     } else if (arg == "--check") {
       opt.check = true;
     } else if (arg == "--stats-json") {
@@ -198,6 +202,14 @@ dram::RefreshMode parse_refresh(const std::string& s) {
   usage(2);
 }
 
+cpu::LoopMode parse_loop(const std::string& s) {
+  if (s == "event") return cpu::LoopMode::kEventDriven;
+  if (s == "frozen") return cpu::LoopMode::kFrozenStall;
+  if (s == "naive") return cpu::LoopMode::kNaive;
+  std::fprintf(stderr, "unknown loop mode: %s\n", s.c_str());
+  usage(2);
+}
+
 bool is_workload_mix(const std::string& name) {
   return name.size() == 3 && name.compare(0, 2, "wl") == 0 &&
          name[2] >= '1' && name[2] <= '6';
@@ -242,7 +254,7 @@ sim::ExperimentSpec spec_from_options(const Options& opt,
   spec.refresh_mode = parse_refresh(opt.refresh_mode);
   spec.instructions_per_core = opt.instructions;
   spec.max_cpu_cycles = opt.instructions * 256;
-  spec.fast_forward = opt.fast_forward;
+  spec.loop = parse_loop(opt.loop);
   spec.check = opt.check;
   return spec;
 }
@@ -429,7 +441,7 @@ int main(int argc, char** argv) {
   }
   cpu::SystemConfig sys_cfg =
       sim::make_system_config(opt.llc_mb << 20, opt.rank_partition);
-  sys_cfg.fast_forward = opt.fast_forward;
+  sys_cfg.loop = parse_loop(opt.loop);
   cpu::System system(sys_cfg, memory, source_ptrs);
   if (checker) {
     for (const auto& eng : engines) checker->watch(*eng);
