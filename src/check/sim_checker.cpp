@@ -28,6 +28,14 @@ void SimChecker::attach(mem::MemorySystem& mem) {
   }
 }
 
+void SimChecker::attach(mem::MemorySystem& mem, ChannelId ch) {
+  ROP_ASSERT(mem_ == nullptr && "one checker audits one memory system");
+  ROP_ASSERT(ch < mem.num_channels());
+  mem_ = &mem;
+  scope_ = ch;
+  mem.controller(ch).set_auditor(this);
+}
+
 void SimChecker::watch(const engine::RopEngine& eng) {
   engines_.push_back(&eng);
 }
@@ -252,10 +260,14 @@ void SimChecker::finalize() {
   ROP_ASSERT(mem_ != nullptr && "finalize requires an attached memory");
   if (finalized_) return;
   finalized_ = true;
-  check_conservation();
+  // Conservation is a whole-memory identity against the shared registry;
+  // channel-scoped checkers delegate it to the channel-0 instance so the
+  // sharded run audits it exactly once (after the final stat fold).
+  if (scope_ == kAllChannels || scope_ == 0) check_conservation();
   // Final deadline sweep: a backlog beyond the budget at end of run means
   // some tREFI interval was never covered.
   for (ChannelId ch = 0; ch < mem_->num_channels(); ++ch) {
+    if (scope_ != kAllChannels && ch != scope_) continue;
     check_refresh_deadlines(mem_->controller(ch), last_now_);
   }
 }

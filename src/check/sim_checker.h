@@ -52,6 +52,13 @@ class SimChecker final : public mem::ControllerAuditor {
   /// outlive the ticking of `mem` (the destructor detaches defensively).
   void attach(mem::MemorySystem& mem);
 
+  /// Channel-scoped variant for the sharded loop: audit only channel `ch`,
+  /// so each shard's ticks call into a checker owned by that shard and no
+  /// checker state is shared across workers. The global conservation audit
+  /// in finalize() runs only on the channel-0 checker (it reads the folded
+  /// shared registry, so it must run after the run's stat fold).
+  void attach(mem::MemorySystem& mem, ChannelId ch);
+
   /// Include a ROP engine's SRAM buffer in the per-tick coherence sweep.
   void watch(const engine::RopEngine& eng);
 
@@ -92,6 +99,9 @@ class SimChecker final : public mem::ControllerAuditor {
 
   CheckerConfig cfg_;
   mem::MemorySystem* mem_ = nullptr;
+  /// Channel this checker audits; kInvalidChannel = all of them.
+  static constexpr ChannelId kAllChannels = ~ChannelId{0};
+  ChannelId scope_ = kAllChannels;
   std::vector<const engine::RopEngine*> engines_;
   const telemetry::TraceSink* trace_ = nullptr;
   std::size_t trace_context_ = 32;

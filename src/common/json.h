@@ -1,0 +1,131 @@
+// Minimal JSON DOM parser for configuration and result files (campaign
+// specs, per-run stats documents). Recursive descent over UTF-8 text, no
+// dependencies. Numbers keep an exact unsigned/signed integer view
+// alongside the double so 64-bit counters survive a parse -> merge round
+// trip without precision loss.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rop::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// std::map keeps object keys sorted, which makes re-serialized documents
+/// deterministic — the campaign merge relies on that for byte-identical
+/// resume output.
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double d) : kind_(Kind::kNumber), num_(d) {}
+  explicit Value(std::uint64_t u)
+      : kind_(Kind::kNumber),
+        num_(static_cast<double>(u)),
+        u64_(u),
+        has_u64_(true) {}
+  explicit Value(std::int64_t i)
+      : kind_(Kind::kNumber), num_(static_cast<double>(i)) {
+    if (i >= 0) {
+      u64_ = static_cast<std::uint64_t>(i);
+      has_u64_ = true;
+    } else {
+      i64_ = i;
+      has_i64_ = true;
+    }
+  }
+  explicit Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit Value(Array a)
+      : kind_(Kind::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : kind_(Kind::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const {
+    ROP_ASSERT(is_bool());
+    return bool_;
+  }
+  [[nodiscard]] double as_double() const {
+    ROP_ASSERT(is_number());
+    return num_;
+  }
+  /// Exact integer view: set when the literal was a non-negative integer
+  /// that fits (u64) / a negative integer that fits (i64).
+  [[nodiscard]] bool has_u64() const { return has_u64_; }
+  [[nodiscard]] std::uint64_t as_u64() const {
+    ROP_ASSERT(has_u64_);
+    return u64_;
+  }
+  [[nodiscard]] bool has_i64() const { return has_i64_; }
+  [[nodiscard]] std::int64_t as_i64() const {
+    ROP_ASSERT(has_i64_);
+    return i64_;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    ROP_ASSERT(is_string());
+    return str_;
+  }
+  [[nodiscard]] const Array& as_array() const {
+    ROP_ASSERT(is_array());
+    return *arr_;
+  }
+  [[nodiscard]] const Object& as_object() const {
+    ROP_ASSERT(is_object());
+    return *obj_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    const auto it = obj_->find(key);
+    return it == obj_->end() ? nullptr : &it->second;
+  }
+
+ private:
+  friend class Parser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::uint64_t u64_ = 0;
+  std::int64_t i64_ = 0;
+  bool has_u64_ = false;
+  bool has_i64_ = false;
+  std::string str_;
+  // shared_ptr keeps Value copyable/regular without a recursive variant.
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parse a complete JSON document. On failure returns nullopt and, when
+/// `error` is non-null, a one-line message with the byte offset.
+[[nodiscard]] std::optional<Value> parse(std::string_view text,
+                                         std::string* error = nullptr);
+
+}  // namespace rop::json

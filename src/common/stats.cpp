@@ -4,6 +4,40 @@
 
 namespace rop {
 
+double Scalar::sum() const {
+  // fsum rounding: add the partials from the largest down until the sum
+  // turns inexact, then nudge for round-half-even when the remaining tail
+  // agrees in sign with the rounding error. Because the partials exactly
+  // represent the true sum, this returns the correctly-rounded double for
+  // it — the same bits no matter the recording or merge order.
+  std::size_t n = partials_.size();
+  if (n == 0) return 0.0;
+  double hi = partials_[--n];
+  double lo = 0.0;
+  while (n > 0) {
+    const double x = hi;
+    const double y = partials_[--n];
+    hi = x + y;
+    lo = y - (hi - x);
+    if (lo != 0.0) break;
+  }
+  if (n > 0 && ((lo < 0.0 && partials_[n - 1] < 0.0) ||
+                (lo > 0.0 && partials_[n - 1] > 0.0))) {
+    const double y2 = lo * 2.0;
+    const double x2 = hi + y2;
+    if (y2 == x2 - hi) hi = x2;
+  }
+  return hi;
+}
+
+void Scalar::merge(const Scalar& other) {
+  if (other.count_ == 0) return;
+  min_ = count_ ? std::min(min_, other.min_) : other.min_;
+  max_ = count_ ? std::max(max_, other.max_) : other.max_;
+  count_ += other.count_;
+  for (const double p : other.partials_) accumulate(p);
+}
+
 Counter& StatRegistry::counter(const std::string& name) {
   return counters_[name];
 }
@@ -35,6 +69,14 @@ const Scalar* StatRegistry::find_scalar(const std::string& name) const {
 const Histogram* StatRegistry::find_histogram(const std::string& name) const {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void StatRegistry::merge_from(const StatRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].merge(c);
+  for (const auto& [name, s] : other.scalars_) scalars_[name].merge(s);
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.bucket_width(), h.num_buckets() - 1).merge(h);
+  }
 }
 
 void StatRegistry::reset_all() {

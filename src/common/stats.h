@@ -4,6 +4,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -20,31 +21,65 @@ class Counter {
   [[nodiscard]] std::uint64_t value() const { return value_; }
   void reset() { value_ = 0; }
 
+  /// Fold another counter in (channel-shard and campaign aggregation).
+  void merge(const Counter& other) { value_ += other.value_; }
+
  private:
   std::uint64_t value_ = 0;
 };
 
 /// Running scalar statistics (count / sum / min / max / mean).
+///
+/// The sum is held as an exact expansion of non-overlapping doubles
+/// (Shewchuk error-free accumulation — the algorithm behind math.fsum),
+/// so the represented value is the true real-number sum of the recorded
+/// samples and therefore independent of recording order. That is what
+/// makes merge() exact: folding per-channel shards, or per-run campaign
+/// results, yields bit-identical sum()/mean() no matter how the samples
+/// were interleaved in a serial run. For integral samples (latencies in
+/// cycles) the expansion stays at a single partial until the running sum
+/// crosses 2^53, so record() costs one extra compare on the hot path.
 class Scalar {
  public:
   void record(double v) {
     ++count_;
-    sum_ += v;
+    accumulate(v);
     min_ = (count_ == 1) ? v : std::min(min_, v);
     max_ = (count_ == 1) ? v : std::max(max_, v);
   }
   [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] double sum() const { return sum_; }
+  /// Correctly-rounded value of the exact partial-sum expansion.
+  [[nodiscard]] double sum() const;
   [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
   [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
   [[nodiscard]] double mean() const {
-    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    return count_ ? sum() / static_cast<double>(count_) : 0.0;
   }
   void reset() { *this = Scalar{}; }
 
+  /// Fold another scalar in. Exact: both expansions represent their true
+  /// sums, so the merged expansion represents the pooled true sum.
+  void merge(const Scalar& other);
+
  private:
+  /// Grow the expansion by `x` (error-free transformation per partial).
+  void accumulate(double x) {
+    std::size_t keep = 0;
+    for (double y : partials_) {
+      if (std::abs(x) < std::abs(y)) std::swap(x, y);
+      const double hi = x + y;
+      const double lo = y - (hi - x);
+      if (lo != 0.0) partials_[keep++] = lo;
+      x = hi;
+    }
+    partials_.resize(keep);
+    partials_.push_back(x);
+  }
+
   std::uint64_t count_ = 0;
-  double sum_ = 0.0;
+  /// Non-overlapping partials in increasing magnitude; their exact sum is
+  /// the exact sum of everything recorded.
+  std::vector<double> partials_;
   double min_ = 0.0;
   double max_ = 0.0;
 };
@@ -59,6 +94,16 @@ class Histogram {
     ROP_ASSERT(bucket_width > 0);
     ROP_ASSERT(num_buckets > 0);
   }
+  /// Reconstruct from exported parts (`buckets` includes the overflow
+  /// bucket): the campaign merge parses per-run JSON back into histograms
+  /// and folds them with merge().
+  Histogram(std::uint64_t bucket_width, std::vector<std::uint64_t> buckets,
+            std::uint64_t sample_sum)
+      : width_(bucket_width), buckets_(std::move(buckets)), sum_(sample_sum) {
+    ROP_ASSERT(bucket_width > 0);
+    ROP_ASSERT(buckets_.size() >= 2);
+    for (const std::uint64_t b : buckets_) count_ += b;
+  }
 
   void record(std::uint64_t v) {
     const std::size_t idx =
@@ -69,6 +114,8 @@ class Histogram {
   }
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Exact integer sum of all recorded samples.
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
   [[nodiscard]] double mean() const {
     return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
                   : 0.0;
@@ -123,6 +170,19 @@ class Histogram {
     sum_ = 0;
   }
 
+  /// Fold another histogram in. Exact for every derived statistic
+  /// (percentiles, mean): bucket counts and the integer sample sum add.
+  /// Both histograms must share the bucket geometry.
+  void merge(const Histogram& other) {
+    ROP_ASSERT(width_ == other.width_);
+    ROP_ASSERT(buckets_.size() == other.buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
  private:
   std::uint64_t width_;
   std::vector<std::uint64_t> buckets_;
@@ -172,6 +232,13 @@ class StatRegistry {
   }
 
   void reset_all();
+
+  /// Fold every stat of `other` into this registry, creating any missing
+  /// entries (histograms adopt the source geometry). Counters add,
+  /// scalars merge exactly (see Scalar), histograms add bucket-wise —
+  /// the aggregation primitive behind channel-shard folds and campaign
+  /// stats merging.
+  void merge_from(const StatRegistry& other);
 
   /// Render "name value" lines, sorted by name, for debugging dumps.
   [[nodiscard]] std::string report() const;

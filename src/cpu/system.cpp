@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "mem/shard_pool.h"
 #include "telemetry/epoch_sampler.h"
 
 namespace rop::cpu {
@@ -77,19 +78,30 @@ Address System::relocate(CoreId core, Address local) const {
 std::optional<RequestId> System::issue_read(CoreId core, Address addr) {
   const Address phys = relocate(core, addr);
   if (!memory_.can_accept(phys, mem::ReqType::kRead)) return std::nullopt;
-  const auto id = memory_.enqueue(phys, mem::ReqType::kRead, core, mem_now_);
+  ChannelId ch = 0;
+  const auto id =
+      memory_.enqueue(phys, mem::ReqType::kRead, core, mem_now_, &ch);
   // The cached next-event answer is stale the moment a request lands; the
-  // next boundary tick must execute to observe it.
-  if (id) mem_dirty_ = true;
+  // next boundary tick must execute to observe it. Sharded: only the
+  // channel that accepted the request needs re-arming.
+  if (id) {
+    mem_dirty_ = true;
+    if (shard_pool_ != nullptr) shard_pool_->note_enqueue(ch, mem_now_);
+  }
   return id;
 }
 
 bool System::issue_write(CoreId core, Address addr) {
   const Address phys = relocate(core, addr);
   if (!memory_.can_accept(phys, mem::ReqType::kWrite)) return false;
+  ChannelId ch = 0;
   const bool ok =
-      memory_.enqueue(phys, mem::ReqType::kWrite, core, mem_now_).has_value();
-  if (ok) mem_dirty_ = true;
+      memory_.enqueue(phys, mem::ReqType::kWrite, core, mem_now_, &ch)
+          .has_value();
+  if (ok) {
+    mem_dirty_ = true;
+    if (shard_pool_ != nullptr) shard_pool_->note_enqueue(ch, mem_now_);
+  }
   return ok;
 }
 
@@ -130,6 +142,11 @@ std::uint64_t System::skip_target(std::uint64_t cpu_cycle,
 
 RunResult System::run(std::uint64_t target_instructions,
                       std::uint64_t max_cpu_cycles) {
+  if (cfg_.shard_channels > 0) {
+    return run_sharded(target_instructions, max_cpu_cycles);
+  }
+  ROP_ASSERT(!memory_.per_channel_stats() &&
+             "per-channel registries are only folded by the sharded loop");
   RunResult result;
   result.cores.resize(cores_.size());
   std::vector<bool> crossed(cores_.size(), false);
@@ -271,6 +288,129 @@ RunResult System::run(std::uint64_t target_instructions,
   result.cpu_cycles = cpu_cycle;
   result.mem_cycles = cpu_cycle / cfg_.cpu_ratio;
   memory_.finalize(result.mem_cycles);
+  return result;
+}
+
+RunResult System::run_sharded(std::uint64_t target_instructions,
+                              std::uint64_t max_cpu_cycles) {
+  // Same skeleton as run() in kEventDriven mode; see mem/shard_pool.h for
+  // why the per-channel advancement is bit-identical to the serial loop.
+  ROP_ASSERT(cfg_.loop == LoopMode::kEventDriven &&
+             "channel sharding builds on the event-driven loop");
+  ROP_ASSERT(memory_.per_channel_stats() &&
+             "sharded channels must not share a registry");
+  ROP_ASSERT(memory_.controller(0).trace() == nullptr &&
+             "the trace sink interleaves channels and is order-sensitive");
+
+  RunResult result;
+  result.cores.resize(cores_.size());
+  std::vector<bool> crossed(cores_.size(), false);
+  std::size_t remaining = cores_.size();
+
+  mem::ShardPool pool(memory_, cfg_.shard_channels);
+  shard_pool_ = &pool;
+
+  // The sharded analogue of mem_next_event: the earliest cycle any channel
+  // could hold a deliverable completion. Channel-internal activity
+  // (command issues, refresh phases) no longer bounds the CPU skip — the
+  // pool replays it lazily inside advance_to.
+  Cycle mem_next_event = 0;
+  mem_dirty_ = false;
+
+  auto record_crossing = [&](std::size_t c) {
+    crossed[c] = true;
+    --remaining;
+    CoreResult& r = result.cores[c];
+    const CoreStats& s = cores_[c]->stats();
+    r.instructions = s.instructions;
+    r.cpu_cycles = s.cycles;
+    r.ipc = s.ipc();
+    r.mem_reads = s.mem_reads + s.mem_fills;
+    r.mem_writebacks = s.mem_writebacks;
+  };
+
+  std::uint64_t cpu_cycle = 0;
+  std::uint64_t next_window_cpu = 0;
+  while (cpu_cycle < max_cpu_cycles && remaining > 0) {
+    // -- Memory-window entry: advance every channel through its own due
+    // ticks (folding epoch boundaries on the way), then drain. A
+    // conservative-early bound just makes this a cheap no-op visit.
+    if (cpu_cycle >= next_window_cpu) {
+      mem_now_ = cpu_cycle / cfg_.cpu_ratio;
+      next_window_cpu = (mem_now_ + 1) * cfg_.cpu_ratio;
+      pool.advance_to(mem_now_);
+      pool.for_each_completed([&](const mem::Request& req) {
+        cores_[req.core]->on_read_complete(req.id, cpu_cycle);
+      });
+      mem_dirty_ = false;
+      mem_next_event = pool.next_required_boundary(mem_now_);
+    }
+
+    // -- Execute this CPU cycle (lazy sleep as in kEventDriven).
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+      if (cores_[c]->stalled_on_memory()) continue;
+      cores_[c]->cycle();
+      if (!crossed[c] &&
+          cores_[c]->stats().instructions >= target_instructions) {
+        record_crossing(c);
+      }
+    }
+    ++cpu_cycle;
+
+    // -- Bulk advance, identical to run(): the memory cap in skip_target
+    // now comes from the delivery bound.
+    if (remaining == 0) continue;
+    const std::uint64_t target =
+        skip_target(cpu_cycle, next_window_cpu, mem_next_event,
+                    target_instructions, max_cpu_cycles, crossed);
+    if (target <= cpu_cycle) continue;
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+      cores_[c]->run_until(target);
+      if (!crossed[c] &&
+          cores_[c]->stats().instructions >= target_instructions) {
+        record_crossing(c);
+      }
+    }
+    cpu_cycle = target;
+  }
+
+  result.hit_cycle_limit = remaining > 0;
+  for (auto& core : cores_) core->run_until(cpu_cycle);
+  // Catch up with everything the serial loop would have ticked: every due
+  // event E with E * cpu_ratio < cpu_cycle was executed there (the skip
+  // cap lands the loop on each such window before exiting), while events
+  // at or past the exit cycle never run. Completions produced here stay
+  // undrained, exactly like the serial exit.
+  if (cpu_cycle > 0) pool.advance_to((cpu_cycle - 1) / cfg_.cpu_ratio);
+  // Fold the final epoch boundary before the core-counter mirror, matching
+  // the serial sampler settle.
+  pool.sample_to(cpu_cycle / cfg_.cpu_ratio);
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    if (crossed[c]) continue;
+    CoreResult& r = result.cores[c];
+    const CoreStats& s = cores_[c]->stats();
+    r.instructions = s.instructions;
+    r.cpu_cycles = s.cycles;
+    r.ipc = s.ipc();
+    r.mem_reads = s.mem_reads + s.mem_fills;
+    r.mem_writebacks = s.mem_writebacks;
+  }
+
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    const CoreStats& s = cores_[c]->stats();
+    const CoreStatHandles& h = core_stat_handles_[c];
+    h.instructions->inc(s.instructions);
+    h.cycles->inc(s.cycles);
+    h.stall_cycles->inc(s.stall_cycles);
+    h.mem_reads->inc(s.mem_reads);
+    h.mem_fills->inc(s.mem_fills);
+    h.mem_writebacks->inc(s.mem_writebacks);
+  }
+
+  result.cpu_cycles = cpu_cycle;
+  result.mem_cycles = cpu_cycle / cfg_.cpu_ratio;
+  pool.finalize_run(result.mem_cycles);
+  shard_pool_ = nullptr;
   return result;
 }
 

@@ -14,6 +14,10 @@
 #include "mem/memory_system.h"
 #include "workload/trace.h"
 
+namespace rop::mem {
+class ShardPool;
+}
+
 namespace rop::cpu {
 
 /// Simulation-loop strategy. All three produce bit-identical results
@@ -42,6 +46,11 @@ struct SystemConfig {
   bool rank_partition = false;  // paper §IV-A rank-aware mapping
   /// See LoopMode; kNaive is the cross-checking reference.
   LoopMode loop = LoopMode::kEventDriven;
+  /// > 0: run the channel-sharded loop with this many shards (clamped to
+  /// the channel count). Requires kEventDriven, per-channel stats on the
+  /// memory system, and no trace sink; bit-identical to the serial loop
+  /// (see mem/shard_pool.h). 0 = the serial loops above.
+  std::uint32_t shard_channels = 0;
 };
 
 /// Per-core results frozen the cycle the core crossed its instruction
@@ -89,6 +98,14 @@ class System final : public MemoryPort {
   [[nodiscard]] Cycle mem_now() const { return mem_now_; }
 
  private:
+  /// Channel-sharded variant of run() (cfg_.shard_channels > 0): same
+  /// window structure and bulk-advance machinery, but the memory side
+  /// advances per channel through a ShardPool and the skip cap comes from
+  /// the channels' completion lower bounds instead of the global
+  /// next-event cycle.
+  RunResult run_sharded(std::uint64_t target_instructions,
+                        std::uint64_t max_cpu_cycles);
+
   /// Relocate a core-local address into the physical address space (bases
   /// precomputed at construction; see reloc_base_line_).
   [[nodiscard]] Address relocate(CoreId core, Address local) const;
@@ -133,6 +150,9 @@ class System final : public MemoryPort {
   /// Set by issue_read/issue_write when a request lands: the cached
   /// next-event cycle is stale and the next boundary tick must execute.
   bool mem_dirty_ = false;
+  /// Live only inside run_sharded (stack-owned there): lets the issue
+  /// hooks re-arm just the channel that accepted the request.
+  mem::ShardPool* shard_pool_ = nullptr;
 };
 
 }  // namespace rop::cpu

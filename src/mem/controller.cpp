@@ -821,4 +821,42 @@ Cycle Controller::next_event_cycle(Cycle now) const {
   return next;
 }
 
+Cycle Controller::completion_lower_bound(Cycle pos) const {
+  if (!completed_.empty()) return pos + 1;
+
+  Cycle bound = kNeverCycle;
+  const auto consider = [&bound](Cycle c) { bound = std::min(bound, c); };
+
+  // In-flight data bursts: demand completions land exactly here; prefetch
+  // fills can reentrantly service queued reads at the same cycle, so this
+  // one cached minimum covers both (conservative-early when the earliest
+  // burst is a prefetch with no matching read).
+  consider(inflight_min_completion_);
+
+  if (!read_q_.empty()) {
+    // A queued read not yet in flight needs an issue (earliest pos + 1)
+    // plus the CAS latency and burst before data lands.
+    const auto& t = channel_.timings();
+    consider(pos + 1 + t.CL + t.tBL);
+
+    // A refresh issue can probe the SRAM buffer and service queued reads
+    // via the ROP listener. With the rank idle and nothing owed, that
+    // cannot happen before the next tREFI boundary.
+    if (listener_ != nullptr && cfg_.refresh_enabled) {
+      for (RankId r = 0; r < channel_.num_ranks(); ++r) {
+        if (pending_reads_[r] == 0) continue;
+        if (phase_[r] != RefreshPhase::kIdle || refresh_remaining_[r] > 0 ||
+            rm_.owed(r, pos) > 0) {
+          consider(pos + 1);
+        } else {
+          consider(rm_.next_owed_increase(r, pos));
+        }
+      }
+    }
+  }
+
+  if (bound == kNeverCycle) return bound;
+  return std::max(bound, pos + 1);
+}
+
 }  // namespace rop::mem

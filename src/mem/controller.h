@@ -310,6 +310,33 @@ class Controller {
   /// refresh-disabled idle controller).
   [[nodiscard]] Cycle next_event_cycle(Cycle now) const;
 
+  /// True when completed demand reads await drain.
+  [[nodiscard]] bool has_completed() const { return !completed_.empty(); }
+
+  /// Delivery bound for the channel-sharded loop: the earliest tick cycle
+  /// >= `pos` + 1 at which completed_ could gain an entry, given that no
+  /// further request is enqueued (an enqueue invalidates the answer; the
+  /// shard pool tracks that per channel). Unlike next_event_cycle this
+  /// ignores channel-internal activity (command issues, refresh phases) —
+  /// those advance inside the shard without the CPU having to observe
+  /// them. Conservative-early is harmless (the pool re-advances and
+  /// recomputes); late would mis-deliver a completion and is never
+  /// returned. kNeverCycle when no queued or in-flight read exists.
+  ///
+  /// Soundness: completed_ gains entries during tick(T) only via
+  ///  (1) an in-flight demand read whose data burst lands at T
+  ///      (complete_bursts) — bounded by inflight_min_completion_;
+  ///  (2) a prefetch fill at T whose listener services queued reads
+  ///      reentrantly (on_prefetch_filled -> complete_matching_reads) —
+  ///      also bounded by inflight_min_completion_;
+  ///  (3) a queued read issued to DRAM after `pos` — its data needs at
+  ///      least CL + tBL cycles after the earliest possible issue pos + 1;
+  ///  (4) a refresh issue at T whose listener probes the SRAM buffer
+  ///      (on_refresh_issued -> complete_matching_reads) — only possible
+  ///      once the rank's refresh machinery is engaged or a refresh is
+  ///      owed, so bounded by the next tREFI boundary when idle.
+  [[nodiscard]] Cycle completion_lower_bound(Cycle pos) const;
+
  private:
   /// tick() body; split out so the auditor hook runs after every exit path.
   void step(Cycle now);

@@ -28,6 +28,12 @@ struct MemoryConfig {
   dram::DramOrganization org{};
   MapScheme scheme = MapScheme::kRowRankBankColumn;
   ControllerConfig ctrl{};
+  /// Give every channel its own StatRegistry instead of recording into the
+  /// shared one. Required by the channel-sharded event loop (shards must
+  /// not contend on one registry); the shard pool folds the per-channel
+  /// registries into the shared registry at epoch boundaries and at
+  /// finalize, reproducing the serial stats bit-for-bit.
+  bool per_channel_stats = false;
 };
 
 class MemorySystem {
@@ -42,8 +48,12 @@ class MemorySystem {
 
   /// Enqueue a demand access. Returns the request id on acceptance, or
   /// nullopt when the target queue is full (caller retries next cycle).
+  /// When `channel` is non-null it receives the channel the address maps
+  /// to (on acceptance only) — the sharded loop uses it to re-arm just
+  /// that channel's shard instead of dirtying all of them.
   std::optional<RequestId> enqueue(Address byte_addr, ReqType type,
-                                   CoreId core, Cycle now);
+                                   CoreId core, Cycle now,
+                                   ChannelId* channel = nullptr);
 
   /// Advance all channels one controller clock.
   void tick(Cycle now);
@@ -90,9 +100,35 @@ class MemorySystem {
   /// True when every queue and in-flight buffer is empty.
   [[nodiscard]] bool idle() const;
 
-  /// The registry all channels record into (never null). The CPU layer
-  /// resolves its own stat handles from it at construction.
+  /// The shared registry (never null). The CPU layer resolves its own stat
+  /// handles from it at construction. With per_channel_stats the channels
+  /// record into their own registries instead; this one then holds the
+  /// mirrored names (see mirror_channel_stats) plus everything non-channel
+  /// (llc.*, coreN.*), and receives the folds.
   [[nodiscard]] StatRegistry* stats() const { return stats_; }
+
+  /// True when each channel records into a private registry.
+  [[nodiscard]] bool per_channel_stats() const {
+    return cfg_.per_channel_stats;
+  }
+
+  /// The registry channel `ch` records into: its private registry under
+  /// per_channel_stats, otherwise the shared one — so assembly code
+  /// (engines, checkers) can target the right registry unconditionally.
+  [[nodiscard]] StatRegistry& channel_stats(ChannelId ch) {
+    return cfg_.per_channel_stats ? *channel_stats_.at(ch) : *stats_;
+  }
+  [[nodiscard]] const StatRegistry& channel_stats(ChannelId ch) const {
+    return cfg_.per_channel_stats ? *channel_stats_.at(ch) : *stats_;
+  }
+
+  /// Register every stat name that exists in any per-channel registry into
+  /// the shared registry with a zero value (histograms adopt the source
+  /// geometry). Idempotent; no-op without per_channel_stats. Must run
+  /// before an EpochSampler is constructed over the shared registry so the
+  /// sampler resolves handles for the channel counters it will observe via
+  /// folds.
+  void mirror_channel_stats();
 
   /// Earliest controller cycle > `now` at which any channel can act — see
   /// Controller::next_event_cycle. kNeverCycle when the memory is idle with
@@ -109,6 +145,7 @@ class MemorySystem {
   MemoryConfig cfg_;  // owns the timings the channels reference
   AddressMap map_;
   StatRegistry* stats_;
+  std::vector<std::unique_ptr<StatRegistry>> channel_stats_;
   std::vector<std::unique_ptr<Controller>> controllers_;
   RequestId next_id_ = 1;
   telemetry::EpochSampler* sampler_ = nullptr;

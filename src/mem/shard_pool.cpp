@@ -1,0 +1,192 @@
+#include "mem/shard_pool.h"
+
+#include <algorithm>
+
+#include "telemetry/epoch_sampler.h"
+
+namespace rop::mem {
+
+ShardPool::ShardPool(MemorySystem& memory, std::uint32_t num_shards)
+    : memory_(memory),
+      shared_(memory.stats()),
+      num_shards_(std::clamp(num_shards, 1u, memory.num_channels())) {
+  // Backstop: the sampler should already have seen the mirrored names (see
+  // MemorySystem::mirror_channel_stats), but late assembly paths that skip
+  // the sampler still need the shared-registry destinations for the folds.
+  memory_.mirror_channel_stats();
+
+  channels_.reserve(memory_.num_channels());
+  for (ChannelId ch = 0; ch < memory_.num_channels(); ++ch) {
+    channels_.push_back(ChannelState{&memory_.controller(ch), 0, 0, true});
+  }
+
+  if (memory_.per_channel_stats()) {
+    for (ChannelId ch = 0; ch < memory_.num_channels(); ++ch) {
+      const StatRegistry& reg = memory_.channel_stats(ch);
+      for (const auto& [name, src] : reg.counters()) {
+        folds_.push_back(
+            CounterFold{shared_->counter_handle(name), &src, src.value()});
+      }
+    }
+  }
+
+  for (std::uint32_t w = 1; w < num_shards_; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lk(job_mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ShardPool::advance_channel(ChannelState& cs, Cycle target) {
+  if (cs.next_due > target) return;
+  Controller& ctrl = *cs.ctrl;
+  Cycle due = cs.next_due;
+  do {
+    ctrl.tick(due);
+    due = ctrl.next_event_cycle(due);
+  } while (due <= target);
+  cs.next_due = due;
+  cs.bound_stale = true;
+}
+
+void ShardPool::advance_shard(std::uint32_t shard, Cycle target) {
+  for (std::uint32_t ch = shard;
+       ch < static_cast<std::uint32_t>(channels_.size());
+       ch += num_shards_) {
+    advance_channel(channels_[ch], target);
+  }
+}
+
+void ShardPool::advance_all(Cycle target) {
+  // Dispatch the worker threads only when at least two shards have a span
+  // of due work long enough to amortize the wakeup; the common short hop
+  // (one boundary, one busy channel) runs inline.
+  if (num_shards_ > 1) {
+    std::uint32_t due_shards = 0;
+    Cycle min_due = kNeverCycle;
+    for (std::uint32_t w = 0; w < num_shards_ && due_shards < 2; ++w) {
+      for (std::uint32_t ch = w;
+           ch < static_cast<std::uint32_t>(channels_.size());
+           ch += num_shards_) {
+        if (channels_[ch].next_due <= target) {
+          ++due_shards;
+          min_due = std::min(min_due, channels_[ch].next_due);
+          break;
+        }
+      }
+    }
+    if (due_shards >= 2 && target - min_due >= kParallelSpan) {
+      {
+        std::lock_guard<std::mutex> lk(job_mu_);
+        job_target_ = target;
+        done_count_ = 0;
+        ++job_gen_;
+      }
+      job_cv_.notify_all();
+      advance_shard(0, target);
+      std::unique_lock<std::mutex> lk(job_mu_);
+      done_cv_.wait(lk, [this] { return done_count_ == num_shards_ - 1; });
+      return;
+    }
+  }
+  for (auto& cs : channels_) advance_channel(cs, target);
+}
+
+void ShardPool::worker_main(std::uint32_t shard) {
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    Cycle target;
+    {
+      std::unique_lock<std::mutex> lk(job_mu_);
+      job_cv_.wait(lk, [&] { return stop_ || job_gen_ > seen_gen; });
+      if (stop_) return;
+      seen_gen = job_gen_;
+      target = job_target_;
+    }
+    advance_shard(shard, target);
+    {
+      std::lock_guard<std::mutex> lk(job_mu_);
+      ++done_count_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ShardPool::fold_counters() {
+  for (auto& f : folds_) {
+    const std::uint64_t v = f.src->value();
+    f.dst->inc(v - f.prev);
+    f.prev = v;
+  }
+}
+
+void ShardPool::fold_epochs_through(Cycle target) {
+  telemetry::EpochSampler* const s = memory_.sampler();
+  if (s == nullptr || !s->enabled()) return;
+  while (s->next_boundary() <= target) {
+    const Cycle b = s->next_boundary();
+    // The sample at boundary b reflects state strictly before cycle b:
+    // run every due tick < b, publish the counter deltas, then emit.
+    advance_all(b - 1);
+    fold_counters();
+    s->advance_to(b);
+    if (s->next_boundary() <= b) break;  // closed early; no progress
+  }
+}
+
+void ShardPool::advance_to(Cycle target) {
+  fold_epochs_through(target);
+  advance_all(target);
+}
+
+void ShardPool::sample_to(Cycle target) { fold_epochs_through(target); }
+
+void ShardPool::note_enqueue(ChannelId ch, Cycle now) {
+  ChannelState& cs = channels_.at(ch);
+  // The first tick that can observe an arrival stamped `now` is now + 1
+  // (the naive tick(M) only sees arrivals <= M - 1).
+  cs.next_due = std::min(cs.next_due, now + 1);
+  cs.bound_stale = true;
+}
+
+Cycle ShardPool::next_required_boundary(Cycle pos) {
+  Cycle next = kNeverCycle;
+  for (auto& cs : channels_) {
+    // A cached bound stays a valid lower bound while the channel neither
+    // ticks nor accepts a request; once <= pos it must be refreshed (the
+    // caller just drained, so a fresh bound is always > pos).
+    if (cs.bound_stale || cs.bound <= pos) {
+      cs.bound = cs.ctrl->completion_lower_bound(pos);
+      cs.bound_stale = false;
+    }
+    next = std::min(next, cs.bound);
+  }
+  return next;
+}
+
+void ShardPool::finalize_run(Cycle end) {
+  for (auto& cs : channels_) cs.ctrl->finalize(end);
+  if (memory_.per_channel_stats()) {
+    fold_counters();  // finalize may have moved counters (blocking settle)
+    for (ChannelId ch = 0; ch < memory_.num_channels(); ++ch) {
+      const StatRegistry& reg = memory_.channel_stats(ch);
+      for (const auto& [name, s] : reg.scalars()) {
+        shared_->scalar(name).merge(s);
+      }
+      for (const auto& [name, h] : reg.histograms()) {
+        shared_->histogram(name, h.bucket_width(), h.num_buckets() - 1)
+            .merge(h);
+      }
+    }
+  }
+  if (telemetry::EpochSampler* const s = memory_.sampler()) s->close(end);
+}
+
+}  // namespace rop::mem

@@ -1,0 +1,159 @@
+// ShardPool: per-channel lazy advancement of the memory system, the engine
+// behind cpu::System's `--shard-channels` loop.
+//
+// Channels are independent timing domains: a controller's tick touches only
+// its own channel, rank, refresh-manager, and ROP-engine state, and (with
+// MemoryConfig::per_channel_stats) only its own StatRegistry. The only
+// cross-channel coupling is observational — read completions delivered to
+// the cores, and the epoch sampler's counter snapshots. The pool exploits
+// that: each channel advances through its own next-event recurrence
+//
+//     d' = next_event_cycle(d)   after   tick(d)
+//
+// entirely independently, and the CPU loop only has to visit a memory
+// boundary when some channel could *deliver* a completion
+// (Controller::completion_lower_bound — typically CAS-latency-many cycles
+// later than next_event_cycle, which also fires for internal activity like
+// command issues and refresh phases). Two consequences:
+//
+//  * an enqueue re-arms only the target channel (note_enqueue), where the
+//    serial loop's global mem_dirty_ re-ticks every channel;
+//  * between deliveries, channels that are idle are not ticked at all, and
+//    busy channels batch their whole tick recurrence in one advance_to.
+//
+// Bit-identity with the serial event loop follows from the no-op-tick
+// invariance the determinism suite already pins (naive == event): both
+// loops execute supersets of the true event set, arrivals are stamped at
+// the same cycles (the CPU window structure is unchanged), and completions
+// are drained at the boundary they were produced (advance_to(M) runs every
+// due tick <= M, and the delivery bound guarantees no completion was
+// produced in an unvisited window).
+//
+// Stats: with per-channel registries the pool folds counter deltas into
+// the shared registry just before each epoch boundary (reproducing the
+// serial sampler series exactly — no channel tick between the fold and the
+// snapshot can have moved a counter) and merges scalars/histograms once at
+// finalize, where Scalar's order-independent exact summation makes the
+// merged values bit-identical to serial interleaved recording.
+//
+// Threading: shard w owns channels {ch : ch % num_shards == w}. Worker 0
+// is the calling thread; workers 1..n-1 park on a condition variable and
+// are dispatched only when at least two shards have due work over a span
+// worth the wakeup (kParallelSpan). All controller state is quiescent
+// outside advance_to — the job mutex orders every hand-off, so the main
+// thread may freely read controllers (drain, bounds, finalize) between
+// calls.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "mem/memory_system.h"
+
+namespace rop::mem {
+
+class ShardPool {
+ public:
+  /// `num_shards` is clamped to the channel count. The pool snapshots the
+  /// per-channel registries at construction, so build it after the full
+  /// system (engines included) has registered its stats; it mirrors the
+  /// channel stat names into the shared registry as a backstop (see
+  /// MemorySystem::mirror_channel_stats for why the sampler needs them
+  /// earlier).
+  ShardPool(MemorySystem& memory, std::uint32_t num_shards);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  /// Run every due channel tick with cycle <= target, folding counter
+  /// deltas at each epoch boundary crossed on the way. Called once per
+  /// visited memory window; monotone targets only.
+  void advance_to(Cycle target);
+
+  /// Fold epoch boundaries <= target without advancing past already-due
+  /// work (end-of-run: the serial loop samples the final boundary without
+  /// executing another tick).
+  void sample_to(Cycle target);
+
+  /// A request was accepted by channel `ch` at memory cycle `now`: its
+  /// first observing tick is now + 1, and the cached delivery bound for
+  /// the channel is stale.
+  void note_enqueue(ChannelId ch, Cycle now);
+
+  /// Earliest memory cycle > pos at which any channel could hold a
+  /// deliverable completion — the sharded loop's mem_next_event.
+  /// Conservative-early; exact per-channel bounds are cached and only
+  /// recomputed after the channel ticked or accepted a request.
+  [[nodiscard]] Cycle next_required_boundary(Cycle pos);
+
+  /// Drain completed demand reads, channels in order — the serial
+  /// MemorySystem::for_each_completed sequence.
+  template <typename Fn>
+  void for_each_completed(Fn&& fn) {
+    for (auto& cs : channels_) cs.ctrl->drain_completed_into(fn);
+  }
+
+  /// End of run: finalize every controller (channel order), fold the final
+  /// counter deltas plus all scalars/histograms into the shared registry,
+  /// and close the sampler — the sharded replacement for
+  /// MemorySystem::finalize.
+  void finalize_run(Cycle end);
+
+  [[nodiscard]] std::uint32_t num_shards() const { return num_shards_; }
+
+ private:
+  struct ChannelState {
+    Controller* ctrl = nullptr;
+    /// Next cycle whose tick must execute (the per-channel event clock);
+    /// kNeverCycle parks the channel until note_enqueue re-arms it.
+    Cycle next_due = 0;
+    /// Cached completion_lower_bound; valid while the channel neither
+    /// ticked nor accepted a request since it was computed.
+    Cycle bound = 0;
+    bool bound_stale = true;
+  };
+
+  struct CounterFold {
+    Counter* dst = nullptr;
+    const Counter* src = nullptr;
+    std::uint64_t prev = 0;
+  };
+
+  /// Dispatch spans at least this long (memory cycles) to the worker
+  /// threads; shorter ones run inline — a wakeup costs more than a few
+  /// ticks.
+  static constexpr Cycle kParallelSpan = 64;
+
+  void advance_all(Cycle target);
+  void advance_shard(std::uint32_t shard, Cycle target);
+  static void advance_channel(ChannelState& cs, Cycle target);
+  void fold_counters();
+  void fold_epochs_through(Cycle target);
+  void worker_main(std::uint32_t shard);
+
+  MemorySystem& memory_;
+  StatRegistry* shared_;
+  std::uint32_t num_shards_;
+  std::vector<ChannelState> channels_;
+  std::vector<CounterFold> folds_;
+
+  // Job hand-off: main publishes job_target_ under job_mu_ and bumps
+  // job_gen_; workers run their shard and count themselves done. The mutex
+  // carries all happens-before edges for the controller state.
+  std::vector<std::thread> workers_;
+  std::mutex job_mu_;
+  std::condition_variable job_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;  // main waits for done_count_
+  std::uint64_t job_gen_ = 0;
+  Cycle job_target_ = 0;
+  std::uint32_t done_count_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace rop::mem

@@ -1,0 +1,87 @@
+// Campaign engine: expand a JSON sweep spec into a grid of
+// ExperimentSpecs, run them on a bounded worker pool (budgeted against
+// per-run channel shards; see sim/worker_budget.h), checkpoint every
+// completed cell into a resumable manifest, and merge the per-cell stats
+// documents into one aggregate JSON the figure harnesses can consume.
+//
+// Spec format (all axes optional; missing axes pin their default):
+//
+//   {
+//     "name": "paper-grid",
+//     "instructions_per_core": 200000,
+//     "epoch_cycles": 0,             // > 0 turns on epoch sampling
+//     "check": false,                // SimChecker per cell
+//     "shard_channels": 0,           // per-run channel shards
+//     "axes": {
+//       "benchmark": ["lbm", "wl1"], // names or wl1..wl6 4-core mixes
+//       "mode": ["baseline", "rop"],
+//       "ranks": [1, 4],
+//       "refresh": ["1x", "2x"],
+//       "rank_partition": [false],
+//       "channels": [1],
+//       "llc_mb": [2]
+//     }
+//   }
+//
+// Cells expand in fixed axis order (benchmark, mode, ranks, refresh,
+// rank_partition, channels, llc_mb — last axis fastest), so cell indices
+// and labels are stable across invocations: the manifest checkpoints by
+// index, and a resumed campaign reruns only the missing cells. The merged
+// document excludes wall-clock fields, making an interrupted-then-resumed
+// campaign byte-identical to an uninterrupted one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "sim/experiment.h"
+
+namespace rop::sim {
+
+struct CampaignCell {
+  std::size_t index = 0;
+  std::string label;
+  ExperimentSpec spec;
+};
+
+struct CampaignOptions {
+  std::string spec_path;  // JSON sweep spec
+  std::string out_dir;    // manifest + per-cell + merged documents
+  /// Concurrent cells; 0 derives jobs from hardware_concurrency divided by
+  /// the widest cell's shard count (worker_budget).
+  unsigned jobs = 0;
+  /// Reuse completed cells from an existing manifest (same spec only —
+  /// a fingerprint mismatch starts over).
+  bool resume = true;
+  /// Testing hook: stop claiming new cells after this many fresh
+  /// completions (0 = run to the end). The campaign exits incomplete,
+  /// exactly as if it had been killed between two checkpoints.
+  std::size_t stop_after = 0;
+  /// Stream one progress line per completed cell to stderr.
+  bool progress = true;
+};
+
+struct CampaignSummary {
+  std::size_t total_cells = 0;
+  std::size_t completed_cells = 0;  // cumulative, including resumed ones
+  std::size_t ran_cells = 0;        // fresh completions this invocation
+  std::size_t skipped_cells = 0;    // restored from the manifest
+  bool complete = false;
+  std::string merged_path;  // set when complete: out_dir/merged.json
+};
+
+/// Expand a parsed spec into the cell grid. Returns nullopt and sets
+/// `error` on a malformed spec.
+[[nodiscard]] std::optional<std::vector<CampaignCell>> expand_campaign(
+    const json::Value& spec, std::string* error);
+
+/// Run (or resume) a campaign end to end. Returns nullopt and sets
+/// `error` on spec/IO failures; cell-level simulation failures abort (the
+/// checker's contract).
+[[nodiscard]] std::optional<CampaignSummary> run_campaign(
+    const CampaignOptions& opts, std::string* error);
+
+}  // namespace rop::sim

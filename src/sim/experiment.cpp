@@ -153,10 +153,15 @@ std::string ExperimentResult::to_json() const {
 
 ExperimentResult run_experiment(const ExperimentSpec& spec) {
   ROP_ASSERT(!spec.benchmarks.empty());
+  const bool sharded = spec.shard_channels > 0;
+  ROP_ASSERT(!(sharded && spec.telemetry.tracing()) &&
+             "the trace sink interleaves channels; use the serial loop");
   ExperimentResult result;
 
-  const mem::MemoryConfig mem_cfg =
-      make_memory_config(spec.ranks, spec.mode, spec.refresh_mode);
+  mem::MemoryConfig mem_cfg =
+      make_memory_config(spec.ranks, spec.mode, spec.refresh_mode,
+                         spec.channels);
+  mem_cfg.per_channel_stats = sharded;
   mem::MemorySystem memory(mem_cfg, &result.stats);
 
   // Event trace: attach before anything can issue a command so the timeline
@@ -172,14 +177,24 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   // Opt-in invariant auditor: per-tick structural checks plus an end-of-run
   // conservation audit. Any violation aborts the experiment with a report —
   // a simulator whose bookkeeping has drifted produces meaningless numbers.
-  std::unique_ptr<check::SimChecker> checker;
+  // Sharded runs get one checker per channel so each shard's ticks audit
+  // into shard-owned state (no sharing across workers).
+  std::vector<std::unique_ptr<check::SimChecker>> checkers;
   if (spec.check || checker_enabled_by_environment()) {
-    checker = std::make_unique<check::SimChecker>();
-    checker->attach(memory);
-    if (result.trace) checker->set_trace(result.trace.get());
+    if (sharded) {
+      for (ChannelId ch = 0; ch < memory.num_channels(); ++ch) {
+        checkers.push_back(std::make_unique<check::SimChecker>());
+        checkers.back()->attach(memory, ch);
+      }
+    } else {
+      checkers.push_back(std::make_unique<check::SimChecker>());
+      checkers.back()->attach(memory);
+      if (result.trace) checkers.back()->set_trace(result.trace.get());
+    }
   }
 
-  // ROP engines attach one per channel and live for the whole run.
+  // ROP engines attach one per channel and live for the whole run. Each
+  // records into its channel's registry (the shared one when not sharded).
   std::vector<std::unique_ptr<engine::RopEngine>> engines;
   if (spec.mode == MemoryMode::kRop) {
     for (ChannelId ch = 0; ch < memory.num_channels(); ++ch) {
@@ -187,9 +202,13 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       rop_cfg.seed ^= spec.seed_salt * 0x9e3779b97f4a7c15ULL + ch;
       engines.push_back(std::make_unique<engine::RopEngine>(
           rop_cfg, memory.controller(ch), memory.address_map(),
-          &result.stats));
+          &memory.channel_stats(ch)));
     }
   }
+
+  // All channel-side registrations are done; publish the names into the
+  // shared registry so the sampler (below) resolves handles for them.
+  if (sharded) memory.mirror_channel_stats();
 
   std::vector<std::unique_ptr<workload::SyntheticTrace>> traces;
   std::vector<workload::TraceSource*> trace_ptrs;
@@ -202,8 +221,17 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   cpu::SystemConfig sys_cfg =
       make_system_config(spec.llc_bytes, spec.rank_partition);
   sys_cfg.loop = spec.loop;
-  if (checker) {
-    for (const auto& eng : engines) checker->watch(*eng);
+  sys_cfg.shard_channels = spec.shard_channels;
+  if (!checkers.empty()) {
+    if (sharded) {
+      // Channel-scoped checkers watch only their channel's engine.
+      for (ChannelId ch = 0; ch < static_cast<ChannelId>(engines.size());
+           ++ch) {
+        checkers[ch]->watch(*engines[ch]);
+      }
+    } else {
+      for (const auto& eng : engines) checkers.front()->watch(*eng);
+    }
   }
 
   cpu::System system(sys_cfg, memory, trace_ptrs);
@@ -223,10 +251,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
                                     wall_start)
           .count();
 
-  if (checker) {
+  for (const auto& checker : checkers) {
     checker->finalize();
-    result.checker_ticks = checker->ticks_checked();
-    result.checker_violations = checker->violation_count();
+    result.checker_ticks += checker->ticks_checked();
+    result.checker_violations += checker->violation_count();
     if (!checker->ok()) {
       std::fprintf(stderr, "%s\n", checker->summary().c_str());
       ROP_ASSERT(false && "SimChecker found invariant violations");

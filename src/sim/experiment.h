@@ -24,6 +24,13 @@ struct ExperimentSpec {
   MemoryMode mode = MemoryMode::kBaseline;
   bool rank_partition = false;
   std::uint32_t ranks = 1;
+  /// Memory channels (the paper's Table III point is 1; the sharded loop
+  /// and campaign sweeps extend it).
+  std::uint32_t channels = 1;
+  /// > 0: run the channel-sharded loop with this many shards (clamped to
+  /// the channel count); bit-identical to the serial event loop. Requires
+  /// loop == kEventDriven and no tracing.
+  std::uint32_t shard_channels = 0;
   std::uint64_t llc_bytes = 2ull << 20;
   engine::RopConfig rop{};  // consulted when mode == kRop
   dram::RefreshMode refresh_mode = dram::RefreshMode::k1x;

@@ -3,10 +3,11 @@
 namespace rop::sim {
 
 mem::MemoryConfig make_memory_config(std::uint32_t ranks, MemoryMode mode,
-                                     dram::RefreshMode refresh_mode) {
+                                     dram::RefreshMode refresh_mode,
+                                     std::uint32_t channels) {
   mem::MemoryConfig cfg;
   cfg.timings = dram::make_ddr4_1600_timings(refresh_mode);
-  cfg.org.channels = 1;
+  cfg.org.channels = channels;
   cfg.org.ranks = ranks;
   cfg.org.banks = 8;
     // Page-interleaved: a stream resides in one bank for a whole row (128

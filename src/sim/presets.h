@@ -23,10 +23,13 @@ enum class MemoryMode : std::uint8_t {
   kPerBank,    // per-bank refresh (REFpb), 8x cadence at tRFCpb per bank
 };
 
-/// DDR4-1600, 1 channel, `ranks` ranks of 8 banks (Table III).
+/// DDR4-1600, `channels` channels of `ranks` ranks of 8 banks (Table III
+/// is the 1-channel point; multi-channel extends it for the sharded loop
+/// and the campaign sweeps).
 [[nodiscard]] mem::MemoryConfig make_memory_config(
     std::uint32_t ranks, MemoryMode mode,
-    dram::RefreshMode refresh_mode = dram::RefreshMode::k1x);
+    dram::RefreshMode refresh_mode = dram::RefreshMode::k1x,
+    std::uint32_t channels = 1);
 
 /// Out-of-order-approximation cores at 4x the controller clock with an LLC
 /// of `llc_bytes` (2 MB single-core / 4 MB 4-core in the paper).

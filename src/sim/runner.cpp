@@ -4,6 +4,8 @@
 #include <atomic>
 #include <thread>
 
+#include "sim/worker_budget.h"
+
 namespace rop::sim {
 
 std::vector<ExperimentResult> run_experiments(
@@ -11,11 +13,15 @@ std::vector<ExperimentResult> run_experiments(
   std::vector<ExperimentResult> results(specs.size());
   if (specs.empty()) return results;
 
-  if (n_threads == 0) {
-    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  // Budget the pool against nested parallelism: a spec that runs the
+  // channel-sharded loop brings its own shard workers, so the default
+  // (n_threads == 0) divides hardware_concurrency by the widest spec.
+  unsigned max_shards = 1;
+  for (const ExperimentSpec& spec : specs) {
+    max_shards = std::max(
+        max_shards, std::min(spec.shard_channels, spec.channels));
   }
-  n_threads = static_cast<unsigned>(
-      std::min<std::size_t>(n_threads, specs.size()));
+  n_threads = worker_budget(n_threads, max_shards, specs.size());
 
   // Each worker claims the next unstarted spec and writes its pre-sized
   // result slot; no other state is shared, so scheduling order cannot

@@ -1,0 +1,37 @@
+// Worker-budget policy shared by the experiment runner and the campaign
+// engine: one place that answers "how many concurrent jobs?" so that jobs
+// times per-job shards never oversubscribes the machine.
+//
+// The rule: jobs * shards_per_job <= hardware_concurrency (floored at one
+// job — a single job may still oversubscribe a tiny machine with its own
+// shards; that is the user's explicit choice via --shard-channels). An
+// explicit request is honored verbatim except for the task-count clamp, so
+// `--jobs 1` always means serial.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+
+namespace rop::sim {
+
+/// Number of worker threads to launch for `n_tasks` independent jobs, each
+/// of which may internally run `shards_per_job` shard workers.
+/// `requested_jobs` = 0 derives the budget from hardware_concurrency();
+/// any other value is the user's call. Always in [1, n_tasks] for
+/// n_tasks >= 1.
+[[nodiscard]] inline unsigned worker_budget(unsigned requested_jobs,
+                                            unsigned shards_per_job,
+                                            std::size_t n_tasks) {
+  if (n_tasks == 0) return 1;
+  unsigned jobs = requested_jobs;
+  if (jobs == 0) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned shards = std::max(1u, shards_per_job);
+    jobs = std::max(1u, hw / shards);
+  }
+  return static_cast<unsigned>(
+      std::min<std::size_t>(jobs, n_tasks));
+}
+
+}  // namespace rop::sim

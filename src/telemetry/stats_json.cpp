@@ -150,6 +150,10 @@ void write_registry_sections(JsonWriter& w, const StatRegistry& stats) {
     w.begin_object();
     w.key("count");
     w.value(h.count());
+    // Exact integer sample sum: lets downstream tools (campaign merge)
+    // reconstruct and Histogram::merge without mean-roundtrip error.
+    w.key("sum");
+    w.value(h.sum());
     w.key("mean");
     w.value(h.mean());
     w.key("bucket_width");

@@ -7,7 +7,9 @@
 //   ropsim --benchmark libquantum --mode rop --instructions 20000000
 //   ropsim --benchmark wl1 --mode rop --cores 4 --ranks 4 --llc-mb 4
 //   ropsim --benchmark lbm --compare --jobs 4
+//   ropsim --benchmark wl1 --channels 4 --shard-channels 4
 //   ropsim --trace /path/app.trace --mode baseline
+//   ropsim campaign sweep.json --out results/
 //   ropsim --help
 #include <algorithm>
 #include <cstdio>
@@ -21,6 +23,7 @@
 
 #include "check/sim_checker.h"
 #include "common/table.h"
+#include "sim/campaign.h"
 #include "cpu/system.h"
 #include "energy/dram_power.h"
 #include "mem/memory_system.h"
@@ -46,6 +49,8 @@ struct Options {
   std::string mode = "baseline";
   std::uint32_t cores = 1;
   std::uint32_t ranks = 1;
+  std::uint32_t channels = 1;
+  std::uint32_t shard_channels = 0;
   std::uint64_t llc_mb = 2;
   std::uint64_t instructions = 10'000'000;
   std::uint32_t buffer_lines = 64;
@@ -76,6 +81,10 @@ struct Options {
       "                       pausing | per-bank (default baseline)\n"
       "  --cores N            number of cores (default 1; wl mixes force 4)\n"
       "  --ranks N            DRAM ranks (default 1)\n"
+      "  --channels N         memory channels (default 1)\n"
+      "  --shard-channels N   run the channel-sharded simulation loop with N\n"
+      "                       shard workers (bit-identical to the serial\n"
+      "                       loop; incompatible with --trace-out/--loop)\n"
       "  --llc-mb N           shared LLC size in MiB (default 2)\n"
       "  --instructions N     per-core instruction target (default 10M)\n"
       "  --buffer-lines N     ROP SRAM capacity (default 64)\n"
@@ -106,7 +115,18 @@ struct Options {
       "  --trace-cats CATS    trace categories, comma-separated from\n"
       "                       cmds,refresh,rop,reqs, or all (default all)\n"
       "  --trace-format FMT   json | binary (default json)\n"
-      "  --help\n");
+      "  --help\n"
+      "\n"
+      "campaign mode — expand a JSON sweep spec into a grid of runs with\n"
+      "resumable checkpointing and one merged stats document:\n"
+      "\n"
+      "  ropsim campaign SPEC.json --out DIR [--jobs N] [--no-resume]\n"
+      "                  [--stop-after N] [--quiet]\n"
+      "\n"
+      "  Writes DIR/cell_NNNNNN.json per run, DIR/manifest.json after every\n"
+      "  completed cell, and DIR/merged.json once all cells are done.\n"
+      "  Re-running the same spec resumes from the manifest. See\n"
+      "  docs/PERFORMANCE.md for the spec format.\n");
   std::exit(code);
 }
 
@@ -131,6 +151,10 @@ Options parse(int argc, char** argv) {
       opt.cores = static_cast<std::uint32_t>(std::atoi(need(i)));
     } else if (arg == "--ranks") {
       opt.ranks = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (arg == "--channels") {
+      opt.channels = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (arg == "--shard-channels") {
+      opt.shard_channels = static_cast<std::uint32_t>(std::atoi(need(i)));
     } else if (arg == "--llc-mb") {
       opt.llc_mb = std::strtoull(need(i), nullptr, 10);
     } else if (arg == "--instructions") {
@@ -247,6 +271,8 @@ sim::ExperimentSpec spec_from_options(const Options& opt,
   }
   spec.mode = mode;
   spec.rank_partition = opt.rank_partition;
+  spec.channels = opt.channels;
+  spec.shard_channels = std::min(opt.shard_channels, opt.channels);
   spec.llc_bytes = opt.llc_mb << 20;
   spec.rop.buffer_lines = opt.buffer_lines;
   spec.rop.window_multiple = opt.window_multiple;
@@ -359,9 +385,137 @@ int run_compare(const Options& opt) {
   return 0;
 }
 
+/// --shard-channels N: the manual system assembly below doesn't know about
+/// per-channel registries, so sharded single runs route through
+/// run_experiment, which does. Bit-identical results, same report.
+int run_sharded_single(const Options& opt, sim::MemoryMode mode) {
+  sim::ExperimentSpec spec = spec_from_options(opt, mode);
+  if (!opt.stats_json.empty() || opt.epoch != 0) {
+    spec.telemetry.sampler.epoch_cycles =
+        opt.epoch != 0 ? opt.epoch
+                       : sim::make_memory_config(spec.ranks, spec.mode,
+                                                 spec.refresh_mode)
+                             .timings.tREFI;
+  }
+  std::printf("ropsim: mode=%s ranks=%u channels=%u shards=%u llc=%lluMiB "
+              "refresh=%s\n",
+              opt.mode.c_str(), spec.ranks, spec.channels,
+              spec.shard_channels,
+              static_cast<unsigned long long>(opt.llc_mb),
+              opt.refresh_mode.c_str());
+  const sim::ExperimentResult result = sim::run_experiment(spec);
+  if (result.run.hit_cycle_limit) {
+    std::fprintf(stderr, "warning: cycle limit reached before the target\n");
+  }
+
+  TextTable cores_table("per-core results");
+  cores_table.set_header({"core", "workload", "instructions", "cycles",
+                          "IPC", "mem reads", "writebacks"});
+  for (std::size_t c = 0; c < result.run.cores.size(); ++c) {
+    const auto& r = result.run.cores[c];
+    cores_table.add_row({std::to_string(c), spec.benchmarks[c],
+                         std::to_string(r.instructions),
+                         std::to_string(r.cpu_cycles),
+                         TextTable::fmt(r.ipc, 4),
+                         std::to_string(r.mem_reads),
+                         std::to_string(r.mem_writebacks)});
+  }
+  cores_table.print();
+
+  std::printf("\nenergy: %.3f mJ total (refresh %.3f mJ); refreshes issued: "
+              "%llu\n",
+              result.total_energy_mj(), result.energy.refresh_mj,
+              static_cast<unsigned long long>(result.refreshes));
+  if (const auto* hist =
+          result.stats.find_histogram("mem.read_latency_hist")) {
+    std::printf("read latency: mean %.1f, p50 %.1f, p95 %.1f, p99 %.1f "
+                "cycles\n",
+                result.stats.find_scalar("mem.read_latency")->mean(),
+                hist->percentile(50.0), hist->percentile(95.0),
+                hist->percentile(99.0));
+  }
+  if (result.sram_hit_rate > 0.0) {
+    std::printf("ROP: sram-hit-rate=%.3f lambda=%.2f beta=%.2f\n",
+                result.sram_hit_rate, result.lambda, result.beta);
+  }
+  std::printf("wall: %.2f s (%.1f simulated controller Mcyc/s)\n",
+              result.wall_seconds, result.sim_cycles_per_second() / 1e6);
+
+  if (opt.dump_stats) {
+    std::printf("\n--- raw statistics ---\n%s", result.stats.report().c_str());
+  }
+  if (!opt.stats_json.empty()) {
+    if (!write_file(opt.stats_json, result.to_json())) return 1;
+    std::printf("wrote stats JSON to %s\n", opt.stats_json.c_str());
+  }
+  return result.checker_violations == 0 ? 0 : 1;
+}
+
+/// `ropsim campaign SPEC.json --out DIR [...]`.
+int run_campaign_cli(int argc, char** argv) {
+  sim::CampaignOptions opts;
+  const auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      usage(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      opts.out_dir = need(i);
+    } else if (arg == "--jobs") {
+      opts.jobs = static_cast<unsigned>(std::atoi(need(i)));
+    } else if (arg == "--no-resume") {
+      opts.resume = false;
+    } else if (arg == "--stop-after") {
+      opts.stop_after = static_cast<std::size_t>(
+          std::strtoull(need(i), nullptr, 10));
+    } else if (arg == "--quiet") {
+      opts.progress = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else if (!arg.empty() && arg[0] != '-' && opts.spec_path.empty()) {
+      opts.spec_path = arg;
+    } else {
+      std::fprintf(stderr, "unknown campaign flag: %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+  if (opts.spec_path.empty()) {
+    std::fprintf(stderr, "campaign: missing SPEC.json argument\n");
+    usage(2);
+  }
+  if (opts.out_dir.empty()) {
+    std::fprintf(stderr, "campaign: missing --out DIR\n");
+    usage(2);
+  }
+
+  std::string err;
+  const auto summary = sim::run_campaign(opts, &err);
+  if (!summary) {
+    std::fprintf(stderr, "campaign failed: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("campaign: %zu/%zu cells complete (%zu ran, %zu resumed)\n",
+              summary->completed_cells, summary->total_cells,
+              summary->ran_cells, summary->skipped_cells);
+  if (summary->complete) {
+    std::printf("merged stats: %s\n", summary->merged_path.c_str());
+    return 0;
+  }
+  std::printf("incomplete — re-run the same command to resume\n");
+  // stop_after is a deliberate pause, not a failure.
+  return opts.stop_after > 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "campaign") == 0) {
+    return run_campaign_cli(argc, argv);
+  }
   Options opt = parse(argc, argv);
   if (opt.trace_format != "json" && opt.trace_format != "binary") {
     std::fprintf(stderr, "unknown --trace-format: %s\n",
@@ -381,6 +535,23 @@ int main(int argc, char** argv) {
     return run_compare(opt);
   }
   const sim::MemoryMode mode = parse_mode(opt.mode);
+  if (opt.shard_channels > 0 || opt.channels > 1) {
+    // Multi-channel and sharded runs go through run_experiment (the manual
+    // assembly below is single-channel and knows nothing about per-channel
+    // registries). --shard-channels 0 with --channels N is the serial
+    // multi-channel reference the sharded loop is bit-compared against.
+    if (!opt.trace_path.empty() || !opt.trace_out.empty()) {
+      std::fprintf(stderr, "--channels/--shard-channels do not support "
+                           "--trace or --trace-out\n");
+      return 2;
+    }
+    if (opt.loop != "event") {
+      std::fprintf(stderr, "--channels/--shard-channels require --loop "
+                           "event\n");
+      return 2;
+    }
+    return run_sharded_single(opt, mode);
+  }
 
   // Workloads: a wlN mix, a trace file, or N copies of one profile.
   std::vector<std::string> benchmarks;
