@@ -61,6 +61,7 @@ void SimChecker::on_tick_end(const mem::Controller& ctrl, Cycle now) {
   last_now_ = std::max(last_now_, now);
   check_queue_counters(ctrl, now);
   check_refresh_deadlines(ctrl, now);
+  check_subarray_locks(ctrl, now);
   check_buffer_coherence(ctrl, now);
 }
 
@@ -171,6 +172,50 @@ void SimChecker::check_refresh_deadlines(const mem::Controller& c,
          << ": owed " << rm.owed(r, now) << " refresh units exceeds the "
          << "JEDEC postponement budget " << budget;
       violate(os.str());
+    }
+  }
+}
+
+void SimChecker::check_subarray_locks(const mem::Controller& c, Cycle now) {
+  for (RankId r = 0; r < c.channel().num_ranks(); ++r) {
+    const auto& rank = c.channel().rank(r);
+    for (BankId b = 0; b < rank.num_banks(); ++b) {
+      const auto& bank = rank.bank(b);
+      if (bank.subarrays() <= 1) continue;
+      // At most one subarray refresh in flight per bank.
+      std::uint32_t locked = 0;
+      for (std::uint32_t s = 0; s < bank.subarrays(); ++s) {
+        if (now < bank.subarray_busy_until(s)) ++locked;
+      }
+      if (locked > 1) {
+        std::ostringstream os;
+        os << "[subarray] ch " << c.id() << " rank " << r << " bank " << b
+           << " cycle " << now << ": " << locked
+           << " subarrays locked at once (max 1 REFpb in flight per bank)";
+        violate(os.str());
+      }
+      const auto sub = bank.refreshing_subarray(now);
+      if (!sub.has_value()) continue;
+      // Subarray refresh is not a whole-bank lock: the bank must stay out
+      // of kRefreshing so the other subarrays keep serving.
+      if (bank.state() == dram::BankState::kRefreshing) {
+        std::ostringstream os;
+        os << "[subarray] ch " << c.id() << " rank " << r << " bank " << b
+           << " cycle " << now << ": subarray " << *sub
+           << " refreshing while bank is whole-bank kRefreshing";
+        violate(os.str());
+      }
+      // An open row must never live in the locked subarray: the HiRA
+      // overlap is only legal across *different* subarrays.
+      if (bank.state() == dram::BankState::kActive &&
+          bank.open_row().has_value() &&
+          bank.subarray_of(*bank.open_row()) == *sub) {
+        std::ostringstream os;
+        os << "[subarray] ch " << c.id() << " rank " << r << " bank " << b
+           << " cycle " << now << ": open row " << *bank.open_row()
+           << " lives in refreshing subarray " << *sub;
+        violate(os.str());
+      }
     }
   }
 }

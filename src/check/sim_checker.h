@@ -15,7 +15,12 @@
 //  (b) buffer coherence — the SRAM buffer never holds a line with a queued
 //      newer write on its channel;
 //  (c) refresh deadlines — per-rank owed refreshes never exceed the JEDEC
-//      postponement budget, so every tREFI interval is eventually covered;
+//      postponement budget, so every tREFI interval is eventually covered
+//      (out-of-order per-bank refresh under DARP included);
+//  (c') subarray locks (SARP/HiRA) — a bank with an in-flight subarray
+//      refresh is never whole-bank kRefreshing, at most one of its
+//      subarrays is locked at a time, and an open row never lives in the
+//      locked subarray;
 //  (d) request conservation — enqueued == completed + still-queued +
 //      in-flight per request class, and completion >= arrival for every
 //      retired request.
@@ -94,6 +99,7 @@ class SimChecker final : public mem::ControllerAuditor {
   void violate(std::string msg);
   void check_queue_counters(const mem::Controller& c, Cycle now);
   void check_refresh_deadlines(const mem::Controller& c, Cycle now);
+  void check_subarray_locks(const mem::Controller& c, Cycle now);
   void check_buffer_coherence(const mem::Controller& c, Cycle now);
   void check_conservation();
 

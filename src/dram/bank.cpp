@@ -4,10 +4,59 @@
 
 namespace rop::dram {
 
+void Bank::configure_subarrays(std::uint32_t count, std::uint32_t rows_per_bank) {
+  ROP_ASSERT(count >= 1);
+  ROP_ASSERT(state_ == BankState::kPrecharged && !open_row_);
+  sub_count_ = count;
+  if (count <= 1) {
+    rows_per_sub_ = 0;
+    sub_busy_until_.clear();
+    sub_last_row_.clear();
+    return;
+  }
+  rows_per_sub_ = std::max<std::uint32_t>(1, (rows_per_bank + count - 1) / count);
+  sub_busy_until_.assign(count, 0);
+  sub_last_row_.assign(count, std::nullopt);
+}
+
+std::uint32_t Bank::subarray_of(RowId row) const {
+  if (sub_count_ <= 1) return 0;
+  return std::min<std::uint32_t>(row / rows_per_sub_, sub_count_ - 1);
+}
+
+RowId Bank::subarray_row(std::uint32_t sub) const {
+  return sub_count_ <= 1 ? 0 : static_cast<RowId>(sub) * rows_per_sub_;
+}
+
+Cycle Bank::subarray_busy_until(std::uint32_t sub) const {
+  return sub_count_ <= 1 ? 0 : sub_busy_until_[sub];
+}
+
+std::optional<std::uint32_t> Bank::refreshing_subarray(Cycle now) const {
+  for (std::uint32_t s = 0; s < sub_count_ && sub_count_ > 1; ++s) {
+    if (sub_busy_until_[s] > now) return s;
+  }
+  return std::nullopt;
+}
+
+std::optional<RowId> Bank::subarray_last_row(std::uint32_t sub) const {
+  return sub_count_ <= 1 ? std::nullopt : sub_last_row_[sub];
+}
+
+Cycle Bank::any_subarray_busy_until() const {
+  Cycle latest = 0;
+  for (const Cycle c : sub_busy_until_) latest = std::max(latest, c);
+  return latest;
+}
+
 bool Bank::can_issue(CmdType type, RowId row, Cycle now) const {
   switch (type) {
     case CmdType::kActivate:
-      return state_ == BankState::kPrecharged && now >= next_activate_;
+      if (state_ != BankState::kPrecharged || now < next_activate_)
+        return false;
+      // The target subarray must be out of its refresh-busy interval; the
+      // other subarrays' locks do not block an ACT (SARP parallelism).
+      return sub_count_ <= 1 || now >= sub_busy_until_[subarray_of(row)];
     case CmdType::kPrecharge:
       // PRE on an already-precharged bank is a harmless no-op electrically,
       // but we treat it as illegal to catch controller bugs.
@@ -19,10 +68,24 @@ bool Bank::can_issue(CmdType type, RowId row, Cycle now) const {
       return state_ == BankState::kActive && open_row_ &&
              *open_row_ == row && now >= next_write_;
     case CmdType::kRefresh:
-    case CmdType::kRefreshBank:
       // REF legality is a rank-scope decision; at bank scope it requires
-      // the bank to be precharged and past its precharge-to-activate time.
-      return state_ == BankState::kPrecharged && now >= next_activate_;
+      // the bank to be precharged and past its precharge-to-activate time
+      // (and, with subarrays, no subarray refresh still in flight).
+      return state_ == BankState::kPrecharged && now >= next_activate_ &&
+             now >= any_subarray_busy_until();
+    case CmdType::kRefreshBank:
+      if (sub_count_ <= 1) {
+        return state_ == BankState::kPrecharged && now >= next_activate_;
+      }
+      // Subarray-targeted refresh: at most one per bank in flight. Legal
+      // from kPrecharged (SARP), or — the HiRA overlap — while a row is
+      // open in a *different* subarray; next_activate_ spaces the hidden
+      // activation tRC from the last explicit ACT.
+      if (now < any_subarray_busy_until() || now < next_activate_)
+        return false;
+      if (state_ == BankState::kPrecharged) return true;
+      return state_ == BankState::kActive && open_row_ &&
+             subarray_of(*open_row_) != subarray_of(row);
   }
   return false;
 }
@@ -32,8 +95,12 @@ Cycle Bank::earliest_issue(CmdType type, RowId row) const {
     case CmdType::kActivate:
       // kPrecharged waits out tRP/tRC recovery; kRefreshing is released at
       // next_activate_ (see complete_refresh), after which ACT is legal the
-      // same cycle. Only an open row blocks ACT until someone precharges.
-      return state_ == BankState::kActive ? kNeverCycle : next_activate_;
+      // same cycle; a refresh-locked subarray is released when its busy
+      // interval ends. Only an open row blocks ACT until someone precharges.
+      if (state_ == BankState::kActive) return kNeverCycle;
+      return sub_count_ <= 1
+                 ? next_activate_
+                 : std::max(next_activate_, sub_busy_until_[subarray_of(row)]);
     case CmdType::kPrecharge:
       return state_ == BankState::kActive ? next_precharge_ : kNeverCycle;
     case CmdType::kRead:
@@ -45,8 +112,21 @@ Cycle Bank::earliest_issue(CmdType type, RowId row) const {
                  ? next_write_
                  : kNeverCycle;
     case CmdType::kRefresh:
+      return state_ == BankState::kActive
+                 ? kNeverCycle
+                 : std::max(next_activate_, any_subarray_busy_until());
     case CmdType::kRefreshBank:
-      return state_ == BankState::kActive ? kNeverCycle : next_activate_;
+      if (state_ != BankState::kActive || sub_count_ <= 1) {
+        return state_ == BankState::kActive
+                   ? kNeverCycle
+                   : std::max(next_activate_, any_subarray_busy_until());
+      }
+      // HiRA overlap path: legal once the last ACT's tRC and any in-flight
+      // subarray refresh have elapsed, unless the open row shares the
+      // target subarray.
+      return open_row_ && subarray_of(*open_row_) != subarray_of(row)
+                 ? std::max(next_activate_, any_subarray_busy_until())
+                 : kNeverCycle;
   }
   return kNeverCycle;
 }
@@ -61,6 +141,7 @@ void Bank::issue(CmdType type, RowId row, Cycle now, const DramTimings& t) {
       next_read_ = std::max(next_read_, now + t.tRCD);
       next_write_ = std::max(next_write_, now + t.tRCD);
       next_precharge_ = std::max(next_precharge_, now + t.tRAS);
+      if (sub_count_ > 1) sub_last_row_[subarray_of(row)] = row;
       break;
     case CmdType::kPrecharge:
       state_ = BankState::kPrecharged;
@@ -80,7 +161,17 @@ void Bank::issue(CmdType type, RowId row, Cycle now, const DramTimings& t) {
       begin_refresh(now, t.tRFC);
       break;
     case CmdType::kRefreshBank:
-      begin_refresh(now, t.tRFCpb);
+      if (sub_count_ <= 1) {
+        begin_refresh(now, t.tRFCpb);
+      } else {
+        // Lock only the targeted subarray; the bank state is untouched so
+        // other subarrays keep serving (SARP) and an open row elsewhere
+        // keeps its buffer (HiRA overlap). The refreshed subarray loses
+        // its local row-buffer record.
+        const std::uint32_t sub = subarray_of(row);
+        sub_busy_until_[sub] = now + t.tRFCpb;
+        sub_last_row_[sub].reset();
+      }
       break;
   }
 }

@@ -4,10 +4,19 @@
 // command may legally be issued, updating the constraints whenever a command
 // is accepted. This is the classic DRAMSim-style formulation: legality is a
 // pure function of (state, constraint registers, now).
+//
+// Banks optionally model N subarrays (contiguous row blocks, Chang et al.
+// SARP / HiRA). With subarrays > 1 a per-bank refresh (REFpb) locks only the
+// targeted subarray for tRFCpb — the bank does *not* enter kRefreshing, so
+// activates and column accesses to the other subarrays proceed in parallel.
+// Bank-level legality also permits the HiRA-style overlap (REFpb while a row
+// is open in a *different* subarray); whether that overlap is exploited is a
+// controller-policy decision (SARP only refreshes precharged banks).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/types.h"
 #include "dram/command.h"
@@ -25,6 +34,11 @@ class Bank {
  public:
   Bank() = default;
 
+  /// Switch to the subarray-aware model: `count` subarrays of contiguous
+  /// rows out of `rows_per_bank`. count == 1 keeps the classic whole-bank
+  /// model (bit-identical to the pre-subarray Bank).
+  void configure_subarrays(std::uint32_t count, std::uint32_t rows_per_bank);
+
   [[nodiscard]] BankState state() const { return state_; }
   [[nodiscard]] std::optional<RowId> open_row() const { return open_row_; }
 
@@ -35,6 +49,20 @@ class Bank {
   [[nodiscard]] Cycle next_write() const { return next_write_; }
   [[nodiscard]] Cycle next_precharge() const { return next_precharge_; }
 
+  /// Subarray introspection (checker / telemetry / refresh policies).
+  [[nodiscard]] std::uint32_t subarrays() const { return sub_count_; }
+  [[nodiscard]] std::uint32_t subarray_of(RowId row) const;
+  /// A representative row inside subarray `sub` (REFpb targeting).
+  [[nodiscard]] RowId subarray_row(std::uint32_t sub) const;
+  /// End of the busy interval for `sub` (0 when never refreshed).
+  [[nodiscard]] Cycle subarray_busy_until(std::uint32_t sub) const;
+  /// The subarray still refresh-locked at `now`, if any (at most one REFpb
+  /// is in flight per bank at a time).
+  [[nodiscard]] std::optional<std::uint32_t> refreshing_subarray(
+      Cycle now) const;
+  /// Last row activated in `sub` (the subarray's local row-buffer record).
+  [[nodiscard]] std::optional<RowId> subarray_last_row(std::uint32_t sub) const;
+
   /// Would `cmd` targeting this bank be legal at `now` (bank scope only)?
   [[nodiscard]] bool can_issue(CmdType type, RowId row, Cycle now) const;
 
@@ -43,9 +71,10 @@ class Bank {
   /// Returns kNeverCycle when no passage of time alone can make the command
   /// legal from the current state (e.g. RD to a row that is not open): some
   /// other command must land first, which re-derives the answer. The only
-  /// state transition time *does* perform is the refresh release, which is
-  /// folded in: an ACT against a kRefreshing bank becomes legal at
-  /// next_activate(), the release point recorded by begin_refresh().
+  /// state transitions time *does* perform are the refresh release (an ACT
+  /// against a kRefreshing bank becomes legal at next_activate(), recorded
+  /// by begin_refresh()) and subarray-lock expiry (an ACT into a locked
+  /// subarray becomes legal when its busy interval ends).
   [[nodiscard]] Cycle earliest_issue(CmdType type, RowId row) const;
 
   /// Apply `cmd` at `now`, updating state and constraints. The caller must
@@ -68,12 +97,22 @@ class Bank {
   void defer_write_until(Cycle c) { next_write_ = std::max(next_write_, c); }
 
  private:
+  /// End of the latest subarray busy interval (kRefreshBank legality: only
+  /// one subarray refresh may be in flight per bank).
+  [[nodiscard]] Cycle any_subarray_busy_until() const;
+
   BankState state_ = BankState::kPrecharged;
   std::optional<RowId> open_row_;
   Cycle next_activate_ = 0;
   Cycle next_read_ = 0;
   Cycle next_write_ = 0;
   Cycle next_precharge_ = 0;
+
+  // Subarray model (empty vectors in whole-bank mode).
+  std::uint32_t sub_count_ = 1;
+  std::uint32_t rows_per_sub_ = 0;
+  std::vector<Cycle> sub_busy_until_;
+  std::vector<std::optional<RowId>> sub_last_row_;
 };
 
 }  // namespace rop::dram

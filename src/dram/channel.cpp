@@ -27,7 +27,7 @@ Channel::Channel(const DramTimings& timings, const DramOrganization& org)
   ROP_ASSERT(validate(timings));
   ranks_.reserve(org.ranks);
   for (std::uint32_t r = 0; r < org.ranks; ++r) {
-    ranks_.emplace_back(t_, org.banks);
+    ranks_.emplace_back(t_, org.banks, org.subarrays, org.rows);
   }
 }
 

@@ -4,9 +4,13 @@
 
 namespace rop::dram {
 
-Rank::Rank(const DramTimings& timings, std::uint32_t num_banks)
+Rank::Rank(const DramTimings& timings, std::uint32_t num_banks,
+           std::uint32_t subarrays, std::uint32_t rows_per_bank)
     : t_(timings), banks_(num_banks) {
   ROP_ASSERT(num_banks > 0);
+  if (subarrays > 1) {
+    for (Bank& b : banks_) b.configure_subarrays(subarrays, rows_per_bank);
+  }
 }
 
 bool Rank::all_banks_precharged() const {
@@ -48,7 +52,12 @@ bool Rank::can_issue(const Command& cmd, Cycle now) const {
       });
     }
     case CmdType::kRefreshBank:
-      return bank.can_issue(cmd.type, 0, now);
+      // Subarray-targeted refresh performs a hidden activation internally:
+      // space it tRRD from other activates in the rank (the tFAW window is
+      // deliberately not charged — see DESIGN.md). Whole-bank REFpb keeps
+      // the classic rank-agnostic legality.
+      if (bank.subarrays() > 1 && now < next_activate_) return false;
+      return bank.can_issue(cmd.type, cmd.coord.row, now);
   }
   return false;
 }
@@ -68,9 +77,11 @@ Cycle Rank::earliest_issue(const Command& cmd) const {
     case CmdType::kWrite:
       when = std::max(when, next_column_);
       break;
+    case CmdType::kRefreshBank:
+      if (bank.subarrays() > 1) when = std::max(when, next_activate_);
+      break;
     case CmdType::kPrecharge:
     case CmdType::kRefresh:
-    case CmdType::kRefreshBank:
       break;
   }
   if (refreshing_) when = std::max(when, refresh_done_);
@@ -132,9 +143,16 @@ void Rank::issue(const Command& cmd, Cycle now) {
       refresh_done_ = now + t_.tRFC;
       break;
     case CmdType::kRefreshBank:
-      bank.issue(CmdType::kRefreshBank, 0, now, t_);
+      bank.issue(CmdType::kRefreshBank, cmd.coord.row, now, t_);
       activity_.bank_refresh_cycles += t_.tRFCpb;
-      pb_refreshing_ = true;
+      if (bank.state() == BankState::kRefreshing) {
+        // Whole-bank lock: tick() must release it. Subarray-targeted
+        // refreshes are purely time-based (no kRefreshing transition), but
+        // their hidden activation counts against tRRD like an ACT.
+        pb_refreshing_ = true;
+      } else {
+        next_activate_ = std::max(next_activate_, now + t_.tRRD);
+      }
       break;
   }
 }

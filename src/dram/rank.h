@@ -30,7 +30,10 @@ struct RankActivity {
 
 class Rank {
  public:
-  Rank(const DramTimings& timings, std::uint32_t num_banks);
+  /// `subarrays` > 1 switches every bank to the subarray-aware model (SARP /
+  /// HiRA); `rows_per_bank` sizes the contiguous row blocks.
+  Rank(const DramTimings& timings, std::uint32_t num_banks,
+       std::uint32_t subarrays = 1, std::uint32_t rows_per_bank = 0);
 
   [[nodiscard]] std::uint32_t num_banks() const {
     return static_cast<std::uint32_t>(banks_.size());

@@ -10,10 +10,16 @@ DramTimings make_ddr4_1600_timings(RefreshMode mode) {
     case RefreshMode::k2x:
       t.tREFI = 3120;                  // 3.9 us
       t.tRFC = static_cast<std::uint32_t>(t.ns_to_cycles(260.0));  // 260 ns
+      // Per-bank refresh shrinks with FGR density mode just like the
+      // full-rank tRFC: scale the 1x 90 ns figure by the tRFC ratio.
+      t.tRFCpb = static_cast<std::uint32_t>(
+          t.ns_to_cycles(90.0 * 260.0 / 350.0));  // ~66.9 ns
       break;
     case RefreshMode::k4x:
       t.tREFI = 1560;                  // 1.95 us
       t.tRFC = static_cast<std::uint32_t>(t.ns_to_cycles(160.0));  // 160 ns
+      t.tRFCpb = static_cast<std::uint32_t>(
+          t.ns_to_cycles(90.0 * 160.0 / 350.0));  // ~41.1 ns
       break;
   }
   return t;

@@ -59,8 +59,13 @@ struct DramTimings {
   [[nodiscard]] double cycles_to_ns(Cycle c) const {
     return static_cast<double>(c) * static_cast<double>(tCK_ps) / 1000.0;
   }
+  /// Convert a nanosecond constraint to cycles, rounding *up*: a minimum
+  /// timing constraint (tRFC, tRFCpb, ...) truncated toward zero would let
+  /// the simulator issue one cycle too early whenever ns*1000 is not a
+  /// multiple of tCK_ps.
   [[nodiscard]] Cycle ns_to_cycles(double ns) const {
-    return static_cast<Cycle>(ns * 1000.0 / static_cast<double>(tCK_ps));
+    const std::uint64_t ps = static_cast<std::uint64_t>(ns * 1000.0 + 0.5);
+    return static_cast<Cycle>((ps + tCK_ps - 1) / tCK_ps);
   }
 };
 
@@ -72,6 +77,10 @@ struct DramOrganization {
   std::uint32_t banks = 8;        // DDR4 x8: 8 banks (4 bank groups folded)
   std::uint32_t rows = 1 << 16;   // 64 K rows per bank
   std::uint32_t columns = 128;    // cache lines per row (8 KB row / 64 B)
+  // Subarrays per bank (contiguous row blocks). 1 keeps the classic
+  // whole-bank model; SARP/HiRA presets raise it so a bank can refresh one
+  // subarray while serving accesses to the others (Chang et al., HiRA).
+  std::uint32_t subarrays = 1;
 
   [[nodiscard]] std::uint64_t lines_per_bank() const {
     return static_cast<std::uint64_t>(rows) * columns;

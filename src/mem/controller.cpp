@@ -13,7 +13,11 @@ Controller::Controller(ChannelId id, const dram::DramTimings& timings,
     : id_(id),
       cfg_(cfg),
       channel_(timings, org),
-      rm_(timings, org.ranks, cfg.per_bank_refresh ? org.banks : 1, stats),
+      rm_(timings, org.ranks,
+          cfg.per_bank_refresh || policy_uses_bank_units(cfg.policy)
+              ? org.banks
+              : 1,
+          stats),
       scheduler_(cfg.sched),
       blocking_(org.ranks, timings.tRFC),
       stats_(stats),
@@ -29,11 +33,19 @@ Controller::Controller(ChannelId id, const dram::DramTimings& timings,
       refresh_remaining_(org.ranks, 0),
       refresh_started_(org.ranks, false),
       refresh_window_opened_(org.ranks, false),
-      next_refresh_bank_(org.ranks, 0) {
+      next_refresh_bank_(org.ranks, 0),
+      num_banks_(org.banks),
+      reads_by_bank_count_(static_cast<std::size_t>(org.ranks) * org.banks, 0),
+      writes_by_bank_count_(static_cast<std::size_t>(org.ranks) * org.banks,
+                            0),
+      darp_round_mask_(org.ranks, 0),
+      next_refresh_sub_(static_cast<std::size_t>(org.ranks) * org.banks, 0) {
   ROP_ASSERT(stats != nullptr);
   // Per-bank refresh replaces the whole-rank policies.
   ROP_ASSERT(!cfg.per_bank_refresh ||
              cfg.policy == RefreshPolicy::kAutoRefresh);
+  // Subarray-targeted policies need the subarray-aware bank model.
+  ROP_ASSERT(!policy_uses_subarrays(cfg.policy) || org.subarrays > 1);
   h_.reads = stats->counter_handle("mem.reads");
   h_.writes = stats->counter_handle("mem.writes");
   h_.sram_serviced = stats->counter_handle("mem.sram_serviced");
@@ -43,6 +55,8 @@ Controller::Controller(ChannelId id, const dram::DramTimings& timings,
   h_.refreshes = stats->counter_handle("mem.refreshes");
   h_.bank_refreshes = stats->counter_handle("mem.bank_refreshes");
   h_.refresh_pauses = stats->counter_handle("mem.refresh_pauses");
+  h_.refresh_blocked_cycles =
+      stats->counter_handle("mem.refresh_blocked_cycles");
   h_.prefetch_enqueued = stats->counter_handle("rop.prefetch_enqueued");
   h_.prefetch_issued = stats->counter_handle("rop.prefetch_issued");
   h_.prefetch_dropped = stats->counter_handle("rop.prefetch_dropped");
@@ -128,10 +142,29 @@ bool Controller::enqueue(Request req, Cycle now) {
     read_q_.push_back(idx);
     reads_by_rank_[r].push_back(idx);
     ++pending_reads_[r];
+    ++reads_by_bank_count_[bank_slot(r, req.coord.bank)];
     // A read arriving at the lock cycle itself satisfies `arrival <= lock`
     // and the drain must wait for it too.
     if (locked_at_[r] != kNeverCycle && now <= locked_at_[r]) {
       ++drain_pending_[r];
+    }
+    // Refresh-blocking metric: a read arriving mid-lock is charged the
+    // remaining lock span (issue-time charges cover the reads already
+    // queued when the lock began).
+    const dram::Rank& rank = channel_.rank(r);
+    const dram::Bank& bank = rank.bank(req.coord.bank);
+    if (rank.refreshing()) {
+      if (rank.refresh_done() > now) {
+        charge_refresh_blocking(1, rank.refresh_done() - now);
+      }
+    } else if (bank.state() == dram::BankState::kRefreshing) {
+      if (bank.next_activate() > now) {
+        charge_refresh_blocking(1, bank.next_activate() - now);
+      }
+    } else if (const auto sub = bank.refreshing_subarray(now)) {
+      if (bank.subarray_of(req.coord.row) == *sub) {
+        charge_refresh_blocking(1, bank.subarray_busy_until(*sub) - now);
+      }
     }
   } else {
     h_.writes->inc();
@@ -150,6 +183,7 @@ bool Controller::enqueue(Request req, Cycle now) {
     write_q_.push_back(arena_.alloc(req));
     write_index_.insert(req.line_addr);
     ++pending_writes_[req.coord.rank];
+    ++writes_by_bank_count_[bank_slot(req.coord.rank, req.coord.bank)];
   }
   return true;
 }
@@ -174,6 +208,7 @@ void Controller::on_read_leaves_queue(RankId r, RequestIndex idx,
   ROP_ASSERT(it != by_rank.end());
   by_rank.erase(it);
   --pending_reads_[r];
+  --reads_by_bank_count_[bank_slot(r, req.coord.bank)];
   // Pre-lock reads count toward the drain the refresh is waiting on.
   if (locked_at_[r] != kNeverCycle && req.arrival <= locked_at_[r]) {
     ROP_ASSERT(drain_pending_[r] > 0);
@@ -280,6 +315,8 @@ bool Controller::issue_refresh_commands(RankId r, Cycle now) {
     channel_.issue(ref, now);
     rm_.on_refresh_issued(r);
     blocking_.on_refresh_start(r, now);
+    // Every read still queued to the rank is frozen for the full tRFC.
+    charge_refresh_blocking(pending_reads_[r], channel_.timings().tRFC);
     h_.refreshes->inc();
     phase_[r] = RefreshPhase::kIdle;
     locked_at_[r] = kNeverCycle;
@@ -338,7 +375,10 @@ bool Controller::manage_refresh(Cycle now) {
           phase_[r] = RefreshPhase::kDraining;
           break;
         case RefreshPolicy::kPausing:
-          ROP_ASSERT(false && "kPausing handled by manage_refresh_pausing");
+        case RefreshPolicy::kDarp:
+        case RefreshPolicy::kSarp:
+        case RefreshPolicy::kHira:
+          ROP_ASSERT(false && "policy has a dedicated manage path");
           break;
       }
       if (phase_[r] != RefreshPhase::kIdle) {
@@ -447,6 +487,7 @@ bool Controller::manage_refresh_pausing(Cycle now) {
       }
     }
     channel_.begin_refresh_segment(r, now, duration);
+    charge_refresh_blocking(pending_reads_[r], duration);
     refresh_started_[r] = true;
     refresh_remaining_[r] -= duration;
     if (refresh_remaining_[r] == 0) {
@@ -486,12 +527,176 @@ bool Controller::manage_refresh_per_bank(Cycle now) {
       channel_.issue(refpb, now);
       rm_.on_refresh_issued(r);
       h_.bank_refreshes->inc();
+      charge_refresh_blocking(reads_by_bank_count_[bank_slot(r, b)],
+                              channel_.timings().tRFCpb);
       next_refresh_bank_[r] =
           static_cast<BankId>((b + 1) % rank.num_banks());
       issued = true;
     }
   }
   return issued;
+}
+
+bool Controller::darp_bank_idle(RankId r, BankId b) const {
+  const std::size_t slot = bank_slot(r, b);
+  if (reads_by_bank_count_[slot] != 0) return false;
+  // During write drain reads are off the critical path anyway: a bank with
+  // only writes pending is fair game (DARP's write-refresh
+  // parallelization). Outside drain mode the bank must be fully idle.
+  return draining_writes_ || writes_by_bank_count_[slot] == 0;
+}
+
+BankId Controller::darp_pick_bank(RankId r, bool urgent) const {
+  // Out-of-order selection: any bank not yet refreshed this round whose
+  // queues make it idle. When every candidate has demand the refresh is
+  // postponed — unless the JEDEC budget forces it, in which case the first
+  // un-refreshed bank is taken regardless.
+  const dram::Rank& rank = channel_.rank(r);
+  const std::uint32_t nb = rank.num_banks();
+  const std::uint32_t mask = darp_round_mask_[r];
+  BankId fallback = static_cast<BankId>(nb);
+  for (BankId b = 0; b < nb; ++b) {
+    if ((mask >> b) & 1u) continue;
+    if (rank.bank(b).state() == dram::BankState::kRefreshing) continue;
+    if (darp_bank_idle(r, b)) return b;
+    if (fallback == nb) fallback = b;
+  }
+  return urgent ? fallback : static_cast<BankId>(nb);
+}
+
+bool Controller::manage_refresh_darp(Cycle now) {
+  bool issued = false;
+  for (RankId r = 0; r < channel_.num_ranks(); ++r) {
+    dram::Rank& rank = channel_.rank(r);
+    if (rank.refreshing()) continue;
+    if (rm_.owed(r, now) == 0) continue;
+
+    const bool urgent = rm_.urgent(r, now);
+    const BankId b = darp_pick_bank(r, urgent);
+    if (b >= rank.num_banks()) continue;  // postponed: every candidate busy
+    if (issued) continue;
+
+    dram::Bank& bank = rank.bank(b);
+    if (bank.state() == dram::BankState::kActive) {
+      // An idle-but-open bank (or the forced fallback) is precharged so
+      // REFpb becomes legal next.
+      dram::Command pre{dram::CmdType::kPrecharge, DramCoord{id_, r, b, 0, 0},
+                        0};
+      if (channel_.can_issue(pre, now)) {
+        channel_.issue(pre, now);
+        issued = true;
+      }
+      continue;
+    }
+    dram::Command refpb{dram::CmdType::kRefreshBank,
+                        DramCoord{id_, r, b, 0, 0}, 0};
+    if (channel_.can_issue(refpb, now)) {
+      channel_.issue(refpb, now);
+      rm_.on_refresh_issued(r);
+      h_.bank_refreshes->inc();
+      charge_refresh_blocking(reads_by_bank_count_[bank_slot(r, b)],
+                              channel_.timings().tRFCpb);
+      darp_round_mask_[r] |= 1u << b;
+      const std::uint32_t full = (1u << rank.num_banks()) - 1u;
+      if (darp_round_mask_[r] == full) darp_round_mask_[r] = 0;
+      issued = true;
+    }
+  }
+  return issued;
+}
+
+std::uint64_t Controller::queued_reads_in_subarray(RankId r, BankId b,
+                                                   std::uint32_t sub) const {
+  const dram::Bank& bank = channel_.rank(r).bank(b);
+  std::uint64_t n = 0;
+  for (const RequestIndex idx : reads_by_rank_[r]) {
+    const Request& req = arena_[idx];
+    if (req.coord.bank == b && bank.subarray_of(req.coord.row) == sub) ++n;
+  }
+  return n;
+}
+
+void Controller::record_subarray_refresh(RankId r, BankId b, std::uint32_t sub,
+                                         Cycle now) {
+  // Only reads into the locked subarray are blocked; the rest of the bank
+  // keeps serving (that asymmetry vs. whole-bank REFpb is SARP's win).
+  charge_refresh_blocking(queued_reads_in_subarray(r, b, sub),
+                          channel_.timings().tRFCpb);
+  if (trace_ != nullptr && trace_->wants(telemetry::kCatRefresh)) {
+    telemetry::TraceEvent e;
+    e.ts = now;
+    e.dur = channel_.timings().tRFCpb;
+    e.arg = sub;
+    e.kind = telemetry::EventKind::kSubarrayRefresh;
+    e.category = telemetry::kCatRefresh;
+    e.channel = static_cast<std::uint16_t>(id_);
+    e.rank = static_cast<std::uint16_t>(r);
+    e.bank = static_cast<std::uint16_t>(b);
+    trace_->record(e);
+  }
+}
+
+bool Controller::manage_refresh_subarray(Cycle now) {
+  const bool hira = cfg_.policy == RefreshPolicy::kHira;
+  bool issued = false;
+  for (RankId r = 0; r < channel_.num_ranks(); ++r) {
+    dram::Rank& rank = channel_.rank(r);
+    if (rank.refreshing()) continue;
+    if (rm_.owed(r, now) == 0) continue;
+
+    const bool urgent = rm_.urgent(r, now);
+    const BankId b = next_refresh_bank_[r];
+    dram::Bank& bank = rank.bank(b);
+    const std::uint32_t sub = next_refresh_sub_[bank_slot(r, b)];
+    const RowId row = bank.subarray_row(sub);
+
+    bool attempt = false;
+    if (bank.state() == dram::BankState::kActive) {
+      // SARP waits for a precharged bank; HiRA additionally overlaps the
+      // refresh with an open row in a *different* subarray.
+      const bool conflict =
+          !hira ||
+          (bank.open_row() && bank.subarray_of(*bank.open_row()) == sub);
+      if (conflict) {
+        if (urgent && !issued) {
+          // Budget exhausted: force the row closed so REFpb can go out.
+          dram::Command pre{dram::CmdType::kPrecharge,
+                            DramCoord{id_, r, b, 0, 0}, 0};
+          if (channel_.can_issue(pre, now)) {
+            channel_.issue(pre, now);
+            issued = true;
+          }
+        }
+        continue;  // postponed until the row closes (or urgency forces it)
+      }
+      attempt = true;
+    } else if (bank.state() == dram::BankState::kPrecharged) {
+      attempt = true;
+    }
+    if (!attempt || issued) continue;
+
+    dram::Command refpb{dram::CmdType::kRefreshBank,
+                        DramCoord{id_, r, b, row, 0}, 0};
+    if (channel_.can_issue(refpb, now)) {
+      channel_.issue(refpb, now);
+      rm_.on_refresh_issued(r);
+      h_.bank_refreshes->inc();
+      record_subarray_refresh(r, b, sub, now);
+      // Rotate subarrays within the bank, banks within the rank.
+      next_refresh_sub_[bank_slot(r, b)] =
+          (sub + 1) % std::max<std::uint32_t>(1, bank.subarrays());
+      next_refresh_bank_[r] =
+          static_cast<BankId>((b + 1) % rank.num_banks());
+      issued = true;
+    }
+  }
+  return issued;
+}
+
+void Controller::charge_refresh_blocking(std::uint64_t requests,
+                                         Cycle cycles) {
+  if (requests == 0 || cycles == 0) return;
+  h_.refresh_blocked_cycles->inc(requests * cycles);
 }
 
 void Controller::issue_pick(const SchedulerPick& pick, Cycle now) {
@@ -512,6 +717,7 @@ void Controller::issue_pick(const SchedulerPick& pick, Cycle now) {
     case 0: on_read_leaves_queue(req.coord.rank, idx, req); break;
     case 1:
       --pending_writes_[req.coord.rank];
+      --writes_by_bank_count_[bank_slot(req.coord.rank, req.coord.bank)];
       write_index_.erase(req.line_addr);
       break;
     case 2: --queued_prefetches_[req.coord.rank]; break;
@@ -557,6 +763,10 @@ void Controller::step(Cycle now) {
     bool refresh_cmd = false;
     if (cfg_.per_bank_refresh) {
       refresh_cmd = manage_refresh_per_bank(now);
+    } else if (cfg_.policy == RefreshPolicy::kDarp) {
+      refresh_cmd = manage_refresh_darp(now);
+    } else if (policy_uses_subarrays(cfg_.policy)) {
+      refresh_cmd = manage_refresh_subarray(now);
     } else if (cfg_.policy == RefreshPolicy::kPausing) {
       refresh_cmd = manage_refresh_pausing(now);
     } else {
@@ -641,6 +851,7 @@ void Controller::complete_matching_reads(
     ROP_ASSERT(it != read_q_.end());
     read_q_.erase(it);
     --pending_reads_[rank];
+    --reads_by_bank_count_[bank_slot(rank, req.coord.bank)];
     if (locked_at_[rank] != kNeverCycle && req.arrival <= locked_at_[rank]) {
       ROP_ASSERT(drain_pending_[rank] > 0);
       --drain_pending_[rank];
@@ -699,6 +910,58 @@ Cycle Controller::refresh_event_cycle(RankId r, Cycle now) const {
                                    : dram::CmdType::kRefreshBank;
     return channel_.earliest_issue(
         dram::Command{type, DramCoord{id_, r, b, 0, 0}, 0});
+  }
+
+  if (cfg_.policy == RefreshPolicy::kDarp) {
+    if (rm_.owed(r, now) == 0) return rm_.next_owed_increase(r, now);
+    const bool urgent = rm_.urgent(r, now);
+    const BankId b = darp_pick_bank(r, urgent);
+    const dram::Rank& rank = channel_.rank(r);
+    if (b >= rank.num_banks()) {
+      // Postponed: eligibility changes through commands (queues draining —
+      // the scheduler scan covers those), a per-bank lock release (covered
+      // by earliest_pb_release in next_event_cycle), or the urgency flip
+      // at the next boundary.
+      return rm_.next_owed_increase(r, now);
+    }
+    const dram::CmdType type = rank.bank(b).state() == dram::BankState::kActive
+                                   ? dram::CmdType::kPrecharge
+                                   : dram::CmdType::kRefreshBank;
+    // The boundary crossing can flip urgency and change the pick, so it
+    // bounds the wait even when the chosen command is further out.
+    return std::min(channel_.earliest_issue(
+                        dram::Command{type, DramCoord{id_, r, b, 0, 0}, 0}),
+                    rm_.next_owed_increase(r, now));
+  }
+
+  if (policy_uses_subarrays(cfg_.policy)) {
+    if (rm_.owed(r, now) == 0) return rm_.next_owed_increase(r, now);
+    const dram::Rank& rank = channel_.rank(r);
+    const BankId b = next_refresh_bank_[r];
+    const dram::Bank& bank = rank.bank(b);
+    const std::uint32_t sub = next_refresh_sub_[bank_slot(r, b)];
+    const RowId row = bank.subarray_row(sub);
+    if (bank.state() == dram::BankState::kActive) {
+      const bool conflict =
+          cfg_.policy != RefreshPolicy::kHira ||
+          (bank.open_row() && bank.subarray_of(*bank.open_row()) == sub);
+      if (conflict) {
+        if (!rm_.urgent(r, now)) {
+          // Postponed until the open row closes (a command) or urgency
+          // flips at the next boundary.
+          return rm_.next_owed_increase(r, now);
+        }
+        return std::min(
+            channel_.earliest_issue(dram::Command{
+                dram::CmdType::kPrecharge, DramCoord{id_, r, b, 0, 0}, 0}),
+            rm_.next_owed_increase(r, now));
+      }
+    }
+    return std::min(
+        channel_.earliest_issue(dram::Command{dram::CmdType::kRefreshBank,
+                                              DramCoord{id_, r, b, row, 0},
+                                              0}),
+        rm_.next_owed_increase(r, now));
   }
 
   if (cfg_.policy == RefreshPolicy::kPausing) {

@@ -107,7 +107,35 @@ enum class RefreshPolicy : std::uint8_t {
   /// engine's prefetches, then refresh. Requires an attached RopEngine to
   /// be useful (without one it degrades to drain-then-refresh).
   kRopDrain,
+  /// DARP (Chang et al., HPCA'14): out-of-order per-bank refresh scheduled
+  /// into idle-bank and write-drain windows. A due REFpb goes to a bank
+  /// with no pending demand (during write drain, no pending *reads*);
+  /// when every un-refreshed bank has demand the refresh is postponed,
+  /// forced at the JEDEC budget. A round bitmask keeps the out-of-order
+  /// selection fair: each bank is refreshed once per round of 8.
+  kDarp,
+  /// SARP (same paper): per-bank refresh targets one *subarray* at a time;
+  /// the bank keeps serving accesses to its other subarrays during the
+  /// tRFCpb lock. Requires DramOrganization::subarrays > 1.
+  kSarp,
+  /// HiRA-style overlap (Yaglikci et al., MICRO'22): like kSarp, but the
+  /// subarray refresh (a hidden row activation) may issue while a row is
+  /// open in a *different* subarray of the same bank, overlapping refresh
+  /// with activation instead of waiting for a precharged bank.
+  kHira,
 };
+
+/// Policies that retire refresh obligations one bank-unit at a time
+/// (RefreshManager runs at banks-per-tREFI cadence, like per_bank_refresh).
+[[nodiscard]] constexpr bool policy_uses_bank_units(RefreshPolicy p) {
+  return p == RefreshPolicy::kDarp || p == RefreshPolicy::kSarp ||
+         p == RefreshPolicy::kHira;
+}
+
+/// Policies that target individual subarrays (need org.subarrays > 1).
+[[nodiscard]] constexpr bool policy_uses_subarrays(RefreshPolicy p) {
+  return p == RefreshPolicy::kSarp || p == RefreshPolicy::kHira;
+}
 
 struct ControllerConfig {
   SchedulerConfig sched{};
@@ -354,6 +382,31 @@ class Controller {
   bool issue_refresh_commands(RankId rank, Cycle now);
   bool manage_refresh_per_bank(Cycle now);
   bool manage_refresh_pausing(Cycle now);
+  bool manage_refresh_darp(Cycle now);
+  bool manage_refresh_subarray(Cycle now);
+
+  /// DARP: pick the bank to refresh next on rank `r`, honouring the round
+  /// mask and the idle-bank / write-drain heuristics. Returns num_banks
+  /// when every eligible bank should be postponed (none when urgent).
+  [[nodiscard]] BankId darp_pick_bank(RankId r, bool urgent) const;
+  /// DARP idle test for (r, b): no pending demand, or no pending reads
+  /// while the controller drains writes.
+  [[nodiscard]] bool darp_bank_idle(RankId r, BankId b) const;
+
+  /// Flat per-(rank, bank) slot index for the demand-occupancy counters.
+  [[nodiscard]] std::size_t bank_slot(RankId r, BankId b) const {
+    return static_cast<std::size_t>(r) * num_banks_ + b;
+  }
+
+  /// Charge `cycles` of refresh-induced demand blocking for each of
+  /// `requests` queued reads (see mem.refresh_blocked_cycles).
+  void charge_refresh_blocking(std::uint64_t requests, Cycle cycles);
+  /// Queued reads on rank `r` whose target subarray is `sub` of bank `b`.
+  [[nodiscard]] std::uint64_t queued_reads_in_subarray(RankId r, BankId b,
+                                                      std::uint32_t sub) const;
+  /// Subarray-refresh trace event + blocking charge at REFpb issue.
+  void record_subarray_refresh(RankId r, BankId b, std::uint32_t sub,
+                               Cycle now);
 
   /// next_event_cycle helpers: earliest cycle the refresh machinery for
   /// rank `r` can act or change eligibility (policy-specific), and the
@@ -379,6 +432,13 @@ class Controller {
     Counter* refreshes = nullptr;
     Counter* bank_refreshes = nullptr;
     Counter* refresh_pauses = nullptr;
+    /// Integral of refresh-induced demand blocking, in request-cycles:
+    /// every queued demand read is charged the span during which its
+    /// rank / bank / subarray is locked by an in-flight refresh. The
+    /// scheme-comparison bench uses this as the cross-policy
+    /// "refresh-blocking" metric (event-driven, so it is exact under
+    /// skipped frozen cycles, unlike a per-tick census).
+    Counter* refresh_blocked_cycles = nullptr;
     Counter* prefetch_enqueued = nullptr;
     Counter* prefetch_issued = nullptr;
     Counter* prefetch_dropped = nullptr;
@@ -456,8 +516,22 @@ class Controller {
   /// refresh_remaining_, so "remaining == tRFC" is not a reliable
   /// first-segment test (see docs/CORRECTNESS.md).
   std::vector<bool> refresh_window_opened_;
-  /// per_bank_refresh: round-robin cursor of the next bank to refresh.
+  /// per_bank_refresh / kSarp / kHira: round-robin cursor of the next bank
+  /// to refresh.
   std::vector<BankId> next_refresh_bank_;
+  /// Banks per rank (sizes the flat per-bank counter vectors below).
+  std::uint32_t num_banks_ = 0;
+  /// Per-(rank, bank) queued-demand occupancy, maintained alongside the
+  /// per-rank counters. DARP's idle-bank selection reads these; they are
+  /// cheap enough to keep exact under every policy.
+  std::vector<std::uint32_t> reads_by_bank_count_;
+  std::vector<std::uint32_t> writes_by_bank_count_;
+  /// kDarp: bitmask of banks already refreshed in the current round (reset
+  /// when all banks are set) — out-of-order selection stays fair.
+  std::vector<std::uint32_t> darp_round_mask_;
+  /// kSarp / kHira: per-(rank, bank) cursor of the next subarray to
+  /// refresh (flat bank_slot indexing).
+  std::vector<std::uint32_t> next_refresh_sub_;
 
   /// Event recorder for the telemetry timelines; null in the common case
   /// (every hook is a pointer compare). Kept at the cold end of the class

@@ -21,35 +21,20 @@ namespace fs = std::filesystem;
 // ---------------------------------------------------------------------------
 // Spec parsing helpers.
 
+// Scheme and refresh-mode names delegate to the shared preset-layer parser
+// (sim/presets.h) — the single source of truth the ropsim CLI uses too, so
+// campaign specs and --mode flags cannot drift.
 bool parse_mode(const std::string& s, MemoryMode* out) {
-  if (s == "baseline") {
-    *out = MemoryMode::kBaseline;
-  } else if (s == "norefresh") {
-    *out = MemoryMode::kNoRefresh;
-  } else if (s == "rop") {
-    *out = MemoryMode::kRop;
-  } else if (s == "elastic") {
-    *out = MemoryMode::kElastic;
-  } else if (s == "pausing") {
-    *out = MemoryMode::kPausing;
-  } else if (s == "perbank") {
-    *out = MemoryMode::kPerBank;
-  } else {
-    return false;
-  }
+  const auto mode = parse_memory_mode(s);
+  if (!mode) return false;
+  *out = *mode;
   return true;
 }
 
 bool parse_refresh(const std::string& s, dram::RefreshMode* out) {
-  if (s == "1x") {
-    *out = dram::RefreshMode::k1x;
-  } else if (s == "2x") {
-    *out = dram::RefreshMode::k2x;
-  } else if (s == "4x") {
-    *out = dram::RefreshMode::k4x;
-  } else {
-    return false;
-  }
+  const auto mode = parse_refresh_mode(s);
+  if (!mode) return false;
+  *out = *mode;
   return true;
 }
 

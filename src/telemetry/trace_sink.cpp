@@ -51,6 +51,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kStaleDrop: return "stale_drop";
     case EventKind::kPrefetchDrop: return "prefetch_drop";
     case EventKind::kReadSpan: return "read";
+    case EventKind::kSubarrayRefresh: return "subarray_refresh";
   }
   return "?";
 }
@@ -178,6 +179,12 @@ void TraceSink::write_json(std::ostream& os) const {
       case EventKind::kPauseSegment:
         out += "\"cycles\":";
         append_u64(out, e.dur);
+        break;
+      case EventKind::kSubarrayRefresh:
+        out += "\"bank\":";
+        append_u64(out, e.bank);
+        out += ",\"subarray\":";
+        append_u64(out, e.arg);
         break;
       case EventKind::kPrefetchFill:
       case EventKind::kBufferHit:

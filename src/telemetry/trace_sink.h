@@ -57,6 +57,7 @@ enum class EventKind : std::uint8_t {
   kStaleDrop,      // fill dropped: newer write queued; arg = line
   kPrefetchDrop,   // queued prefetch flushed at seal; arg = line
   kReadSpan,       // demand read arrival -> completion; arg = ServicedBy
+  kSubarrayRefresh,  // tRFCpb subarray lock (SARP/HiRA); arg = subarray
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind kind);

@@ -102,6 +102,39 @@ TEST(CampaignExpand, NineCellGridWithStableIndices) {
   EXPECT_EQ((*cells)[1].spec.refresh_mode, dram::RefreshMode::k2x);
 }
 
+TEST(CampaignExpand, EverySchemeNameRoundTripsThroughACampaignSpec) {
+  // The campaign loader and the ropsim CLI share one parser (sim/presets);
+  // every canonical scheme name must round-trip name -> parse -> name and
+  // expand to a campaign cell running that mode.
+  std::string err;
+  for (const MemoryMode mode : kAllMemoryModes) {
+    const std::string name = memory_mode_name(mode);
+    const auto parsed = parse_memory_mode(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, mode) << name;
+
+    const auto spec = json::parse(
+        R"({"axes": {"benchmark": ["libquantum"], "mode": [")" + name +
+        R"("]}})", &err);
+    ASSERT_TRUE(spec.has_value()) << err;
+    const auto cells = expand_campaign(*spec, &err);
+    ASSERT_TRUE(cells.has_value()) << name << ": " << err;
+    ASSERT_EQ(cells->size(), 1u);
+    EXPECT_EQ((*cells)[0].spec.mode, mode) << name;
+  }
+  // Compact aliases historically used in campaign specs stay valid.
+  EXPECT_EQ(parse_memory_mode("norefresh"), MemoryMode::kNoRefresh);
+  EXPECT_EQ(parse_memory_mode("perbank"), MemoryMode::kPerBank);
+  EXPECT_FALSE(parse_memory_mode("warp-drive").has_value());
+  // Refresh modes round-trip through the same shared parser.
+  for (const dram::RefreshMode rm :
+       {dram::RefreshMode::k1x, dram::RefreshMode::k2x,
+        dram::RefreshMode::k4x}) {
+    EXPECT_EQ(parse_refresh_mode(refresh_mode_name(rm)), rm);
+  }
+  EXPECT_FALSE(parse_refresh_mode("8x").has_value());
+}
+
 TEST(CampaignExpand, WorkloadMixesAndErrors) {
   std::string err;
   const auto mix = json::parse(

@@ -64,6 +64,41 @@ TEST(Timing, UnitConversionRoundTrip) {
   EXPECT_EQ(t.ns_to_cycles(t.cycles_to_ns(123)), 123u);
 }
 
+TEST(Timing, NsToCyclesRoundsUpNonDivisibleValues) {
+  // Regression: ns_to_cycles used to truncate, so a duration that does not
+  // divide the clock period evenly was reported one cycle SHORT — an
+  // optimistic timing violation (e.g. 100.3 ns @ 1.25 ns/cycle is 80.24
+  // cycles and must cost 81, not 80).
+  const DramTimings t = make_ddr4_1600_timings();
+  EXPECT_EQ(t.ns_to_cycles(100.3), 81u);
+  EXPECT_EQ(t.ns_to_cycles(0.1), 1u);    // any nonzero time costs a cycle
+  EXPECT_EQ(t.ns_to_cycles(1.25), 1u);   // exact values stay exact
+  EXPECT_EQ(t.ns_to_cycles(350.0), 280u);
+  EXPECT_EQ(t.ns_to_cycles(90.0), 72u);
+  EXPECT_EQ(t.ns_to_cycles(0.0), 0u);
+}
+
+TEST(Timing, PerBankRfcScalesWithFineGrainedRefresh) {
+  // Regression: k2x/k4x used to leave tRFCpb at the k1x value (72 cycles =
+  // 90 ns), so per-bank refresh under FGR paid the FULL-rate per-bank cost
+  // at 2x/4x the cadence. It must shrink with the same JEDEC ratio as tRFC.
+  const DramTimings t1 = make_ddr4_1600_timings(RefreshMode::k1x);
+  const DramTimings t2 = make_ddr4_1600_timings(RefreshMode::k2x);
+  const DramTimings t4 = make_ddr4_1600_timings(RefreshMode::k4x);
+  EXPECT_EQ(t1.tRFCpb, 72u);
+  EXPECT_LT(t2.tRFCpb, t1.tRFCpb);
+  EXPECT_LT(t4.tRFCpb, t2.tRFCpb);
+  // Same non-proportional shrink ratio as the whole-rank tRFC table
+  // (260/350 at 2x, 160/350 at 4x), rounded up to whole cycles.
+  EXPECT_EQ(t2.tRFCpb, t1.ns_to_cycles(90.0 * 260.0 / 350.0));
+  EXPECT_EQ(t4.tRFCpb, t1.ns_to_cycles(90.0 * 160.0 / 350.0));
+  for (const DramTimings& t : {t1, t2, t4}) {
+    EXPECT_TRUE(validate(t));
+    EXPECT_LT(t.tRFCpb, t.tRFC);
+    EXPECT_GT(t.tRFCpb, 0u);
+  }
+}
+
 TEST(Timing, OrganizationCapacity) {
   DramOrganization org;  // defaults: 1ch, 1 rank, 8 banks, 64K rows, 128 col
   EXPECT_EQ(org.lines_per_bank(), 64ull * 1024 * 128);

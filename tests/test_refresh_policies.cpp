@@ -274,5 +274,127 @@ TEST_F(RefreshPolicyTest, AllPoliciesKeepRefreshAverageOverLongRun) {
   }
 }
 
+// --- DARP / SARP / HiRA (refresh–access parallelism schemes) -----------
+
+TEST_F(RefreshPolicyTest, DarpMaintainsPerBankRefreshAverage) {
+  StatRegistry stats;
+  MemorySystem mem(config(RefreshPolicy::kDarp), &stats);
+  const Cycle trefi = mem.config().timings.tREFI;
+  const auto out = run_stream(mem, stats, 20 * trefi, 15);
+  EXPECT_EQ(out.completed, out.accepted);
+  // Bank-granularity obligations: 8 units per tREFI. DARP reorders and
+  // postpones but may never fall behind by more than the JEDEC budget.
+  const auto units = mem.controller(0).refresh_manager().issued(0);
+  EXPECT_GE(units, 20u * 8 - mem.config().timings.max_postponed_refreshes);
+  EXPECT_LE(units, 20u * 8 + 8);
+  EXPECT_EQ(stats.counter_value("mem.bank_refreshes"), units);
+  EXPECT_EQ(stats.counter_value("mem.refreshes"), 0u);  // never a full REF
+}
+
+TEST_F(RefreshPolicyTest, SubarrayPoliciesMaintainRefreshAverage) {
+  for (const RefreshPolicy policy :
+       {RefreshPolicy::kSarp, RefreshPolicy::kHira}) {
+    StatRegistry stats;
+    MemoryConfig cfg = config(policy);
+    cfg.org.subarrays = 8;
+    MemorySystem mem(cfg, &stats);
+    const Cycle trefi = mem.config().timings.tREFI;
+    const auto out = run_stream(mem, stats, 20 * trefi, 15);
+    EXPECT_EQ(out.completed, out.accepted)
+        << "policy " << static_cast<int>(policy);
+    const auto units = mem.controller(0).refresh_manager().issued(0);
+    EXPECT_GE(units, 20u * 8 - mem.config().timings.max_postponed_refreshes)
+        << "policy " << static_cast<int>(policy);
+    EXPECT_LE(units, 20u * 8 + 8) << "policy " << static_cast<int>(policy);
+  }
+}
+
+TEST_F(RefreshPolicyTest, DarpAndSarpReduceRefreshBlockingVsAutoRefresh) {
+  // The acceptance metric: request-cycles queued demand spends behind an
+  // in-flight refresh lock. DARP steers REFpb into idle banks, SARP locks
+  // 1/8th of a bank — both must beat the all-rank freeze of auto-refresh
+  // on a memory-intensive stream.
+  const auto blocked = [&](RefreshPolicy policy, std::uint32_t subarrays) {
+    StatRegistry stats;
+    MemoryConfig cfg = config(policy);
+    cfg.org.subarrays = subarrays;
+    MemorySystem mem(cfg, &stats);
+    const Cycle trefi = mem.config().timings.tREFI;
+    run_stream(mem, stats, 30 * trefi, 12);
+    return stats.counter_value("mem.refresh_blocked_cycles");
+  };
+  const auto base = blocked(RefreshPolicy::kAutoRefresh, 1);
+  const auto darp = blocked(RefreshPolicy::kDarp, 1);
+  const auto sarp = blocked(RefreshPolicy::kSarp, 8);
+  const auto hira = blocked(RefreshPolicy::kHira, 8);
+  EXPECT_GT(base, 0u);
+  EXPECT_LT(darp, base);
+  EXPECT_LT(sarp, base);
+  EXPECT_LT(hira, base);
+}
+
+TEST_F(RefreshPolicyTest, NewSchemesConserveRequestsUnderRandomLoad) {
+  struct Case {
+    RefreshPolicy policy;
+    std::uint32_t subarrays;
+  };
+  for (const Case c : {Case{RefreshPolicy::kDarp, 1},
+                       Case{RefreshPolicy::kSarp, 8},
+                       Case{RefreshPolicy::kHira, 8}}) {
+    StatRegistry stats;
+    MemoryConfig cfg = config(c.policy);
+    cfg.org.ranks = 2;
+    cfg.org.subarrays = c.subarrays;
+    MemorySystem mem(cfg, &stats);
+    Rng rng(417);
+    std::uint64_t accepted = 0, completed = 0;
+    const Cycle horizon = 6 * cfg.timings.tREFI;
+    for (Cycle now = 0; now < horizon; ++now) {
+      if (now % 7 == 0) {
+        const Address addr = rng.next_below(1 << 22) << kLineShift;
+        if (mem.can_accept(addr, ReqType::kRead) &&
+            mem.enqueue(addr, ReqType::kRead, 0, now)) {
+          ++accepted;
+        }
+      }
+      mem.tick(now);
+      completed += mem.drain_completed().size();
+    }
+    for (Cycle now = horizon;
+         completed < accepted && now < horizon + 100'000; ++now) {
+      mem.tick(now);
+      completed += mem.drain_completed().size();
+    }
+    EXPECT_EQ(completed, accepted)
+        << "policy " << static_cast<int>(c.policy);
+  }
+}
+
+TEST_F(RefreshPolicyTest, DarpNeverExceedsPostponementBudgetUnderSaturation) {
+  StatRegistry stats;
+  MemoryConfig cfg = config(RefreshPolicy::kDarp);
+  cfg.org.ranks = 2;
+  MemorySystem mem(cfg, &stats);
+  const Cycle trefi = mem.config().timings.tREFI;
+  const auto budget = mem.config().timings.max_postponed_refreshes;
+  Rng rng(1337);
+  std::uint32_t max_owed = 0;
+  for (Cycle now = 0; now < 20 * trefi; ++now) {
+    if (now % 3 == 0) {
+      const Address addr = rng.next_below(1u << 22) << kLineShift;
+      if (mem.can_accept(addr, ReqType::kRead)) {
+        (void)mem.enqueue(addr, ReqType::kRead, 0, now);
+      }
+    }
+    mem.tick(now);
+    mem.drain_completed();
+    const auto& rm = mem.controller(0).refresh_manager();
+    for (RankId r = 0; r < cfg.org.ranks; ++r) {
+      max_owed = std::max(max_owed, rm.owed(r, now));
+    }
+  }
+  EXPECT_LE(max_owed, budget);
+}
+
 }  // namespace
 }  // namespace rop::mem

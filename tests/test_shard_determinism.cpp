@@ -91,7 +91,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllModes, ShardDeterminism,
     ::testing::Values(MemoryMode::kBaseline, MemoryMode::kRop,
                       MemoryMode::kElastic, MemoryMode::kPausing,
-                      MemoryMode::kPerBank),
+                      MemoryMode::kPerBank, MemoryMode::kDarp,
+                      MemoryMode::kSarp, MemoryMode::kHira),
     [](const ::testing::TestParamInfo<MemoryMode>& param_info) {
       switch (param_info.param) {
         case MemoryMode::kBaseline: return "Baseline";
@@ -100,6 +101,9 @@ INSTANTIATE_TEST_SUITE_P(
         case MemoryMode::kElastic: return "Elastic";
         case MemoryMode::kPausing: return "Pausing";
         case MemoryMode::kPerBank: return "PerBank";
+        case MemoryMode::kDarp: return "Darp";
+        case MemoryMode::kSarp: return "Sarp";
+        case MemoryMode::kHira: return "Hira";
       }
       return "Unknown";
     });

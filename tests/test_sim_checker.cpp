@@ -23,6 +23,7 @@ class SimCheckerTest : public ::testing::Test {
     cfg.org.ranks = ranks;
     cfg.org.channels = channels;
     cfg.ctrl.policy = policy;
+    if (mem::policy_uses_subarrays(policy)) cfg.org.subarrays = 8;
     return cfg;
   }
 
@@ -55,7 +56,9 @@ class SimCheckerTest : public ::testing::Test {
 TEST_F(SimCheckerTest, CleanRunUnderEveryPolicy) {
   const mem::RefreshPolicy policies[] = {
       mem::RefreshPolicy::kAutoRefresh, mem::RefreshPolicy::kElastic,
-      mem::RefreshPolicy::kPausing, mem::RefreshPolicy::kRopDrain};
+      mem::RefreshPolicy::kPausing,     mem::RefreshPolicy::kRopDrain,
+      mem::RefreshPolicy::kDarp,        mem::RefreshPolicy::kSarp,
+      mem::RefreshPolicy::kHira};
   for (const auto policy : policies) {
     StatRegistry stats;
     mem::MemorySystem mem(config(policy), &stats);
@@ -114,7 +117,9 @@ TEST_F(SimCheckerTest, CleanRunWithRopEngineAndBufferCoherence) {
 TEST_F(SimCheckerTest, RandomizedMultiPolicySoak) {
   const mem::RefreshPolicy policies[] = {
       mem::RefreshPolicy::kAutoRefresh, mem::RefreshPolicy::kElastic,
-      mem::RefreshPolicy::kPausing, mem::RefreshPolicy::kRopDrain};
+      mem::RefreshPolicy::kPausing,     mem::RefreshPolicy::kRopDrain,
+      mem::RefreshPolicy::kDarp,        mem::RefreshPolicy::kSarp,
+      mem::RefreshPolicy::kHira};
   for (const auto policy : policies) {
     for (const bool with_rop : {false, true}) {
       for (std::uint64_t seed = 1; seed <= 3; ++seed) {
@@ -163,7 +168,8 @@ TEST_F(SimCheckerTest, ReportsRetiredRequestWithCompletionBeforeArrival) {
 
 TEST_F(SimCheckerTest, ExperimentWiringRunsCheckedEndToEnd) {
   for (const auto mode : {sim::MemoryMode::kBaseline, sim::MemoryMode::kRop,
-                          sim::MemoryMode::kPausing}) {
+                          sim::MemoryMode::kPausing, sim::MemoryMode::kDarp,
+                          sim::MemoryMode::kSarp, sim::MemoryMode::kHira}) {
     sim::ExperimentSpec spec = sim::single_core_spec("libquantum", mode);
     spec.instructions_per_core = 150'000;
     spec.check = true;
@@ -184,7 +190,8 @@ TEST_F(SimCheckerTest, EventCoreSoakStaysCleanUnderEveryPolicy) {
   for (const auto mode :
        {sim::MemoryMode::kBaseline, sim::MemoryMode::kRop,
         sim::MemoryMode::kElastic, sim::MemoryMode::kPausing,
-        sim::MemoryMode::kPerBank}) {
+        sim::MemoryMode::kPerBank, sim::MemoryMode::kDarp,
+        sim::MemoryMode::kSarp, sim::MemoryMode::kHira}) {
     SCOPED_TRACE(testing::Message() << "mode=" << static_cast<int>(mode));
     sim::ExperimentSpec naive =
         sim::multi_core_spec(1, mode, /*rank_partition=*/true);

@@ -78,7 +78,8 @@ struct Options {
       "                       for a 4-core mix (default libquantum)\n"
       "  --trace PATH         replay a text trace file instead\n"
       "  --mode MODE          baseline | no-refresh | rop | elastic |\n"
-      "                       pausing | per-bank (default baseline)\n"
+      "                       pausing | per-bank | darp | sarp | hira\n"
+      "                       (default baseline)\n"
       "  --cores N            number of cores (default 1; wl mixes force 4)\n"
       "  --ranks N            DRAM ranks (default 1)\n"
       "  --channels N         memory channels (default 1)\n"
@@ -202,28 +203,22 @@ Options parse(int argc, char** argv) {
 }
 
 sim::MemoryMode parse_mode(const std::string& s) {
-  static const std::map<std::string, sim::MemoryMode> kModes = {
-      {"baseline", sim::MemoryMode::kBaseline},
-      {"no-refresh", sim::MemoryMode::kNoRefresh},
-      {"rop", sim::MemoryMode::kRop},
-      {"elastic", sim::MemoryMode::kElastic},
-      {"pausing", sim::MemoryMode::kPausing},
-      {"per-bank", sim::MemoryMode::kPerBank},
-  };
-  const auto it = kModes.find(s);
-  if (it == kModes.end()) {
+  // Shared preset-layer parser: the same names work in campaign specs.
+  const auto mode = sim::parse_memory_mode(s);
+  if (!mode) {
     std::fprintf(stderr, "unknown mode: %s\n", s.c_str());
     usage(2);
   }
-  return it->second;
+  return *mode;
 }
 
 dram::RefreshMode parse_refresh(const std::string& s) {
-  if (s == "1x") return dram::RefreshMode::k1x;
-  if (s == "2x") return dram::RefreshMode::k2x;
-  if (s == "4x") return dram::RefreshMode::k4x;
-  std::fprintf(stderr, "unknown refresh mode: %s\n", s.c_str());
-  usage(2);
+  const auto mode = sim::parse_refresh_mode(s);
+  if (!mode) {
+    std::fprintf(stderr, "unknown refresh mode: %s\n", s.c_str());
+    usage(2);
+  }
+  return *mode;
 }
 
 cpu::LoopMode parse_loop(const std::string& s) {
@@ -297,6 +292,9 @@ int run_compare(const Options& opt) {
       {"elastic", sim::MemoryMode::kElastic},
       {"pausing", sim::MemoryMode::kPausing},
       {"per-bank", sim::MemoryMode::kPerBank},
+      {"darp", sim::MemoryMode::kDarp},
+      {"sarp", sim::MemoryMode::kSarp},
+      {"hira", sim::MemoryMode::kHira},
       {"no-refresh", sim::MemoryMode::kNoRefresh},
   };
 
