@@ -63,12 +63,25 @@ class Llc {
 
   void reset();
 
+  /// Snapshot serialization: the full tag/LRU array and the stat mirror.
+  /// Config-derived geometry and the bound stat handles do not ride.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(ways_, mru_, clock_, stats_.accesses, stats_.hits, stats_.misses,
+       stats_.writebacks);
+  }
+
  private:
   struct Way {
     std::uint64_t tag = 0;
     std::uint64_t lru = 0;  // larger = more recently used
     bool valid = false;
     bool dirty = false;
+
+    template <class Ar>
+    void io(Ar& ar) {
+      ar(tag, lru, valid, dirty);
+    }
   };
 
   [[nodiscard]] std::uint32_t set_index(Address addr) const;

@@ -94,6 +94,16 @@ class Rng {
     return state_;
   }
 
+  /// Restore a snapshot taken with state(): the stream continues exactly
+  /// where the captured generator left off (checkpoint/restore).
+  void set_state(const std::array<std::uint64_t, 4>& s) { state_ = s; }
+
+  /// Snapshot serialization (see common/snapshot_io.h).
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(state_);
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

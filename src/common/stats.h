@@ -24,6 +24,12 @@ class Counter {
   /// Fold another counter in (channel-shard and campaign aggregation).
   void merge(const Counter& other) { value_ += other.value_; }
 
+  /// Snapshot serialization (see common/snapshot_io.h).
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(value_);
+  }
+
  private:
   std::uint64_t value_ = 0;
 };
@@ -60,6 +66,14 @@ class Scalar {
   /// Fold another scalar in. Exact: both expansions represent their true
   /// sums, so the merged expansion represents the pooled true sum.
   void merge(const Scalar& other);
+
+  /// Snapshot serialization. The partial expansion is serialized verbatim
+  /// (each partial bit-exact via bit_cast), so the restored Scalar produces
+  /// the same correctly-rounded sum() and keeps merging exactly.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(count_, partials_, min_, max_);
+  }
 
  private:
   /// Grow the expansion by `x` (error-free transformation per partial).
@@ -170,6 +184,13 @@ class Histogram {
     sum_ = 0;
   }
 
+  /// Snapshot serialization. Geometry rides along so a restored registry
+  /// can recreate histograms that only the running simulation registers.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(width_, buckets_, count_, sum_);
+  }
+
   /// Fold another histogram in. Exact for every derived statistic
   /// (percentiles, mean): bucket counts and the integer sample sum add.
   /// Both histograms must share the bucket geometry.
@@ -242,6 +263,57 @@ class StatRegistry {
 
   /// Render "name value" lines, sorted by name, for debugging dumps.
   [[nodiscard]] std::string report() const;
+
+  /// Snapshot serialization. Values restore *into* the existing entries
+  /// (created when the simulator was assembled), so Counter*/Scalar*/
+  /// Histogram* handles cached by subsystems stay valid across a restore.
+  /// Entries present in the snapshot but not yet registered are created.
+  template <class Ar>
+  void io(Ar& ar) {
+    if constexpr (Ar::kIsReader) {
+      std::uint64_t n = 0;
+      ar(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::string name;
+        ar(name);
+        ar.field(counters_[name]);
+      }
+      ar(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::string name;
+        ar(name);
+        ar.field(scalars_[name]);
+      }
+      ar(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::string name;
+        ar(name);
+        ar.field(histograms_[name]);
+      }
+    } else {
+      std::uint64_t n = counters_.size();
+      ar(n);
+      for (auto& [name, c] : counters_) {
+        std::string key = name;
+        ar(key);
+        ar.field(c);
+      }
+      n = scalars_.size();
+      ar(n);
+      for (auto& [name, s] : scalars_) {
+        std::string key = name;
+        ar(key);
+        ar.field(s);
+      }
+      n = histograms_.size();
+      ar(n);
+      for (auto& [name, h] : histograms_) {
+        std::string key = name;
+        ar(key);
+        ar.field(h);
+      }
+    }
+  }
 
  private:
   std::map<std::string, Counter> counters_;

@@ -41,6 +41,12 @@ struct DramCoord {
   ColumnId column = 0;
 
   bool operator==(const DramCoord&) const = default;
+
+  /// Snapshot serialization (see common/snapshot_io.h).
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(channel, rank, bank, row, column);
+  }
 };
 
 /// Lightweight always-on assertion (simulators must not silently corrupt

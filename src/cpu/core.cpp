@@ -88,4 +88,57 @@ void Core::cycle() {
   if (stats_.instructions == retired_before) ++stats_.stall_cycles;
 }
 
+std::uint64_t Core::functional_advance(std::uint64_t instructions,
+                                       Cycle critical_penalty) {
+  ROP_ASSERT(outstanding_ == 0);
+  ROP_ASSERT(!critical_pending_);
+  // Any writeback still waiting for the bus is dropped: there is no memory
+  // in functional mode, and the LLC line it came from is already clean.
+  pending_writeback_.reset();
+
+  std::uint64_t retired = 0;
+  std::uint64_t slots = 0;         // compute-gap issue slots consumed
+  std::uint64_t extra_cycles = 0;  // memory ops + critical-miss penalties
+  while (retired < instructions) {
+    if (!have_record_) {
+      current_ = trace_.next();
+      have_record_ = true;
+      remaining_gap_ = current_.gap;
+    }
+    if (remaining_gap_ > 0) {
+      const std::uint64_t want = instructions - retired;
+      const std::uint32_t take = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(remaining_gap_, want));
+      remaining_gap_ -= take;
+      retired += take;
+      slots += take;
+      continue;
+    }
+    // The record's memory operation. If a detailed window left the op
+    // half-issued (mem_op_pending_), the LLC access already happened and
+    // was a miss; otherwise access (and warm) the LLC now.
+    bool miss;
+    if (mem_op_pending_) {
+      miss = true;
+      mem_op_pending_ = false;
+    } else {
+      const cache::LlcAccessResult res =
+          active_llc().access(current_.addr, current_.is_write);
+      miss = !res.hit;  // res.writeback dropped: no memory to receive it
+    }
+    if (miss && !current_.is_write &&
+        rng_.next_bool(cfg_.critical_load_fraction)) {
+      extra_cycles += critical_penalty;
+    }
+    extra_cycles += 1;
+    retired += 1;
+    have_record_ = false;
+  }
+
+  const std::uint64_t cycles = slots / cfg_.issue_width + extra_cycles;
+  stats_.instructions += retired;
+  stats_.cycles += cycles;
+  return cycles;
+}
+
 }  // namespace rop::cpu

@@ -44,6 +44,13 @@ struct CoreStats {
                         static_cast<double>(cycles)
                   : 0.0;
   }
+
+  /// Snapshot serialization (see common/snapshot_io.h).
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(instructions, cycles, stall_cycles, mem_reads, mem_fills,
+       mem_writebacks);
+  }
 };
 
 /// Callback the core uses to push a request into the memory hierarchy.
@@ -147,6 +154,42 @@ class Core {
     return critical_pending_;
   }
   [[nodiscard]] const Rng& rng() const { return rng_; }
+
+  /// Functional warming for the sampled loop: retire `instructions` without
+  /// issuing any memory request. Trace records are consumed, the active LLC
+  /// is warmed (fills happen, writebacks are dropped — there is no memory
+  /// to receive them), and the criticality RNG is drawn per demand-read
+  /// miss so the random stream tracks where detailed execution would have
+  /// taken it. Cycle cost is the closed-form estimate: compute slots at
+  /// `issue_width` per cycle, one cycle per memory op, plus
+  /// `critical_penalty` per critical demand-read miss. Returns the cycles
+  /// charged; stats_.instructions/cycles advance, memory-traffic counters
+  /// do not (no requests exist). Requires no outstanding misses — the
+  /// caller drains in-flight reads before switching to functional mode.
+  std::uint64_t functional_advance(std::uint64_t instructions,
+                                   Cycle critical_penalty);
+
+  /// Sampled-mode clock alignment: jump this core's clock to
+  /// `target_cycle`, billing the span as stall. Functional windows leave
+  /// cores at heterogeneous estimated clocks; detailed execution needs
+  /// them on one global cycle (run_until cannot do this — it requires a
+  /// provably pure span, which an estimated jump is not).
+  void align_cycles(std::uint64_t target_cycle) {
+    if (target_cycle <= stats_.cycles) return;
+    stats_.stall_cycles += target_cycle - stats_.cycles;
+    stats_.cycles = target_cycle;
+  }
+
+  /// Snapshot serialization: trace cursor, retirement state, MLP window,
+  /// criticality RNG, stats, and the private LLC. The shared-LLC pointer
+  /// and trace source are wired by the owner (the trace serializes
+  /// separately).
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(current_, have_record_, remaining_gap_, pending_writeback_,
+       mem_op_pending_, outstanding_, critical_pending_, rng_, stats_,
+       private_llc_);
+  }
 
  private:
   /// Attempt the memory operation of the current record. Returns true when

@@ -55,6 +55,8 @@ System::System(const SystemConfig& cfg, mem::MemorySystem& memory,
   }
 }
 
+System::~System() = default;
+
 bool System::all_cores_stalled() const {
   for (const auto& core : cores_) {
     if (!core->stalled_on_memory()) return false;
@@ -86,7 +88,7 @@ std::optional<RequestId> System::issue_read(CoreId core, Address addr) {
   // channel that accepted the request needs re-arming.
   if (id) {
     mem_dirty_ = true;
-    if (shard_pool_ != nullptr) shard_pool_->note_enqueue(ch, mem_now_);
+    if (pool_ != nullptr) pool_->note_enqueue(ch, mem_now_);
   }
   return id;
 }
@@ -100,7 +102,7 @@ bool System::issue_write(CoreId core, Address addr) {
           .has_value();
   if (ok) {
     mem_dirty_ = true;
-    if (shard_pool_ != nullptr) shard_pool_->note_enqueue(ch, mem_now_);
+    if (pool_ != nullptr) pool_->note_enqueue(ch, mem_now_);
   }
   return ok;
 }
@@ -140,79 +142,97 @@ std::uint64_t System::skip_target(std::uint64_t cpu_cycle,
   return target;
 }
 
-RunResult System::run(std::uint64_t target_instructions,
-                      std::uint64_t max_cpu_cycles) {
-  if (cfg_.shard_channels > 0) {
-    return run_sharded(target_instructions, max_cpu_cycles);
-  }
-  ROP_ASSERT(!memory_.per_channel_stats() &&
-             "per-channel registries are only folded by the sharded loop");
-  RunResult result;
-  result.cores.resize(cores_.size());
-  std::vector<bool> crossed(cores_.size(), false);
-  std::size_t remaining = cores_.size();
+void System::record_crossing(std::size_t c) {
+  loop_.crossed[c] = true;
+  --loop_.remaining;
+  CoreResult& r = loop_.partial[c];
+  const CoreStats& s = cores_[c]->stats();
+  r.instructions = s.instructions;
+  r.cpu_cycles = s.cycles;
+  r.ipc = s.ipc();
+  r.mem_reads = s.mem_reads + s.mem_fills;
+  r.mem_writebacks = s.mem_writebacks;
+}
 
+void System::begin_run(std::uint64_t target_instructions,
+                       std::uint64_t max_cpu_cycles) {
+  ROP_ASSERT(!loop_.active && "one run per System");
+  loop_.active = true;
+  loop_.target_instructions = target_instructions;
+  loop_.max_cpu_cycles = max_cpu_cycles;
+  loop_.cpu_cycle = 0;
+  loop_.next_window_cpu = 0;
+  loop_.mem_next_event = 0;
+  loop_.crossed.assign(cores_.size(), false);
+  loop_.remaining = cores_.size();
+  loop_.partial.assign(cores_.size(), CoreResult{});
+  mem_now_ = 0;
+  mem_dirty_ = false;
+  if (cfg_.shard_channels > 0) {
+    // See mem/shard_pool.h for why per-channel advancement is
+    // bit-identical to the serial loop.
+    ROP_ASSERT(cfg_.loop == LoopMode::kEventDriven &&
+               "channel sharding builds on the event-driven loop");
+    ROP_ASSERT(memory_.per_channel_stats() &&
+               "sharded channels must not share a registry");
+    ROP_ASSERT(memory_.controller(0).trace() == nullptr &&
+               "the trace sink interleaves channels and is order-sensitive");
+    pool_ = std::make_unique<mem::ShardPool>(memory_, cfg_.shard_channels);
+  } else {
+    ROP_ASSERT(!memory_.per_channel_stats() &&
+               "per-channel registries are only folded by the sharded loop");
+  }
+}
+
+bool System::advance_until(std::uint64_t stop_cpu) {
+  ROP_ASSERT(loop_.active);
   const LoopMode mode = cfg_.loop;
+  const bool sharded = pool_ != nullptr;
   // Event-loop sleep/wake: a core blocked on a critical load is not
   // executed (nor billed) per cycle; its cycles/stall_cycles lag until the
   // wake back-fill in Core::on_read_complete or a bulk run_until catches
   // it up. The per-cycle modes bill stalled cores every cycle, so the
   // back-fill is zero there.
-  const bool lazy_sleep = mode == LoopMode::kEventDriven;
-
-  // Event-driven memory clock (see docs/PERFORMANCE.md §4).
-  // Controller::next_event_cycle guarantees every tick in (now, event) is
-  // a no-op for the frozen controller state, so boundary ticks before the
-  // cached event are skipped even while cores are running. An enqueue
-  // invalidates the cached answer, so it sets mem_dirty_ (see
-  // issue_read/issue_write) and the next boundary tick executes — which is
-  // also the first tick that can observe the request: the naive tick(M)
-  // only sees arrivals <= M - 1. The memory clock itself (mem_now_)
-  // advances at every *visited* window, ticked or not, so arrivals are
-  // stamped identically to the naive loop; windows inside a bulk-advanced
-  // span are provably tickless and are not visited at all.
-  Cycle mem_next_event = 0;  // next memory cycle whose tick must execute
-  mem_dirty_ = false;
-
-  // Epoch boundaries are sampled at every visited memory cycle; boundaries
-  // crossed inside a bulk-advanced span are emitted lazily at the next
-  // visit, which is exact because skipped spans never touch a registry
-  // counter (no-op ticks by construction; bulk core advance moves only
-  // core-local counters, mirrored into the registry at end of run).
+  const bool lazy_sleep = sharded || mode == LoopMode::kEventDriven;
   telemetry::EpochSampler* const sampler = memory_.sampler();
+  const std::uint64_t stop = std::min(stop_cpu, loop_.max_cpu_cycles);
 
-  auto record_crossing = [&](std::size_t c) {
-    crossed[c] = true;
-    --remaining;
-    CoreResult& r = result.cores[c];
-    const CoreStats& s = cores_[c]->stats();
-    r.instructions = s.instructions;
-    r.cpu_cycles = s.cycles;
-    r.ipc = s.ipc();
-    r.mem_reads = s.mem_reads + s.mem_fills;
-    r.mem_writebacks = s.mem_writebacks;
-  };
+  // Hot locals, copied in at the segment edge and back out at exit.
+  std::uint64_t cpu_cycle = loop_.cpu_cycle;
+  std::uint64_t next_window_cpu = loop_.next_window_cpu;
+  Cycle mem_next_event = loop_.mem_next_event;
 
-  std::uint64_t cpu_cycle = 0;
-  std::uint64_t next_window_cpu = 0;  // first CPU cycle of the next window
-  while (cpu_cycle < max_cpu_cycles && remaining > 0) {
+  while (cpu_cycle < stop && loop_.remaining > 0) {
     // -- Memory-window entry: visit the boundary once per window. A
-    // mid-window entry (a bulk advance landed between boundaries) never
-    // ticks: the skip caps guarantee the current window's boundary tick
-    // was a provable no-op, so only mem_now_/sampler bookkeeping runs.
+    // mid-window entry (a bulk advance or a segment stop landed between
+    // boundaries) never ticks in the event modes: the skip caps guarantee
+    // the current window's boundary tick was a provable no-op, so only
+    // mem_now_/sampler bookkeeping runs.
     if (cpu_cycle >= next_window_cpu) {
       mem_now_ = cpu_cycle / cfg_.cpu_ratio;
       next_window_cpu = (mem_now_ + 1) * cfg_.cpu_ratio;
-      if (sampler != nullptr) sampler->advance_to(mem_now_);
-      if (mode == LoopMode::kNaive || mem_dirty_ ||
-          mem_now_ >= mem_next_event) {
-        memory_.tick(mem_now_);
-        memory_.for_each_completed([&](const mem::Request& req) {
+      if (sharded) {
+        // Advance every channel through its own due ticks (folding epoch
+        // boundaries on the way), then drain. A conservative-early bound
+        // just makes this a cheap no-op visit.
+        pool_->advance_to(mem_now_);
+        pool_->for_each_completed([&](const mem::Request& req) {
           cores_[req.core]->on_read_complete(req.id, cpu_cycle);
         });
         mem_dirty_ = false;
-        if (mode != LoopMode::kNaive) {
-          mem_next_event = memory_.next_event_cycle(mem_now_);
+        mem_next_event = pool_->next_required_boundary(mem_now_);
+      } else {
+        if (sampler != nullptr) sampler->advance_to(mem_now_);
+        if (mode == LoopMode::kNaive || mem_dirty_ ||
+            mem_now_ >= mem_next_event) {
+          memory_.tick(mem_now_);
+          memory_.for_each_completed([&](const mem::Request& req) {
+            cores_[req.core]->on_read_complete(req.id, cpu_cycle);
+          });
+          mem_dirty_ = false;
+          if (mode != LoopMode::kNaive) {
+            mem_next_event = memory_.next_event_cycle(mem_now_);
+          }
         }
       }
     }
@@ -221,8 +241,8 @@ RunResult System::run(std::uint64_t target_instructions,
     for (std::size_t c = 0; c < cores_.size(); ++c) {
       if (lazy_sleep && cores_[c]->stalled_on_memory()) continue;
       cores_[c]->cycle();
-      if (!crossed[c] &&
-          cores_[c]->stats().instructions >= target_instructions) {
+      if (!loop_.crossed[c] &&
+          cores_[c]->stats().instructions >= loop_.target_instructions) {
         record_crossing(c);
       }
     }
@@ -230,25 +250,43 @@ RunResult System::run(std::uint64_t target_instructions,
 
     // -- Bulk advance: jump the whole system across a span every party has
     // proven pure. kFrozenStall keeps the PR-3 restriction (skip only the
-    // paper's frozen cycles, when every core is stalled); kEventDriven
-    // folds per-core next events into the same mechanism.
-    if (mode == LoopMode::kNaive || remaining == 0) continue;
-    if (mode == LoopMode::kFrozenStall && !all_cores_stalled()) continue;
-    const std::uint64_t target =
-        skip_target(cpu_cycle, next_window_cpu, mem_next_event,
-                    target_instructions, max_cpu_cycles, crossed);
+    // paper's frozen cycles, when every core is stalled); kEventDriven and
+    // the sharded loop fold per-core next events into the same mechanism.
+    // Clamping the jump at the segment stop is exact: run_until composes
+    // over pure spans, and the re-entry window visit is a provable no-op.
+    if (loop_.remaining == 0) continue;
+    if (!sharded) {
+      if (mode == LoopMode::kNaive) continue;
+      if (mode == LoopMode::kFrozenStall && !all_cores_stalled()) continue;
+    }
+    const std::uint64_t target = std::min(
+        stop, skip_target(cpu_cycle, next_window_cpu, mem_next_event,
+                          loop_.target_instructions, loop_.max_cpu_cycles,
+                          loop_.crossed));
     if (target <= cpu_cycle) continue;
     for (std::size_t c = 0; c < cores_.size(); ++c) {
       cores_[c]->run_until(target);
-      if (!crossed[c] &&
-          cores_[c]->stats().instructions >= target_instructions) {
+      if (!loop_.crossed[c] &&
+          cores_[c]->stats().instructions >= loop_.target_instructions) {
         record_crossing(c);
       }
     }
     cpu_cycle = target;
   }
 
-  result.hit_cycle_limit = remaining > 0;
+  loop_.cpu_cycle = cpu_cycle;
+  loop_.next_window_cpu = next_window_cpu;
+  loop_.mem_next_event = mem_next_event;
+  return loop_.remaining == 0 || cpu_cycle >= loop_.max_cpu_cycles;
+}
+
+RunResult System::finish_run() {
+  ROP_ASSERT(loop_.active);
+  RunResult result;
+  result.cores = loop_.partial;
+  result.hit_cycle_limit = loop_.remaining > 0;
+  const std::uint64_t cpu_cycle = loop_.cpu_cycle;
+
   // Settle lazily-billed sleepers at the final cycle (a no-op for every
   // core that executed or was bulk-advanced to cpu_cycle).
   for (auto& core : cores_) core->run_until(cpu_cycle);
@@ -259,10 +297,21 @@ RunResult System::run(std::uint64_t target_instructions,
   // loop, which sampled those boundaries pre-mirror. The trailing partial
   // epoch (emitted by close() in finalize) captures the mirror in both
   // modes.
-  if (sampler != nullptr) sampler->advance_to(cpu_cycle / cfg_.cpu_ratio);
+  if (pool_ != nullptr) {
+    // Catch up with everything the serial loop would have ticked: every
+    // due event E with E * cpu_ratio < cpu_cycle was executed there (the
+    // skip cap lands the loop on each such window before exiting), while
+    // events at or past the exit cycle never run. Completions produced
+    // here stay undrained, exactly like the serial exit.
+    if (cpu_cycle > 0) pool_->advance_to((cpu_cycle - 1) / cfg_.cpu_ratio);
+    pool_->sample_to(cpu_cycle / cfg_.cpu_ratio);
+  } else if (telemetry::EpochSampler* const s = memory_.sampler()) {
+    s->advance_to(cpu_cycle / cfg_.cpu_ratio);
+  }
+
   // Freeze any core that never crossed (cycle-limit safety net).
   for (std::size_t c = 0; c < cores_.size(); ++c) {
-    if (crossed[c]) continue;
+    if (loop_.crossed[c]) continue;
     CoreResult& r = result.cores[c];
     const CoreStats& s = cores_[c]->stats();
     r.instructions = s.instructions;
@@ -273,7 +322,7 @@ RunResult System::run(std::uint64_t target_instructions,
   }
 
   // Mirror the final per-core counters into the registry (handles resolved
-  // at construction). run() is called once per System.
+  // at construction). A System runs once.
   for (std::size_t c = 0; c < cores_.size(); ++c) {
     const CoreStats& s = cores_[c]->stats();
     const CoreStatHandles& h = core_stat_handles_[c];
@@ -287,131 +336,100 @@ RunResult System::run(std::uint64_t target_instructions,
 
   result.cpu_cycles = cpu_cycle;
   result.mem_cycles = cpu_cycle / cfg_.cpu_ratio;
-  memory_.finalize(result.mem_cycles);
+  if (pool_ != nullptr) {
+    pool_->finalize_run(result.mem_cycles);
+    pool_.reset();
+  } else {
+    memory_.finalize(result.mem_cycles);
+  }
+  loop_.active = false;
   return result;
 }
 
-RunResult System::run_sharded(std::uint64_t target_instructions,
-                              std::uint64_t max_cpu_cycles) {
-  // Same skeleton as run() in kEventDriven mode; see mem/shard_pool.h for
-  // why the per-channel advancement is bit-identical to the serial loop.
-  ROP_ASSERT(cfg_.loop == LoopMode::kEventDriven &&
-             "channel sharding builds on the event-driven loop");
-  ROP_ASSERT(memory_.per_channel_stats() &&
-             "sharded channels must not share a registry");
-  ROP_ASSERT(memory_.controller(0).trace() == nullptr &&
-             "the trace sink interleaves channels and is order-sensitive");
+RunResult System::run(std::uint64_t target_instructions,
+                      std::uint64_t max_cpu_cycles) {
+  begin_run(target_instructions, max_cpu_cycles);
+  advance_until(max_cpu_cycles);
+  return finish_run();
+}
 
-  RunResult result;
-  result.cores.resize(cores_.size());
-  std::vector<bool> crossed(cores_.size(), false);
-  std::size_t remaining = cores_.size();
+std::uint64_t System::functional_window(std::uint64_t instructions_per_core,
+                                        Cycle critical_penalty) {
+  ROP_ASSERT(loop_.active);
+  ROP_ASSERT(pool_ == nullptr && "sampled execution is a serial-loop mode");
+  telemetry::EpochSampler* const sampler = memory_.sampler();
+  const std::uint64_t start_cpu = loop_.cpu_cycle;
 
-  mem::ShardPool pool(memory_, cfg_.shard_channels);
-  shard_pool_ = &pool;
-
-  // The sharded analogue of mem_next_event: the earliest cycle any channel
-  // could hold a deliverable completion. Channel-internal activity
-  // (command issues, refresh phases) no longer bounds the CPU skip — the
-  // pool replays it lazily inside advance_to.
-  Cycle mem_next_event = 0;
-  mem_dirty_ = false;
-
-  auto record_crossing = [&](std::size_t c) {
-    crossed[c] = true;
-    --remaining;
-    CoreResult& r = result.cores[c];
-    const CoreStats& s = cores_[c]->stats();
-    r.instructions = s.instructions;
-    r.cpu_cycles = s.cycles;
-    r.ipc = s.ipc();
-    r.mem_reads = s.mem_reads + s.mem_fills;
-    r.mem_writebacks = s.mem_writebacks;
+  // 1. Drain: tick the memory event-driven (no new arrivals) until every
+  // core's outstanding misses have completed. Completions deliver at the
+  // CPU cycle of the producing memory window; critical sleepers back-fill
+  // their slept span exactly as in detailed execution.
+  auto outstanding_total = [&] {
+    std::uint64_t n = 0;
+    for (const auto& core : cores_) n += core->outstanding();
+    return n;
   };
-
-  std::uint64_t cpu_cycle = 0;
-  std::uint64_t next_window_cpu = 0;
-  while (cpu_cycle < max_cpu_cycles && remaining > 0) {
-    // -- Memory-window entry: advance every channel through its own due
-    // ticks (folding epoch boundaries on the way), then drain. A
-    // conservative-early bound just makes this a cheap no-op visit.
-    if (cpu_cycle >= next_window_cpu) {
-      mem_now_ = cpu_cycle / cfg_.cpu_ratio;
-      next_window_cpu = (mem_now_ + 1) * cfg_.cpu_ratio;
-      pool.advance_to(mem_now_);
-      pool.for_each_completed([&](const mem::Request& req) {
-        cores_[req.core]->on_read_complete(req.id, cpu_cycle);
-      });
-      mem_dirty_ = false;
-      mem_next_event = pool.next_required_boundary(mem_now_);
-    }
-
-    // -- Execute this CPU cycle (lazy sleep as in kEventDriven).
-    for (std::size_t c = 0; c < cores_.size(); ++c) {
-      if (cores_[c]->stalled_on_memory()) continue;
-      cores_[c]->cycle();
-      if (!crossed[c] &&
-          cores_[c]->stats().instructions >= target_instructions) {
-        record_crossing(c);
-      }
-    }
-    ++cpu_cycle;
-
-    // -- Bulk advance, identical to run(): the memory cap in skip_target
-    // now comes from the delivery bound.
-    if (remaining == 0) continue;
-    const std::uint64_t target =
-        skip_target(cpu_cycle, next_window_cpu, mem_next_event,
-                    target_instructions, max_cpu_cycles, crossed);
-    if (target <= cpu_cycle) continue;
-    for (std::size_t c = 0; c < cores_.size(); ++c) {
-      cores_[c]->run_until(target);
-      if (!crossed[c] &&
-          cores_[c]->stats().instructions >= target_instructions) {
-        record_crossing(c);
-      }
-    }
-    cpu_cycle = target;
+  Cycle m = start_cpu / cfg_.cpu_ratio;
+  std::uint64_t drained_cpu = start_cpu;
+  while (outstanding_total() > 0) {
+    memory_.tick(m);
+    const std::uint64_t deliver_cpu =
+        std::max(start_cpu, m * static_cast<std::uint64_t>(cfg_.cpu_ratio));
+    memory_.for_each_completed([&](const mem::Request& req) {
+      cores_[req.core]->on_read_complete(req.id, deliver_cpu);
+    });
+    drained_cpu = deliver_cpu;
+    if (outstanding_total() == 0) break;
+    const Cycle next = memory_.next_event_cycle(m);
+    ROP_ASSERT(next != kNeverCycle && "outstanding reads must complete");
+    m = std::max(m + 1, next);
   }
 
-  result.hit_cycle_limit = remaining > 0;
-  for (auto& core : cores_) core->run_until(cpu_cycle);
-  // Catch up with everything the serial loop would have ticked: every due
-  // event E with E * cpu_ratio < cpu_cycle was executed there (the skip
-  // cap lands the loop on each such window before exiting), while events
-  // at or past the exit cycle never run. Completions produced here stay
-  // undrained, exactly like the serial exit.
-  if (cpu_cycle > 0) pool.advance_to((cpu_cycle - 1) / cfg_.cpu_ratio);
-  // Fold the final epoch boundary before the core-counter mirror, matching
-  // the serial sampler settle.
-  pool.sample_to(cpu_cycle / cfg_.cpu_ratio);
+  // 2. Functional warming: every core retires the window's instructions
+  // with no memory requests (see Core::functional_advance).
+  std::uint64_t max_core_cycles = 0;
   for (std::size_t c = 0; c < cores_.size(); ++c) {
-    if (crossed[c]) continue;
-    CoreResult& r = result.cores[c];
-    const CoreStats& s = cores_[c]->stats();
-    r.instructions = s.instructions;
-    r.cpu_cycles = s.cycles;
-    r.ipc = s.ipc();
-    r.mem_reads = s.mem_reads + s.mem_fills;
-    r.mem_writebacks = s.mem_writebacks;
+    cores_[c]->functional_advance(instructions_per_core, critical_penalty);
+    max_core_cycles = std::max(max_core_cycles, cores_[c]->stats().cycles);
+    if (!loop_.crossed[c] &&
+        cores_[c]->stats().instructions >= loop_.target_instructions) {
+      record_crossing(c);
+    }
   }
 
-  for (std::size_t c = 0; c < cores_.size(); ++c) {
-    const CoreStats& s = cores_[c]->stats();
-    const CoreStatHandles& h = core_stat_handles_[c];
-    h.instructions->inc(s.instructions);
-    h.cycles->inc(s.cycles);
-    h.stall_cycles->inc(s.stall_cycles);
-    h.mem_reads->inc(s.mem_reads);
-    h.mem_fills->inc(s.mem_fills);
-    h.mem_writebacks->inc(s.mem_writebacks);
+  // 3. Land the whole system on one memory-window boundary at or past the
+  // slowest core's estimate, then advance the memory event-driven through
+  // the span: refreshes and write drains happen at their natural times.
+  const std::uint64_t end_cpu_raw = std::max(
+      {start_cpu + 1, drained_cpu, max_core_cycles});
+  const Cycle end_mem =
+      (end_cpu_raw + cfg_.cpu_ratio - 1) / cfg_.cpu_ratio;
+  const std::uint64_t end_cpu =
+      end_mem * static_cast<std::uint64_t>(cfg_.cpu_ratio);
+  Cycle due = memory_.next_event_cycle(m);
+  while (due < end_mem) {
+    if (sampler != nullptr) sampler->advance_to(due);
+    memory_.tick(due);
+    // Demand reads were drained above and functional cores issue nothing,
+    // so completions cannot appear here.
+    memory_.for_each_completed([](const mem::Request&) {
+      ROP_ASSERT(false && "no demand reads in flight during warming");
+    });
+    due = memory_.next_event_cycle(due);
   }
+  if (sampler != nullptr) sampler->advance_to(end_mem);
 
-  result.cpu_cycles = cpu_cycle;
-  result.mem_cycles = cpu_cycle / cfg_.cpu_ratio;
-  pool.finalize_run(result.mem_cycles);
-  shard_pool_ = nullptr;
-  return result;
+  // 4. Re-align every clock to the window boundary so detailed execution
+  // resumes from a consistent state. The alignment span is billed as
+  // stall; the next window visit must re-tick (the no-op-skip proof does
+  // not cover a functional jump), so mark the memory dirty.
+  for (auto& core : cores_) core->align_cycles(end_cpu);
+  loop_.cpu_cycle = end_cpu;
+  loop_.next_window_cpu = end_cpu;  // forces a window visit on resume
+  loop_.mem_next_event = 0;
+  mem_now_ = end_mem;
+  mem_dirty_ = true;
+  return end_cpu - start_cpu;
 }
 
 }  // namespace rop::cpu

@@ -62,6 +62,12 @@ struct CoreResult {
   double ipc = 0.0;
   std::uint64_t mem_reads = 0;
   std::uint64_t mem_writebacks = 0;
+
+  /// Snapshot serialization (see common/snapshot_io.h).
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(instructions, cpu_cycles, ipc, mem_reads, mem_writebacks);
+  }
 };
 
 struct RunResult {
@@ -80,11 +86,50 @@ class System final : public MemoryPort {
   /// rank partitioning is on.
   System(const SystemConfig& cfg, mem::MemorySystem& memory,
          std::vector<workload::TraceSource*> traces);
+  ~System() override;
 
   /// Run until every core has retired `target_instructions` (or the cycle
-  /// limit is reached). Returns frozen per-core metrics.
+  /// limit is reached). Returns frozen per-core metrics. Equivalent to
+  /// begin_run + advance_until(max) + finish_run.
   RunResult run(std::uint64_t target_instructions,
                 std::uint64_t max_cpu_cycles);
+
+  /// Segmented execution, the substrate for checkpoints and sampling.
+  /// begin_run arms the loop (and builds the shard pool when sharded);
+  /// advance_until executes until `stop_cpu` (clamped to the cycle limit)
+  /// or until every core crossed the target, returning true when the run
+  /// is over (all crossed, or limit hit); finish_run settles cores,
+  /// sampler, and memory, and produces the result. A run split at any
+  /// advance_until boundary executes bit-identical operations to the
+  /// unbroken run: stops land either between executed CPU cycles or at a
+  /// clamped bulk-advance target, both of which compose exactly (pure-span
+  /// run_until is additive, and a mid-span memory-window visit is a
+  /// provable no-op tick).
+  void begin_run(std::uint64_t target_instructions,
+                 std::uint64_t max_cpu_cycles);
+  bool advance_until(std::uint64_t stop_cpu);
+  RunResult finish_run();
+
+  /// Sampled-execution fast-forward (SMARTS functional warming): drain the
+  /// cores' outstanding misses, retire `instructions_per_core` on every
+  /// core via Core::functional_advance (LLC warmed, RNG stream preserved,
+  /// no memory requests), advance the memory event-driven through the
+  /// estimated span (refreshes fire at their natural times with no demand
+  /// arrivals), then re-align all clocks to one window boundary so
+  /// detailed execution can resume. Serial loops only (no shard pool).
+  /// Returns the CPU cycles the window consumed.
+  std::uint64_t functional_window(std::uint64_t instructions_per_core,
+                                  Cycle critical_penalty);
+
+  [[nodiscard]] bool run_active() const { return loop_.active; }
+  [[nodiscard]] std::uint64_t cpu_cycle() const { return loop_.cpu_cycle; }
+  [[nodiscard]] std::uint64_t max_cpu_cycles() const {
+    return loop_.max_cpu_cycles;
+  }
+  /// Cores still short of the instruction target (0 = natural end).
+  [[nodiscard]] std::uint64_t cores_remaining() const {
+    return loop_.remaining;
+  }
 
   // MemoryPort
   std::optional<RequestId> issue_read(CoreId core, Address addr) override;
@@ -96,15 +141,46 @@ class System final : public MemoryPort {
   [[nodiscard]] const Core& core(CoreId c) const { return *cores_.at(c); }
   [[nodiscard]] const cache::Llc& shared_llc() const { return shared_llc_; }
   [[nodiscard]] Cycle mem_now() const { return mem_now_; }
+  [[nodiscard]] std::uint32_t cpu_ratio() const { return cfg_.cpu_ratio; }
+
+  /// Snapshot serialization: the live loop cursor, partial results, memory
+  /// clock flags, the shared LLC, every core, and (when sharded) the pool's
+  /// per-channel event clocks. Legal only between advance_until calls of
+  /// an active run; the restoring side must have called begin_run with the
+  /// same spec so the pool exists on both sides.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(loop_, mem_now_, mem_dirty_);
+    ar.field(shared_llc_);
+    for (auto& core : cores_) ar.field(*core);
+    if (pool_ != nullptr) ar.field(*pool_);
+  }
 
  private:
-  /// Channel-sharded variant of run() (cfg_.shard_channels > 0): same
-  /// window structure and bulk-advance machinery, but the memory side
-  /// advances per channel through a ShardPool and the skip cap comes from
-  /// the channels' completion lower bounds instead of the global
-  /// next-event cycle.
-  RunResult run_sharded(std::uint64_t target_instructions,
-                        std::uint64_t max_cpu_cycles);
+  /// The run() loop cursor, hoisted into a member so a snapshot taken
+  /// between advance_until segments captures the exact loop-visit state
+  /// (Controller::tick is not idempotent — the split run must execute
+  /// literally the same operations, not just reach the same cycle).
+  struct LoopState {
+    bool active = false;
+    std::uint64_t target_instructions = 0;
+    std::uint64_t max_cpu_cycles = 0;
+    std::uint64_t cpu_cycle = 0;
+    std::uint64_t next_window_cpu = 0;  // first CPU cycle of the next window
+    Cycle mem_next_event = 0;  // next memory cycle whose tick must execute
+    std::vector<bool> crossed;
+    std::uint64_t remaining = 0;
+    std::vector<CoreResult> partial;  // crossing snapshots, frozen
+
+    template <class Ar>
+    void io(Ar& ar) {
+      ar(active, target_instructions, max_cpu_cycles, cpu_cycle,
+         next_window_cpu, mem_next_event, crossed, remaining, partial);
+    }
+  };
+
+  /// Freeze core `c`'s metrics at its instruction-target crossing.
+  void record_crossing(std::size_t c);
 
   /// Relocate a core-local address into the physical address space (bases
   /// precomputed at construction; see reloc_base_line_).
@@ -150,9 +226,11 @@ class System final : public MemoryPort {
   /// Set by issue_read/issue_write when a request lands: the cached
   /// next-event cycle is stale and the next boundary tick must execute.
   bool mem_dirty_ = false;
-  /// Live only inside run_sharded (stack-owned there): lets the issue
-  /// hooks re-arm just the channel that accepted the request.
-  mem::ShardPool* shard_pool_ = nullptr;
+  /// Live between begin_run and finish_run when cfg_.shard_channels > 0:
+  /// lets the issue hooks re-arm just the channel that accepted the
+  /// request, and carries the per-channel event clocks across snapshots.
+  std::unique_ptr<mem::ShardPool> pool_;
+  LoopState loop_;
 };
 
 }  // namespace rop::cpu

@@ -96,6 +96,15 @@ class Bank {
   /// And the symmetric case for read-to-write turnaround.
   void defer_write_until(Cycle c) { next_write_ = std::max(next_write_, c); }
 
+  /// Snapshot serialization (see common/snapshot_io.h). The subarray
+  /// geometry (sub_count_/rows_per_sub_) is reconstructed by
+  /// configure_subarrays at assembly time; only the mutable records ride.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(state_, open_row_, next_activate_, next_read_, next_write_,
+       next_precharge_, sub_busy_until_, sub_last_row_);
+  }
+
  private:
   /// End of the latest subarray busy interval (kRefreshBank legality: only
   /// one subarray refresh may be in flight per bank).

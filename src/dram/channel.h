@@ -77,6 +77,18 @@ class Channel {
   }
   [[nodiscard]] telemetry::TraceSink* trace() const { return trace_; }
 
+  /// Snapshot serialization: ranks, data-bus state, and command tallies.
+  /// The trace sink attachment is runtime wiring and does not ride.
+  template <class Ar>
+  void io(Ar& ar) {
+    // Ranks are not default-constructible (they reference the timing
+    // tables), so they serialize in place; the count is fixed by config.
+    for (Rank& r : ranks_) ar.field(r);
+    ar(bus_busy_until_, last_bus_op_, last_bus_rank_, bus_used_,
+       events_.activates, events_.precharges, events_.reads, events_.writes,
+       events_.refreshes, events_.bank_refreshes, events_.refresh_segments);
+  }
+
  private:
   /// First cycle at which a new burst by `type` on `rank` may occupy the
   /// data bus.

@@ -91,6 +91,19 @@ class Rank {
   void settle_accounting(Cycle now);
   [[nodiscard]] const RankActivity& activity() const { return activity_; }
 
+  /// Snapshot serialization: every mutable field, including the activity
+  /// integration point, so restored energy accounting continues exactly.
+  template <class Ar>
+  void io(Ar& ar) {
+    // Banks serialize in place: the bank count and subarray geometry are
+    // fixed by the configuration the restored simulator was built with.
+    for (Bank& b : banks_) ar.field(b);
+    ar(next_activate_, next_column_, recent_activates_, refreshing_,
+       refresh_done_, pb_refreshing_, accounted_until_,
+       activity_.active_cycles, activity_.precharged_cycles,
+       activity_.refresh_cycles, activity_.bank_refresh_cycles);
+  }
+
  private:
   void account_until(Cycle now);
   [[nodiscard]] bool any_bank_active() const;

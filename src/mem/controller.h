@@ -365,6 +365,29 @@ class Controller {
   ///      owed, so bounded by the next tREFI boundary when idle.
   [[nodiscard]] Cycle completion_lower_bound(Cycle pos) const;
 
+  /// Snapshot serialization (see common/snapshot_io.h): the channel, the
+  /// refresh bookkeeping, the arena-backed queues, and every incrementally
+  /// maintained counter. write_index_ is a derived view of write_q_ and is
+  /// rebuilt on restore instead of being serialized (unordered containers
+  /// have no canonical byte order). Stat handles, the listener/auditor and
+  /// the trace sink are runtime wiring and do not ride.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(channel_, rm_, blocking_, arena_, read_q_, write_q_, prefetch_q_,
+       in_flight_, completed_, reads_by_rank_, inflight_min_completion_,
+       pending_reads_, pending_writes_, queued_prefetches_,
+       inflight_prefetches_, draining_writes_, phase_, locked_at_,
+       drain_pending_, last_arrival_, refresh_remaining_, refresh_started_,
+       refresh_window_opened_, next_refresh_bank_, reads_by_bank_count_,
+       writes_by_bank_count_, darp_round_mask_, next_refresh_sub_);
+    if constexpr (Ar::kIsReader) {
+      write_index_.clear();
+      for (const RequestIndex idx : write_q_) {
+        write_index_.insert(arena_[idx].line_addr);
+      }
+    }
+  }
+
  private:
   /// tick() body; split out so the auditor hook runs after every exit path.
   void step(Cycle now);

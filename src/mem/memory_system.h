@@ -141,6 +141,18 @@ class MemorySystem {
     return next;
   }
 
+  /// Snapshot serialization: the request-id source, every controller, and
+  /// (under per_channel_stats) the per-channel registries. The shared
+  /// registry is serialized separately by sim/snapshot.cpp — before this
+  /// object, so handle-preserving registry restore precedes everything
+  /// that might read a counter.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(next_id_);
+    for (auto& ctrl : controllers_) ar.field(*ctrl);
+    for (auto& reg : channel_stats_) ar.field(*reg);
+  }
+
  private:
   MemoryConfig cfg_;  // owns the timings the channels reference
   AddressMap map_;

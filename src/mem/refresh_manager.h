@@ -81,6 +81,14 @@ class RefreshManager {
     return t_.tREFI / units_per_trefi_;
   }
 
+  /// Snapshot serialization: issued_ is the only mutable state (owed and
+  /// boundaries are pure functions of time). The stats counter rides with
+  /// the registry, not here.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(issued_);
+  }
+
  private:
   const dram::DramTimings& t_;
   std::vector<std::uint64_t> issued_;

@@ -74,10 +74,22 @@ class RefreshBlockingStats {
     return max_blocked_[k];
   }
 
+  /// Snapshot serialization: open windows plus the retired aggregates.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(open_, total_refreshes_, retired_refreshes_, blocking_refreshes_,
+       blocked_requests_, max_blocked_);
+  }
+
  private:
   struct Window {
-    Cycle start;
+    Cycle start = 0;
     std::array<std::uint64_t, 3> blocked{};
+
+    template <class Ar>
+    void io(Ar& ar) {
+      ar(start, blocked);
+    }
   };
 
   void retire(const Window& w) {

@@ -35,6 +35,12 @@ struct Request {
   ServicedBy serviced_by = ServicedBy::kDram;
 
   [[nodiscard]] bool is_read() const { return type != ReqType::kWrite; }
+
+  /// Snapshot serialization (see common/snapshot_io.h).
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(id, type, line_addr, coord, core, arrival, completion, serviced_by);
+  }
 };
 
 /// Stable handle into a RequestArena slot.
@@ -72,6 +78,14 @@ class RequestArena {
   /// Number of live (allocated, not yet released) slots.
   [[nodiscard]] std::size_t live() const {
     return slots_.size() - free_.size();
+  }
+
+  /// Snapshot serialization: slots and the free list verbatim, so every
+  /// RequestIndex held by the controller's queues stays valid and future
+  /// allocations recycle the same slots in the same order.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(slots_, free_);
   }
 
  private:

@@ -107,6 +107,23 @@ class ShardPool {
 
   [[nodiscard]] std::uint32_t num_shards() const { return num_shards_; }
 
+  /// Snapshot serialization: the per-channel event clocks (next_due) and
+  /// the counter-fold baselines. Cached delivery bounds are recomputed
+  /// (marked stale). The baselines must be serialized verbatim — not
+  /// resynced to the restored channel counters — because the fold
+  /// invariant is `mirror_value + (src - prev) == true total`: any delta
+  /// accumulated since the last fold lives only in (src - prev), and the
+  /// snapshot captures mirror, src, and prev each as-is. (The
+  /// construction-time priming of prev is simply overwritten here.)
+  template <class Ar>
+  void io(Ar& ar) {
+    for (auto& cs : channels_) {
+      ar.field(cs.next_due);
+      if constexpr (Ar::kIsReader) cs.bound_stale = true;
+    }
+    for (auto& f : folds_) ar.field(f.prev);
+  }
+
  private:
   struct ChannelState {
     Controller* ctrl = nullptr;

@@ -79,11 +79,22 @@ class WindowCorrelator {
 
   void reset();
 
+  /// Snapshot serialization: arrival history, open A-windows, and counts.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(arrivals_, open_, counts_.counts);
+  }
+
  private:
   struct OpenWindow {
-    Cycle refresh_start;
-    std::uint64_t b;
+    Cycle refresh_start = 0;
+    std::uint64_t b = 0;
     std::uint64_t a = 0;
+
+    template <class Ar>
+    void io(Ar& ar) {
+      ar(refresh_start, b, a);
+    }
   };
 
   void close(const OpenWindow& w);
@@ -122,6 +133,13 @@ class PatternProfiler {
 
   /// Restart a fresh training phase (hit rate fell below threshold).
   void restart();
+
+  /// Snapshot serialization: the correlator plus the training progress and
+  /// the frozen lambda/beta.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(correlator_, seen_, trained_, lambda_, beta_);
+  }
 
  private:
   WindowCorrelator correlator_;

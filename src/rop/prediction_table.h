@@ -50,6 +50,13 @@ struct TableEntry {
   [[nodiscard]] std::uint32_t weight() const {
     return static_cast<std::uint32_t>(f1) + f2 + f3;
   }
+
+  /// Snapshot serialization (see common/snapshot_io.h).
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(last_addr, last_access, delta1, f1, delta1_valid, delta2, f2,
+       delta2_valid, delta3, f3, delta3_valid, recent, deltas_seen);
+  }
 };
 
 /// Per-bank prefetch budget and the generated candidate offsets.
@@ -106,6 +113,12 @@ class PredictionTable {
   /// stream walks banks under page interleaving).
   [[nodiscard]] std::optional<BankId> last_bank() const { return last_bank_; }
   [[nodiscard]] std::optional<BankId> predicted_next_bank() const;
+
+  /// Snapshot serialization: entries plus the inter-bank stride tracker.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(entries_, last_bank_, transition_stride_);
+  }
 
  private:
   void generate_offsets(const TableEntry& e, std::uint32_t budget,

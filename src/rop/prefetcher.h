@@ -42,6 +42,14 @@ class Prefetcher {
     for (auto& t : tables_) t.clear();
   }
 
+  /// Snapshot serialization: only the prediction tables are mutable, and
+  /// they serialize in place (not default-constructible; the per-rank
+  /// count is fixed by config).
+  template <class Ar>
+  void io(Ar& ar) {
+    for (PredictionTable& t : tables_) ar.field(t);
+  }
+
  private:
   const mem::AddressMap& map_;
   ChannelId channel_;

@@ -75,7 +75,7 @@ std::optional<Cycle> RopEngine::on_enqueue(const mem::Request& req,
     if (state_ != RopState::kTraining && buffer_.owner() == rank &&
         buffer_.lookup(req.line_addr)) {
       ++phase_hits_;
-      if (round_consumed_.insert(req.line_addr).second) ++phase_consumed_;
+      if (phase_unconsumed_.erase(req.line_addr) > 0) ++phase_consumed_;
       if (in_refresh) {
         ++overall_hits_;
         h_.buffer_hits->inc();
@@ -178,7 +178,6 @@ void RopEngine::on_rank_locked(RankId rank, Cycle now) {
       cfg_.bank_recency_horizon);
 
   buffer_.begin_round(rank);
-  round_consumed_.clear();
   auto requests = prefetcher_.make_prefetches(
       rank, count, skip_per_bank, now,
       cfg_.bank_recency_horizon == 0 ? 0 : horizon);
@@ -224,7 +223,7 @@ void RopEngine::on_refresh_issued(RankId rank, Cycle start, Cycle /*done*/) {
     phase_opportunities_ = 0;
     phase_fills_ = 0;
     phase_consumed_ = 0;
-    round_consumed_.clear();
+    phase_unconsumed_.clear();
     refreshes_since_eval_ = 0;
   }
 
@@ -241,7 +240,7 @@ void RopEngine::on_refresh_issued(RankId rank, Cycle start, Cycle /*done*/) {
         [this, start, rank](const mem::Request& req) -> std::optional<Cycle> {
           if (buffer_.lookup(req.line_addr)) {
             ++phase_hits_;
-            if (round_consumed_.insert(req.line_addr).second) {
+            if (phase_unconsumed_.erase(req.line_addr) > 0) {
               ++phase_consumed_;
             }
             h_.lock_window_served->inc();
@@ -265,10 +264,11 @@ void RopEngine::evaluate_phase() {
   // raw coverage: when freeze-window demand exceeds the buffer capacity,
   // coverage is capacity-limited even though every prediction was right,
   // and falling back to Training would only forfeit the lines we do serve.
-  // Accuracy counts each staged line at most once per round: a hot line
-  // served many times (or re-served during the lock window) must not mask
-  // rounds full of unconsumed fills, so accuracy is bounded by 1.0 and
-  // repeat traffic is reported separately as hits-per-fill.
+  // Accuracy counts each staged line at most once per fill: a hot line
+  // served many times (or retained in the buffer across rounds without a
+  // refill) must not mask rounds full of unconsumed fills, so consumed is
+  // bounded by fills and accuracy by 1.0; repeat traffic is reported
+  // separately as hits-per-fill.
   if (phase_fills_ >= cfg_.eval_min_opportunities) {
     const double accuracy = static_cast<double>(phase_consumed_) /
                             static_cast<double>(phase_fills_);
@@ -289,13 +289,14 @@ void RopEngine::evaluate_phase() {
   phase_opportunities_ = 0;
   phase_fills_ = 0;
   phase_consumed_ = 0;
-  round_consumed_.clear();
+  phase_unconsumed_.clear();
 }
 
 void RopEngine::on_prefetch_filled(const mem::Request& req, Cycle now) {
   if (buffer_.owner() != req.coord.rank) return;
   buffer_.insert(req.line_addr);
   ++phase_fills_;
+  phase_unconsumed_.insert(req.line_addr);
   h_.buffer_fills->inc();
   trace_rop(telemetry::EventKind::kPrefetchFill, req.coord.rank,
             req.line_addr, now);
@@ -311,7 +312,7 @@ void RopEngine::on_prefetch_filled(const mem::Request& req, Cycle now) {
         // Arrival was already counted as a freeze opportunity; the late
         // fill flips it from a stall into a service.
         ++phase_hits_;
-        if (round_consumed_.insert(queued.line_addr).second) {
+        if (phase_unconsumed_.erase(queued.line_addr) > 0) {
           ++phase_consumed_;
         }
         h_.lock_window_served->inc();

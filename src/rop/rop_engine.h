@@ -19,6 +19,7 @@
 // below `hit_rate_threshold` the engine falls back to Training.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
@@ -108,6 +109,29 @@ class RopEngine final : public mem::ControllerListener {
   }
   [[nodiscard]] std::uint64_t sram_on_cycles() const { return sram_on_cycles_; }
 
+  /// Snapshot serialization: the full state machine — profiler, prediction
+  /// tables, SRAM buffer, RNG, EMAs, and phase accounting. phase_unconsumed_
+  /// is an unordered set with no canonical byte order, so it rides as a
+  /// sorted vector and is rebuilt on restore.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(profiler_, prefetcher_, buffer_, rng_, state_, last_access_,
+       ema_interarrival_, ema_channel_interarrival_, last_channel_arrival_,
+       ema_freeze_demand_, reads_this_freeze_, refreshes_since_eval_,
+       phase_hits_, phase_opportunities_, phase_fills_, phase_consumed_,
+       overall_hits_, overall_opportunities_, sram_on_cycles_, last_tick_);
+    std::vector<Address> staged;
+    if constexpr (!Ar::kIsReader) {
+      staged.assign(phase_unconsumed_.begin(), phase_unconsumed_.end());
+      std::sort(staged.begin(), staged.end());
+    }
+    ar(staged);
+    if constexpr (Ar::kIsReader) {
+      phase_unconsumed_.clear();
+      phase_unconsumed_.insert(staged.begin(), staged.end());
+    }
+  }
+
  private:
   void evaluate_phase();
   [[nodiscard]] Cycle window() const { return window_; }
@@ -158,11 +182,12 @@ class RopEngine final : public mem::ControllerListener {
   std::uint64_t phase_hits_ = 0;
   std::uint64_t phase_opportunities_ = 0;
   std::uint64_t phase_fills_ = 0;
-  /// Distinct staged lines served at least once, summed over rounds. The
-  /// accuracy metric divides this (not raw hits) by fills: repeat services
-  /// of one staged line must not push "accuracy" past 1.0.
+  /// Fills served at least once since they landed. The accuracy metric
+  /// divides this (not raw hits) by fills: repeat services of one staged
+  /// line — or a line retained across rounds without a refill — must not
+  /// push "accuracy" past 1.0, so each fill is consumable exactly once.
   std::uint64_t phase_consumed_ = 0;
-  std::unordered_set<Address> round_consumed_;  // this round's served lines
+  std::unordered_set<Address> phase_unconsumed_;  // staged, not yet served
   std::uint64_t overall_hits_ = 0;
   std::uint64_t overall_opportunities_ = 0;
   std::uint64_t sram_on_cycles_ = 0;

@@ -59,6 +59,19 @@ class SramBuffer {
 
   [[nodiscard]] const SramBufferStats& stats() const { return stats_; }
 
+  /// Snapshot serialization: owner, LRU order, and counters. The lookup
+  /// map is a derived view of the LRU vector (values are always `true`)
+  /// and is rebuilt on restore.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(owner_, lru_, stats_.fills, stats_.lookups, stats_.hits,
+       stats_.invalidations, stats_.rounds);
+    if constexpr (Ar::kIsReader) {
+      map_.clear();
+      for (const Address line : lru_) map_.emplace(line, true);
+    }
+  }
+
  private:
   void touch(Address line_addr);
 

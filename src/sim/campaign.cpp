@@ -10,6 +10,7 @@
 
 #include "common/types.h"
 #include "telemetry/stats_json.h"
+#include "sim/snapshot.h"
 #include "sim/worker_budget.h"
 #include "workload/spec_profiles.h"
 
@@ -175,6 +176,14 @@ bool write_file_atomic(const fs::path& path, const std::string& text) {
 std::string cell_filename(std::size_t index) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "cell_%06zu.json", index);
+  return buf;
+}
+
+/// Intra-cell checkpoint, written periodically while the cell runs (spec
+/// scalar "snapshot_every") and deleted once the cell's JSON lands.
+std::string cell_snapname(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "cell_%06zu.snap", index);
   return buf;
 }
 
@@ -485,6 +494,7 @@ std::optional<std::vector<CampaignCell>> expand_campaign(
       scalar_u64(spec, "instructions_per_core", 200'000);
   const std::uint64_t epoch_cycles = scalar_u64(spec, "epoch_cycles", 0);
   const std::uint64_t shard_channels = scalar_u64(spec, "shard_channels", 0);
+  const std::uint64_t snapshot_every = scalar_u64(spec, "snapshot_every", 0);
   const json::Value* check_v = spec.find("check");
   const bool check = check_v != nullptr && check_v->is_bool() &&
                      check_v->as_bool();
@@ -562,6 +572,10 @@ std::optional<std::vector<CampaignCell>> expand_campaign(
                 e.max_cpu_cycles = instructions * 256;  // ropsim parity
                 e.check = check;
                 e.telemetry.sampler.epoch_cycles = epoch_cycles;
+                // Paths are filled in by run_campaign (they depend on the
+                // output directory); the period rides in the spec so every
+                // expansion site agrees on it.
+                e.snapshot.every = snapshot_every;
                 cells.push_back(std::move(cell));
               }
             }
@@ -630,6 +644,10 @@ std::optional<CampaignSummary> run_campaign(const CampaignOptions& opts,
           if (fs::exists(out_dir / cell_filename(i))) {
             done[i] = true;
             ++restored;
+            // A kill between the cell JSON landing and its checkpoint being
+            // deleted can leave the .snap behind; it is dead weight now.
+            std::error_code rm_ec;
+            fs::remove(out_dir / cell_snapname(i), rm_ec);
           }
         }
       }
@@ -666,13 +684,36 @@ std::optional<CampaignSummary> run_campaign(const CampaignOptions& opts,
       const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
       if (slot >= pending.size()) return;
       const std::size_t idx = pending[slot];
-      const ExperimentResult result = run_experiment(cells[idx].spec);
+      ExperimentSpec cell_spec = cells[idx].spec;
+      fs::path snap_path;
+      if (cell_spec.snapshot.every > 0) {
+        snap_path = out_dir / cell_snapname(idx);
+        cell_spec.snapshot.out = snap_path.string();
+        // Resume mid-cell from the last periodic checkpoint — but only one
+        // written under this exact spec; a stale file from an earlier sweep
+        // is discarded, not trusted.
+        if (snapshot_compatible(snap_path.string(),
+                                config_fingerprint(
+                                    spec_canonical(cell_spec)))) {
+          cell_spec.snapshot.in = snap_path.string();
+        } else {
+          std::error_code rm_ec;
+          fs::remove(snap_path, rm_ec);
+        }
+      }
+      const ExperimentResult result = run_experiment(cell_spec);
       const std::string doc = result.to_json();
       if (!write_file_atomic(out_dir / cell_filename(idx), doc)) {
         std::lock_guard<std::mutex> lock(mu);
         io_error = "cannot write " + cell_filename(idx);
         io_failed.store(true, std::memory_order_relaxed);
         return;
+      }
+      if (!snap_path.empty()) {
+        // The cell JSON landed; the intra-cell checkpoint is obsolete (and
+        // must not leak into the next campaign in this directory).
+        std::error_code rm_ec;
+        fs::remove(snap_path, rm_ec);
       }
       const std::size_t n_fresh =
           fresh.fetch_add(1, std::memory_order_relaxed) + 1;

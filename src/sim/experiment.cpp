@@ -1,5 +1,6 @@
 #include "sim/experiment.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +10,7 @@
 
 #include "check/sim_checker.h"
 #include "mem/refresh_stats.h"
+#include "sim/snapshot.h"
 #include "telemetry/stats_json.h"
 #include "workload/synthetic.h"
 
@@ -41,7 +43,7 @@ std::string ExperimentResult::to_json() const {
   telemetry::JsonWriter w(os);
   w.begin_object();
   w.key("schema_version");
-  w.value(std::uint64_t{1});
+  w.value(std::uint64_t{2});
 
   w.key("run");
   w.begin_object();
@@ -131,6 +133,40 @@ std::string ExperimentResult::to_json() const {
   w.value(checker_violations);
   w.end_object();
 
+  w.key("interrupted");
+  w.value(interrupted);
+
+  w.key("sampling");
+  if (sampling.enabled) {
+    w.begin_object();
+    w.key("windows");
+    w.value(sampling.windows);
+    w.key("measured_cpu_cycles");
+    w.value(sampling.measured_cpu_cycles);
+    w.key("functional_cpu_cycles");
+    w.value(sampling.functional_cpu_cycles);
+    w.key("ci_converged");
+    w.value(sampling.ci_converged);
+    const auto est = [&w](const char* name, const SamplingEstimate& e) {
+      w.key(name);
+      w.begin_object();
+      w.key("mean");
+      w.value(e.mean);
+      w.key("stderr");
+      w.value(e.stderr_);
+      w.key("ci95_half");
+      w.value(e.ci95_half);
+      w.end_object();
+    };
+    est("ipc", sampling.ipc);
+    est("energy_mj_per_mcycle", sampling.energy_mj_per_mcycle);
+    est("refresh_blocked_per_mem_cycle",
+        sampling.refresh_blocked_per_mem_cycle);
+    w.end_object();
+  } else {
+    w.null();
+  }
+
   telemetry::write_registry_sections(w, stats);
   telemetry::write_epoch_section(w, epochs.get());
 
@@ -156,6 +192,11 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   const bool sharded = spec.shard_channels > 0;
   ROP_ASSERT(!(sharded && spec.telemetry.tracing()) &&
              "the trace sink interleaves channels; use the serial loop");
+  const bool snap_active = spec.snapshot.any();
+  ROP_ASSERT(!(snap_active && spec.sampling.enabled) &&
+             "checkpointing a statistically sampled run is not meaningful");
+  ROP_ASSERT(!(spec.sampling.enabled && sharded) &&
+             "sampled execution runs on the serial loops only");
   ExperimentResult result;
 
   mem::MemoryConfig mem_cfg =
@@ -178,9 +219,12 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   // conservation audit. Any violation aborts the experiment with a report —
   // a simulator whose bookkeeping has drifted produces meaningless numbers.
   // Sharded runs get one checker per channel so each shard's ticks audit
-  // into shard-owned state (no sharing across workers).
+  // into shard-owned state (no sharing across workers). Disabled while a
+  // snapshot or sampling is active: the conservation audit counts from
+  // attach and cannot span a restore or a functional jump.
   std::vector<std::unique_ptr<check::SimChecker>> checkers;
-  if (spec.check || checker_enabled_by_environment()) {
+  if ((spec.check || checker_enabled_by_environment()) && !snap_active &&
+      !spec.sampling.enabled) {
     if (sharded) {
       for (ChannelId ch = 0; ch < memory.num_channels(); ++ch) {
         checkers.push_back(std::make_unique<check::SimChecker>());
@@ -245,7 +289,69 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
-  result.run = system.run(spec.instructions_per_core, spec.max_cpu_cycles);
+  if (spec.sampling.enabled) {
+    result.run =
+        run_sampled(system, memory, spec.sampling, spec.instructions_per_core,
+                    spec.max_cpu_cycles, &result.sampling);
+  } else if (!snap_active) {
+    result.run = system.run(spec.instructions_per_core, spec.max_cpu_cycles);
+  } else {
+    // Segmented run with checkpoint traffic. The restore side re-runs the
+    // whole construction above (everything config-derived is rebuilt from
+    // the spec), then overwrites the mutable surface from the file.
+    SnapshotContext ctx;
+    ctx.system = &system;
+    ctx.memory = &memory;
+    ctx.stats = &result.stats;
+    for (const auto& eng : engines) ctx.engines.push_back(eng.get());
+    for (const auto& tr : traces) ctx.traces.push_back(tr.get());
+    ctx.sampler = result.epochs.get();
+    ctx.trace = result.trace.get();
+    const std::uint64_t fp = config_fingerprint(spec_canonical(spec));
+
+    system.begin_run(spec.instructions_per_core, spec.max_cpu_cycles);
+    if (!spec.snapshot.in.empty()) {
+      std::string err;
+      if (!read_snapshot_file(spec.snapshot.in, ctx, fp, &err)) {
+        std::fprintf(stderr, "snapshot restore failed (%s): %s\n",
+                     spec.snapshot.in.c_str(), err.c_str());
+        ROP_ASSERT(false && "snapshot restore failed");
+      }
+    }
+    const std::uint64_t stop_at = spec.snapshot.stop_at > 0
+                                      ? spec.snapshot.stop_at
+                                      : spec.max_cpu_cycles;
+    std::uint64_t next_snap = 0;
+    if (spec.snapshot.every > 0) {
+      next_snap =
+          (system.cpu_cycle() / spec.snapshot.every + 1) * spec.snapshot.every;
+    }
+    for (;;) {
+      std::uint64_t stop = stop_at;
+      if (next_snap > 0) stop = std::min(stop, next_snap);
+      const bool ended = system.advance_until(stop);
+      if (ended) break;  // natural end: no checkpoint, the run is complete
+      if (spec.snapshot.stop_at > 0 &&
+          system.cpu_cycle() >= spec.snapshot.stop_at) {
+        ROP_ASSERT(!spec.snapshot.out.empty() &&
+                   "snapshot.stop_at requires snapshot.out");
+        const bool ok = write_snapshot_file(spec.snapshot.out, ctx, fp);
+        ROP_ASSERT(ok && "snapshot write failed");
+        result.interrupted = true;
+        break;
+      }
+      if (next_snap > 0 && system.cpu_cycle() >= next_snap) {
+        if (!spec.snapshot.out.empty()) {
+          const bool ok = write_snapshot_file(spec.snapshot.out, ctx, fp);
+          ROP_ASSERT(ok && "snapshot write failed");
+        }
+        while (next_snap <= system.cpu_cycle()) {
+          next_snap += spec.snapshot.every;
+        }
+      }
+    }
+    result.run = system.finish_run();
+  }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

@@ -13,10 +13,31 @@
 #include "energy/dram_power.h"
 #include "rop/rop_engine.h"
 #include "sim/presets.h"
+#include "sim/sampling.h"
 #include "telemetry/telemetry.h"
 #include "workload/spec_profiles.h"
 
 namespace rop::sim {
+
+/// Checkpoint/restore controls (see sim/snapshot.h). Paths are not part of
+/// the config fingerprint: both sides of a save/restore must otherwise run
+/// the identical spec.
+struct SnapshotSpec {
+  /// Restore from this file before executing anything (the file's
+  /// fingerprint must match the spec).
+  std::string in;
+  /// Checkpoint destination for `every` / `stop_at`.
+  std::string out;
+  /// > 0: write `out` every N CPU cycles (atomically; the previous
+  /// checkpoint survives a kill mid-write).
+  std::uint64_t every = 0;
+  /// > 0: stop the run at this CPU cycle, write `out`, and return a
+  /// partial result flagged `interrupted` — the split half of the
+  /// bit-identity tests, and the campaign's kill hook.
+  std::uint64_t stop_at = 0;
+
+  [[nodiscard]] bool any() const { return !in.empty() || !out.empty(); }
+};
 
 struct ExperimentSpec {
   /// One benchmark name per core (see workload::kBenchmarkNames).
@@ -48,6 +69,12 @@ struct ExperimentSpec {
   /// Observability: epoch sampling and/or event tracing. Both default off
   /// (zero hot-path cost beyond a null-pointer compare).
   telemetry::TelemetryConfig telemetry{};
+  /// Checkpoint/restore (mutually exclusive with `sampling.enabled`; the
+  /// checker is disabled while either is active — its conservation audit
+  /// counts from attach and cannot span a restore or a functional jump).
+  SnapshotSpec snapshot{};
+  /// SMARTS-style sampled execution (serial loops only; see sim/sampling.h).
+  SamplingSpec sampling{};
 };
 
 struct ExperimentResult {
@@ -81,6 +108,12 @@ struct ExperimentResult {
   std::vector<double> nonblocking_fraction;
   std::vector<double> mean_blocked_per_blocking_refresh;
   std::vector<std::uint64_t> max_blocked;
+
+  /// Sampled-execution estimates (enabled == false for exact runs).
+  SamplingSummary sampling{};
+  /// True when snapshot.stop_at ended the run early: the result is a
+  /// partial checkpoint, not a finished experiment.
+  bool interrupted = false;
 
   /// Epoch time-series / event trace captured during the run (null when the
   /// spec did not enable them). shared_ptr keeps the result copyable and the

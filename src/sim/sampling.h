@@ -1,0 +1,98 @@
+// SMARTS-style statistical sampling (Wunderlich et al., ISCA'03 adapted to
+// this simulator): alternate short *detailed* measurement windows with long
+// *functional-warming* fast-forward windows, and report each metric as a
+// mean with a standard error and a 95% confidence interval instead of an
+// exact total.
+//
+// A sampling unit is one detailed window: after `warmup_cycles` of detailed
+// execution (excluded — it re-fills queues, row buffers, and the MLP window
+// after the functional jump), `detail_cycles` of exact event-driven
+// execution are measured. Between units, Core::functional_advance +
+// System::functional_window fast-forward `functional_instructions` per
+// core: trace streams advance, LLCs stay warm, the criticality RNG keeps
+// its draw order, refreshes fire at their natural times — but no demand
+// request is simulated cycle-accurately, which is where the speedup comes
+// from (the detailed fraction of the run is detail/(detail + functional)).
+//
+// Per-window observations:
+//   * IPC: aggregate retired instructions / CPU cycles,
+//   * energy rate: settled DRAM energy per million memory cycles
+//     (Rank accounting is piecewise — settle_accounting at window edges),
+//   * refresh-blocked rate: mem.refresh_blocked_cycles per memory cycle.
+// The estimator treats windows as i.i.d. draws: mean, stderr = s/sqrt(n),
+// and a 95% CI using Student-t quantiles for n < 30 (1.96 beyond). An
+// optional target on the relative CI half-width stops the run early once
+// the estimate is tight enough (`min_windows` guards the t-tail).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "cpu/system.h"
+#include "mem/memory_system.h"
+
+namespace rop::sim {
+
+struct SamplingSpec {
+  bool enabled = false;
+  /// Detailed-but-unmeasured cycles after each functional jump. Tuned so
+  /// the post-jump transient (empty queues, closed rows) is fully absorbed
+  /// before measurement on every SPEC-like profile.
+  std::uint64_t warmup_cycles = 40'000;
+  /// Measured detailed cycles per window.
+  std::uint64_t detail_cycles = 40'000;
+  /// Instructions fast-forwarded per core between windows. Larger jumps
+  /// raise the speedup but thin the window count; at long horizons the
+  /// real win comes from `target_ci_frac` stopping the run outright.
+  std::uint64_t functional_instructions = 100'000;
+  /// CPU-cycle charge per critical demand-read miss during warming
+  /// (a loaded-latency stand-in for the memory the fast-forward skips).
+  Cycle critical_penalty = 160;
+  /// CI machinery: never auto-stop before `min_windows` observations;
+  /// `max_windows` > 0 hard-caps the window count; `target_ci_frac` > 0
+  /// stops once ci95_half / mean <= target for IPC.
+  std::uint32_t min_windows = 8;
+  std::uint32_t max_windows = 0;
+  double target_ci_frac = 0.0;
+};
+
+/// One metric's sampled estimate.
+struct SamplingEstimate {
+  double mean = 0.0;
+  double stderr_ = 0.0;    // s / sqrt(n)
+  double ci95_half = 0.0;  // t_{0.975, n-1} * stderr
+};
+
+struct SamplingSummary {
+  bool enabled = false;
+  std::uint64_t windows = 0;  // measured windows (observations)
+  std::uint64_t measured_cpu_cycles = 0;
+  std::uint64_t functional_cpu_cycles = 0;
+  bool ci_converged = false;  // target_ci_frac was set and reached
+  SamplingEstimate ipc;
+  SamplingEstimate energy_mj_per_mcycle;          // mJ per 1e6 mem cycles
+  SamplingEstimate refresh_blocked_per_mem_cycle;
+};
+
+/// Two-sided 95% Student-t quantile for `df` degrees of freedom (exact
+/// table below 30, 1.96 beyond).
+[[nodiscard]] double t_quantile_975(std::uint64_t df);
+
+/// Mean / stderr / CI of a set of observations (empty -> zeros).
+[[nodiscard]] SamplingEstimate estimate_from(
+    const std::vector<double>& observations);
+
+/// Drive `system` (already constructed, not yet begun) through a sampled
+/// run: begin_run, alternate measured and functional windows until every
+/// core crosses `target_instructions` (or the CI target / window cap /
+/// cycle limit hits), finish_run. Serial loops only. Fills `out` when
+/// non-null.
+[[nodiscard]] cpu::RunResult run_sampled(cpu::System& system,
+                                         mem::MemorySystem& memory,
+                                         const SamplingSpec& spec,
+                                         std::uint64_t target_instructions,
+                                         std::uint64_t max_cpu_cycles,
+                                         SamplingSummary* out);
+
+}  // namespace rop::sim

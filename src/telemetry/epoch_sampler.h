@@ -80,6 +80,15 @@ class EpochSampler {
   /// Delta of counter `c` over retained epoch `i`.
   [[nodiscard]] std::uint64_t delta(std::size_t i, std::size_t c) const;
 
+  /// Snapshot serialization: last-boundary values, the delta ring, and the
+  /// boundary cursor. Names/handles are config-derived (the counter set is
+  /// fixed by the spec, and the sampler is constructed before restore).
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(prev_, deltas_, ends_, rows_, first_row_, first_epoch_,
+       next_boundary_, closed_);
+  }
+
  private:
   void catch_up(Cycle now);
   void take_sample(Cycle end_cycle);

@@ -73,6 +73,12 @@ struct TraceEvent {
   std::uint16_t rank = 0;
   std::uint16_t bank = 0;
   std::uint32_t core = 0;
+
+  /// Snapshot serialization (see common/snapshot_io.h).
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(ts, dur, arg, kind, category, channel, rank, bank, core);
+  }
 };
 
 struct TraceConfig {
@@ -113,6 +119,13 @@ class TraceSink {
 
   /// Last `n` events as human-readable lines, oldest first.
   [[nodiscard]] std::vector<std::string> format_recent(std::size_t n) const;
+
+  /// Snapshot serialization: the ring contents, overwrite cursor, and drop
+  /// count. Config (categories, capacity, tck) is rebuilt from the spec.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(buf_, head_, dropped_);
+  }
 
  private:
   TraceConfig cfg_;

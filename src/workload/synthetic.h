@@ -61,6 +61,15 @@ class SyntheticTrace final : public TraceSource {
 
   [[nodiscard]] const SyntheticConfig& config() const { return cfg_; }
 
+  /// Snapshot serialization: the RNG, the walker cursors, and the record
+  /// ring (with its consumption cursor), so the restored stream hands out
+  /// exactly the records the captured generator would have.
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(rng_, positions_, delta_idx_, credits_, ops_until_idle_, ring_,
+       ring_pos_);
+  }
+
  private:
   /// Generate the next record (the pre-batching next()). Draws from `rng`
   /// so refill() can hand in a register-resident local copy.

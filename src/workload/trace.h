@@ -14,6 +14,12 @@ struct TraceRecord {
   std::uint32_t gap = 0;  // non-memory instructions preceding the access
   bool is_write = false;
   Address addr = 0;  // core-local byte address (the system relocates it)
+
+  /// Snapshot serialization (see common/snapshot_io.h).
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(gap, is_write, addr);
+  }
 };
 
 /// Infinite stream of trace records. Generators wrap around; file readers

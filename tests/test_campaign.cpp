@@ -11,6 +11,8 @@
 
 #include "common/json.h"
 #include "sim/campaign.h"
+#include "sim/experiment.h"
+#include "sim/snapshot.h"
 
 namespace rop::sim {
 namespace {
@@ -202,6 +204,90 @@ TEST(CampaignRun, InterruptedThenResumedMatchesUninterrupted) {
   // No wall-clock leakage: byte-identity depends on it.
   EXPECT_EQ(slurp(full->merged_path).find("wall_seconds"),
             std::string::npos);
+
+  fs::remove_all(base);
+}
+
+TEST(CampaignRun, MidCellKillResumesFromIntraCellSnapshot) {
+  const std::string base = ::testing::TempDir() + "rop_campaign_midcell";
+  fs::remove_all(base);
+  // snapshot_every is below the natural cell length (lbm at 150k
+  // instructions runs ~50k CPU cycles), so every cell leaves periodic
+  // checkpoints behind while it runs.
+  const std::string spec_text = R"({
+    "name": "midkill",
+    "instructions_per_core": 150000,
+    "snapshot_every": 15000,
+    "axes": {"benchmark": ["lbm"], "mode": ["baseline", "rop"]}
+  })";
+  const std::string spec_path = write_spec(base, spec_text);
+
+  std::string err;
+  const auto spec_doc = json::parse(spec_text, &err);
+  ASSERT_TRUE(spec_doc.has_value()) << err;
+  const auto cells = expand_campaign(*spec_doc, &err);
+  ASSERT_TRUE(cells.has_value()) << err;
+  ASSERT_EQ(cells->size(), 2u);
+  EXPECT_EQ((*cells)[0].spec.snapshot.every, 15'000u);
+
+  // Reference: one uninterrupted pass (checkpointing enabled there too —
+  // periodic saves must not perturb results).
+  const auto full =
+      run_campaign(quiet_options(spec_path, base + "/full"), &err);
+  ASSERT_TRUE(full.has_value()) << err;
+  EXPECT_TRUE(full->complete);
+  EXPECT_EQ(full->ran_cells, 2u);
+
+  // Kill after the first cell: cell 0's JSON and the manifest land, cell 1
+  // has not started.
+  CampaignOptions killed = quiet_options(spec_path, base + "/resumed");
+  killed.stop_after = 1;
+  const auto partial = run_campaign(killed, &err);
+  ASSERT_TRUE(partial.has_value()) << err;
+  EXPECT_FALSE(partial->complete);
+  EXPECT_EQ(partial->ran_cells, 1u);
+
+  // Manufacture the debris a kill *mid-cell-1* leaves behind: run cell 1's
+  // spec up to an arbitrary interior cycle so its periodic checkpoint sits
+  // in the output directory with no cell JSON next to it.
+  const std::string snap_path = base + "/resumed/cell_000001.snap";
+  ExperimentSpec mid = (*cells)[1].spec;
+  mid.snapshot.out = snap_path;
+  mid.snapshot.stop_at = 25'001;
+  const ExperimentResult cut = run_experiment(mid);
+  EXPECT_TRUE(cut.interrupted);
+  ASSERT_TRUE(fs::exists(snap_path));
+  EXPECT_TRUE(snapshot_compatible(
+      snap_path, config_fingerprint(spec_canonical((*cells)[1].spec))));
+
+  // Resume: cell 0 is skipped via the manifest, cell 1 resumes from the
+  // intra-cell checkpoint — and the merged document is still byte-equal
+  // to the uninterrupted reference.
+  const auto resumed =
+      run_campaign(quiet_options(spec_path, base + "/resumed"), &err);
+  ASSERT_TRUE(resumed.has_value()) << err;
+  EXPECT_TRUE(resumed->complete);
+  EXPECT_EQ(resumed->skipped_cells, 1u);
+  EXPECT_EQ(resumed->ran_cells, 1u);
+  EXPECT_EQ(slurp(base + "/resumed/merged.json"), slurp(full->merged_path));
+  // The checkpoint is consumed: deleted once the cell JSON lands.
+  EXPECT_FALSE(fs::exists(snap_path));
+
+  // A stale checkpoint (wrong format / different sweep) is discarded, not
+  // trusted: the cell runs fresh and the campaign still converges.
+  const std::string stale_dir = base + "/stale";
+  fs::create_directories(stale_dir);
+  {
+    std::ofstream bogus(stale_dir + "/cell_000000.snap", std::ios::binary);
+    bogus << "not a snapshot";
+  }
+  const auto stale =
+      run_campaign(quiet_options(spec_path, stale_dir), &err);
+  ASSERT_TRUE(stale.has_value()) << err;
+  EXPECT_TRUE(stale->complete);
+  EXPECT_EQ(stale->ran_cells, 2u);
+  EXPECT_EQ(slurp(stale_dir + "/merged.json"), slurp(full->merged_path));
+  EXPECT_FALSE(fs::exists(stale_dir + "/cell_000000.snap"));
 
   fs::remove_all(base);
 }

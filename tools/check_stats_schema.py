@@ -4,7 +4,7 @@ schema (telemetry/stats_json.h, docs/OBSERVABILITY.md).
 
 Usage:
     check_stats_schema.py STATS_JSON [--require-epochs]
-                          [--require-counter NAME]...
+                          [--require-counter NAME]... [--require-sampling]
 
 Checks, per document:
   - top-level sections present: run, energy_mj, counters, scalars,
@@ -17,6 +17,13 @@ Checks, per document:
   - with --require-epochs: the epochs section is non-null, has at least one
     epoch, and every series has one delta per epoch
   - with --require-counter NAME: NAME exists in the counters section
+  - the sampling section (schema_version 2, from --loop sampled), when
+    non-null: windows/measured/functional cycle counts are non-negative
+    integers, and each estimate (ipc, energy_mj_per_mcycle,
+    refresh_blocked_per_mem_cycle) carries mean/stderr/ci95_half with
+    ci95_half >= stderr >= 0
+  - with --require-sampling: the sampling section is non-null with at
+    least one window, and the document declares schema_version >= 2
 
 The file may also be a --compare document ({"benchmark", "modes": {...}})
 or a bench sidecar (an object whose values are stats documents); every
@@ -37,7 +44,50 @@ def fail(errors, where, msg):
     errors.append(f"{where}: {msg}")
 
 
-def check_document(doc, where, errors, require_epochs, require_counters):
+SAMPLING_ESTIMATES = ["ipc", "energy_mj_per_mcycle",
+                      "refresh_blocked_per_mem_cycle"]
+
+
+def check_sampling(doc, where, errors, require_sampling):
+    sampling = doc.get("sampling")
+    if sampling is None:
+        if require_sampling:
+            fail(errors, where,
+                 "sampling section is null but --require-sampling set")
+        return
+    if require_sampling and doc.get("schema_version", 0) < 2:
+        fail(errors, where,
+             f"sampled document declares schema_version "
+             f"{doc.get('schema_version')!r}, expected >= 2")
+    for field in ("windows", "measured_cpu_cycles", "functional_cpu_cycles"):
+        v = sampling.get(field)
+        if not isinstance(v, int) or v < 0:
+            fail(errors, where,
+                 f"sampling '{field}' is not a non-negative integer: {v!r}")
+    if not isinstance(sampling.get("ci_converged"), bool):
+        fail(errors, where, "sampling 'ci_converged' is not a boolean")
+    if require_sampling and sampling.get("windows", 0) < 1:
+        fail(errors, where, "sampled document has zero measurement windows")
+    for name in SAMPLING_ESTIMATES:
+        est = sampling.get(name)
+        if not isinstance(est, dict):
+            fail(errors, where, f"sampling estimate '{name}' missing")
+            continue
+        for field in ("mean", "stderr", "ci95_half"):
+            if not isinstance(est.get(field), (int, float)):
+                fail(errors, where,
+                     f"sampling '{name}.{field}' is not a number: "
+                     f"{est.get(field)!r}")
+                break
+        else:
+            if not (est["ci95_half"] >= est["stderr"] >= 0):
+                fail(errors, where,
+                     f"sampling '{name}' violates ci95_half >= stderr >= 0: "
+                     f"{est['ci95_half']}, {est['stderr']}")
+
+
+def check_document(doc, where, errors, require_epochs, require_counters,
+                   require_sampling=False):
     for section in REQUIRED_SECTIONS:
         if section not in doc:
             fail(errors, where, f"missing section '{section}'")
@@ -109,6 +159,8 @@ def check_document(doc, where, errors, require_epochs, require_counters):
         if any(b <= a for a, b in zip(ends, ends[1:])):
             fail(errors, where, "epoch end_cycles not strictly increasing")
 
+    check_sampling(doc, where, errors, require_sampling)
+
 
 def collect_documents(obj, where):
     """Yield (document, label) for a stats doc, a --compare doc, or a
@@ -132,6 +184,9 @@ def main():
                         help="fail unless a non-empty epoch series is present")
     parser.add_argument("--require-counter", action="append", default=[],
                         metavar="NAME", help="fail unless NAME is exported")
+    parser.add_argument("--require-sampling", action="store_true",
+                        help="fail unless a non-null sampling block with at "
+                             "least one window is present (schema_version 2)")
     args = parser.parse_args()
 
     with open(args.stats) as f:
@@ -142,7 +197,7 @@ def main():
     for doc, where in collect_documents(obj, args.stats):
         n_docs += 1
         check_document(doc, where, errors, args.require_epochs,
-                       args.require_counter)
+                       args.require_counter, args.require_sampling)
     if n_docs == 0:
         errors.append(f"{args.stats}: no stats documents found")
 

@@ -61,8 +61,18 @@ struct Options {
   bool dump_stats = false;
   bool compare = false;
   unsigned jobs = 0;
-  std::string loop = "event";  // --loop event|frozen|naive
+  std::string loop = "event";  // --loop event|frozen|naive|sampled
   bool check = false;
+  std::string snapshot_in;            // --snapshot-in PATH
+  std::string snapshot_out;           // --snapshot-out PATH
+  std::uint64_t snapshot_every = 0;   // --snapshot-every N (CPU cycles)
+  std::uint64_t snapshot_stop = 0;    // --snapshot-stop-at N (CPU cycles)
+  std::uint64_t sample_warmup = 0;    // --sample-warmup N; 0 = default
+  std::uint64_t sample_detail = 0;    // --sample-detail N
+  std::uint64_t sample_functional = 0;  // --sample-functional N
+  std::uint32_t sample_min_windows = 0;   // --sample-min-windows N
+  std::uint32_t sample_max_windows = 0;   // --sample-max-windows N
+  double sample_target_ci = 0.0;      // --sample-target-ci FRAC
   std::string stats_json;             // --stats-json PATH
   std::string trace_out;              // --trace-out PATH
   std::string trace_cats = "all";     // --trace-cats CATS
@@ -98,8 +108,10 @@ struct Options {
       "                       print a comparison table (ignores --mode)\n"
       "  --jobs N             worker threads for --compare (default: one\n"
       "                       per hardware thread)\n"
-      "  --loop MODE          simulation loop: event | frozen | naive\n"
-      "                       (default event; all three are bit-identical)\n"
+      "  --loop MODE          simulation loop: event | frozen | naive |\n"
+      "                       sampled (default event; the first three are\n"
+      "                       bit-identical; sampled is SMARTS-style\n"
+      "                       statistical sampling — see docs/PERFORMANCE.md)\n"
       "  --no-fast-forward    alias for --loop naive (cross-checking)\n"
       "                       (results are bit-identical either way)\n"
       "  --check              audit the run with the SimChecker invariant\n"
@@ -116,6 +128,23 @@ struct Options {
       "  --trace-cats CATS    trace categories, comma-separated from\n"
       "                       cmds,refresh,rop,reqs, or all (default all)\n"
       "  --trace-format FMT   json | binary (default json)\n"
+      "\n"
+      "checkpoint/restore (see docs/PERFORMANCE.md §8):\n"
+      "  --snapshot-out PATH      write a checkpoint (at --snapshot-stop-at,\n"
+      "                           or periodically with --snapshot-every)\n"
+      "  --snapshot-in PATH       resume a run from a checkpoint (the spec\n"
+      "                           flags must match the saving run exactly)\n"
+      "  --snapshot-every N       checkpoint every N CPU cycles\n"
+      "  --snapshot-stop-at N     stop and checkpoint at CPU cycle N\n"
+      "\n"
+      "sampled-loop knobs (only with --loop sampled; defaults in\n"
+      "src/sim/sampling.h):\n"
+      "  --sample-warmup N        detailed-but-unmeasured CPU cycles per unit\n"
+      "  --sample-detail N        measured CPU cycles per unit\n"
+      "  --sample-functional N    instructions fast-forwarded between units\n"
+      "  --sample-min-windows N   observations before auto-stop may fire\n"
+      "  --sample-max-windows N   hard cap on window count\n"
+      "  --sample-target-ci F     stop when IPC ci95/mean <= F (e.g. 0.05)\n"
       "  --help\n"
       "\n"
       "campaign mode — expand a JSON sweep spec into a grid of runs with\n"
@@ -182,6 +211,26 @@ Options parse(int argc, char** argv) {
       opt.loop = "naive";
     } else if (arg == "--check") {
       opt.check = true;
+    } else if (arg == "--snapshot-in") {
+      opt.snapshot_in = need(i);
+    } else if (arg == "--snapshot-out") {
+      opt.snapshot_out = need(i);
+    } else if (arg == "--snapshot-every") {
+      opt.snapshot_every = std::strtoull(need(i), nullptr, 10);
+    } else if (arg == "--snapshot-stop-at") {
+      opt.snapshot_stop = std::strtoull(need(i), nullptr, 10);
+    } else if (arg == "--sample-warmup") {
+      opt.sample_warmup = std::strtoull(need(i), nullptr, 10);
+    } else if (arg == "--sample-detail") {
+      opt.sample_detail = std::strtoull(need(i), nullptr, 10);
+    } else if (arg == "--sample-functional") {
+      opt.sample_functional = std::strtoull(need(i), nullptr, 10);
+    } else if (arg == "--sample-min-windows") {
+      opt.sample_min_windows = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (arg == "--sample-max-windows") {
+      opt.sample_max_windows = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (arg == "--sample-target-ci") {
+      opt.sample_target_ci = std::strtod(need(i), nullptr);
     } else if (arg == "--stats-json") {
       opt.stats_json = need(i);
     } else if (arg == "--epoch") {
@@ -225,8 +274,14 @@ cpu::LoopMode parse_loop(const std::string& s) {
   if (s == "event") return cpu::LoopMode::kEventDriven;
   if (s == "frozen") return cpu::LoopMode::kFrozenStall;
   if (s == "naive") return cpu::LoopMode::kNaive;
+  if (s == "sampled") return cpu::LoopMode::kEventDriven;  // serial detail loop
   std::fprintf(stderr, "unknown loop mode: %s\n", s.c_str());
   usage(2);
+}
+
+bool snapshot_requested(const Options& opt) {
+  return !opt.snapshot_in.empty() || !opt.snapshot_out.empty() ||
+         opt.snapshot_every > 0 || opt.snapshot_stop > 0;
 }
 
 bool is_workload_mix(const std::string& name) {
@@ -277,6 +332,23 @@ sim::ExperimentSpec spec_from_options(const Options& opt,
   spec.max_cpu_cycles = opt.instructions * 256;
   spec.loop = parse_loop(opt.loop);
   spec.check = opt.check;
+  spec.snapshot.in = opt.snapshot_in;
+  spec.snapshot.out = opt.snapshot_out;
+  spec.snapshot.every = opt.snapshot_every;
+  spec.snapshot.stop_at = opt.snapshot_stop;
+  if (opt.loop == "sampled") {
+    spec.sampling.enabled = true;
+    if (opt.sample_warmup > 0) spec.sampling.warmup_cycles = opt.sample_warmup;
+    if (opt.sample_detail > 0) spec.sampling.detail_cycles = opt.sample_detail;
+    if (opt.sample_functional > 0) {
+      spec.sampling.functional_instructions = opt.sample_functional;
+    }
+    if (opt.sample_min_windows > 0) {
+      spec.sampling.min_windows = opt.sample_min_windows;
+    }
+    spec.sampling.max_windows = opt.sample_max_windows;
+    spec.sampling.target_ci_frac = opt.sample_target_ci;
+  }
   return spec;
 }
 
@@ -402,8 +474,33 @@ int run_sharded_single(const Options& opt, sim::MemoryMode mode) {
               static_cast<unsigned long long>(opt.llc_mb),
               opt.refresh_mode.c_str());
   const sim::ExperimentResult result = sim::run_experiment(spec);
-  if (result.run.hit_cycle_limit) {
+  // A sampled run stopping at its CI target (or window cap) and a run cut
+  // at --snapshot-stop-at are early finishes by design, not truncation.
+  if (result.run.hit_cycle_limit && !result.sampling.enabled &&
+      !result.interrupted) {
     std::fprintf(stderr, "warning: cycle limit reached before the target\n");
+  }
+  if (result.interrupted) {
+    std::printf("checkpointed at CPU cycle %llu -> %s (resume with "
+                "--snapshot-in)\n",
+                static_cast<unsigned long long>(result.run.cpu_cycles),
+                spec.snapshot.out.c_str());
+  }
+  if (result.sampling.enabled) {
+    const auto& s = result.sampling;
+    std::printf("\nsampled run: %llu windows (%llu measured + %llu "
+                "functional CPU cycles)%s\n",
+                static_cast<unsigned long long>(s.windows),
+                static_cast<unsigned long long>(s.measured_cpu_cycles),
+                static_cast<unsigned long long>(s.functional_cpu_cycles),
+                s.ci_converged ? " — CI target reached" : "");
+    std::printf("  IPC                 %.4f +/- %.4f (95%% CI)\n",
+                s.ipc.mean, s.ipc.ci95_half);
+    std::printf("  energy mJ/Mcycle    %.4f +/- %.4f\n",
+                s.energy_mj_per_mcycle.mean, s.energy_mj_per_mcycle.ci95_half);
+    std::printf("  refresh-blocked/cyc %.5f +/- %.5f\n",
+                s.refresh_blocked_per_mem_cycle.mean,
+                s.refresh_blocked_per_mem_cycle.ci95_half);
   }
 
   TextTable cores_table("per-core results");
@@ -533,19 +630,39 @@ int main(int argc, char** argv) {
     return run_compare(opt);
   }
   const sim::MemoryMode mode = parse_mode(opt.mode);
-  if (opt.shard_channels > 0 || opt.channels > 1) {
-    // Multi-channel and sharded runs go through run_experiment (the manual
-    // assembly below is single-channel and knows nothing about per-channel
-    // registries). --shard-channels 0 with --channels N is the serial
-    // multi-channel reference the sharded loop is bit-compared against.
+  if (opt.shard_channels > 0 || opt.channels > 1 || snapshot_requested(opt) ||
+      opt.loop == "sampled") {
+    // Multi-channel, sharded, checkpointed, and sampled runs all go through
+    // run_experiment (the manual assembly below is single-channel and knows
+    // nothing about per-channel registries, snapshots, or sampling).
+    // --shard-channels 0 with --channels N is the serial multi-channel
+    // reference the sharded loop is bit-compared against.
     if (!opt.trace_path.empty() || !opt.trace_out.empty()) {
-      std::fprintf(stderr, "--channels/--shard-channels do not support "
-                           "--trace or --trace-out\n");
+      std::fprintf(stderr, "--channels/--shard-channels/--snapshot-*/"
+                           "--loop sampled do not support --trace or "
+                           "--trace-out\n");
       return 2;
     }
-    if (opt.loop != "event") {
+    if (opt.loop != "event" && opt.loop != "sampled" &&
+        !(snapshot_requested(opt) && opt.loop == "frozen")) {
       std::fprintf(stderr, "--channels/--shard-channels require --loop "
                            "event\n");
+      return 2;
+    }
+    if (snapshot_requested(opt) && opt.loop == "sampled") {
+      std::fprintf(stderr, "--snapshot-* and --loop sampled are mutually "
+                           "exclusive\n");
+      return 2;
+    }
+    if ((opt.snapshot_stop > 0 || opt.snapshot_every > 0) &&
+        opt.snapshot_out.empty()) {
+      std::fprintf(stderr, "--snapshot-stop-at/--snapshot-every require "
+                           "--snapshot-out\n");
+      return 2;
+    }
+    if (opt.loop == "sampled" && opt.shard_channels > 0) {
+      std::fprintf(stderr, "--loop sampled requires the serial loop (no "
+                           "--shard-channels)\n");
       return 2;
     }
     return run_sharded_single(opt, mode);
