@@ -301,6 +301,18 @@ void SimChecker::check_conservation() {
                inflight_pf);
 }
 
+void SimChecker::audit_cpi(std::uint32_t core, std::uint64_t cycles,
+                           std::uint64_t stack_sum) {
+  if (stack_sum == cycles) return;
+  std::ostringstream os;
+  os << "(e) CPI stack: core " << core << " categories sum to " << stack_sum
+     << " but cycles = " << cycles << " (delta "
+     << (stack_sum > cycles ? "+" : "-")
+     << (stack_sum > cycles ? stack_sum - cycles : cycles - stack_sum)
+     << ")";
+  violate(os.str());
+}
+
 void SimChecker::finalize() {
   ROP_ASSERT(mem_ != nullptr && "finalize requires an attached memory");
   if (finalized_) return;

@@ -82,6 +82,14 @@ class SimChecker final : public mem::ControllerAuditor {
   /// final drain); safe to call once per attached memory system.
   void finalize();
 
+  /// Invariant family (e), CPI-stack exactness: the attribution ledger's
+  /// disjoint categories must sum bit-exactly to the core's cycles. The
+  /// experiment layer calls this once per core with the frozen values
+  /// (unresolved critical span already folded into `other`); any gap means
+  /// a cycle was double-billed or dropped. Must run before finalize().
+  void audit_cpi(std::uint32_t core, std::uint64_t cycles,
+                 std::uint64_t stack_sum);
+
   [[nodiscard]] bool ok() const { return violation_count_ == 0; }
   [[nodiscard]] std::uint64_t violation_count() const {
     return violation_count_;

@@ -20,7 +20,10 @@ bool Core::do_mem_op() {
   // A dirty writeback from a previous fill must drain first (it holds the
   // single writeback buffer slot).
   if (pending_writeback_) {
-    if (!port_.issue_write(id_, *pending_writeback_)) return false;
+    if (!port_.issue_write(id_, *pending_writeback_)) {
+      block_reason_ = BlockReason::kPort;
+      return false;
+    }
     ++stats_.mem_writebacks;
     pending_writeback_.reset();
   }
@@ -37,9 +40,15 @@ bool Core::do_mem_op() {
   }
 
   // The fill occupies an outstanding-miss slot regardless of load/store.
-  if (outstanding_ >= cfg_.max_outstanding) return false;
+  if (outstanding_ >= cfg_.max_outstanding) {
+    block_reason_ = BlockReason::kMlp;
+    return false;
+  }
   const auto id = port_.issue_read(id_, current_.addr);
-  if (!id) return false;
+  if (!id) {
+    block_reason_ = BlockReason::kPort;
+    return false;
+  }
   ++outstanding_;
   if (current_.is_write) {
     ++stats_.mem_fills;
@@ -49,6 +58,7 @@ bool Core::do_mem_op() {
     // until the fill returns.
     if (rng_.next_bool(cfg_.critical_load_fraction)) {
       critical_pending_ = *id;
+      critical_since_ = stats_.cycles;
     }
   }
   mem_op_pending_ = false;
@@ -85,7 +95,21 @@ void Core::cycle() {
     if (critical_pending_) break;  // the load's value gates retirement
   }
 
-  if (stats_.instructions == retired_before) ++stats_.stall_cycles;
+  if (stats_.instructions == retired_before) {
+    ++stats_.stall_cycles;
+    // Zero retirement always means do_mem_op failed on the first loop
+    // iteration, so block_reason_ was set this cycle. Blocked cores run
+    // cycle() every cycle in every loop mode (next_event_cycle == cycles
+    // while mem_op_pending_), so this per-cycle billing is loop-invariant.
+    if (block_reason_ == BlockReason::kMlp) {
+      ++stats_.stall_mlp_cycles;
+    } else {
+      ++stats_.stall_port_cycles;
+    }
+  } else {
+    ++stats_.retire_cycles;
+  }
+  block_reason_ = BlockReason::kNone;
 }
 
 std::uint64_t Core::functional_advance(std::uint64_t instructions,
@@ -138,6 +162,7 @@ std::uint64_t Core::functional_advance(std::uint64_t instructions,
   const std::uint64_t cycles = slots / cfg_.issue_width + extra_cycles;
   stats_.instructions += retired;
   stats_.cycles += cycles;
+  stats_.other_cycles += cycles;  // estimated, not micro-architecturally billed
   return cycles;
 }
 

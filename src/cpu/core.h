@@ -9,6 +9,7 @@
 // not stall retirement beyond the same MLP budget).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 
@@ -39,18 +40,70 @@ struct CoreStats {
   std::uint64_t mem_fills = 0;      // write-allocate fills sent to memory
   std::uint64_t mem_writebacks = 0;
 
+  // CPI-stack ledger (telemetry/attribution.h): a disjoint decomposition
+  // of `cycles`. Every executed cycle bills exactly one category; the span
+  // spent asleep on a critical load is billed at wake, decomposed from the
+  // fill's lifecycle stamps (Core::on_read_complete). Invariant — enforced
+  // by SimChecker::audit_cpi and the attribution tests:
+  //   sum(categories) + unresolved critical span == cycles, always.
+  std::uint64_t retire_cycles = 0;            // >= 1 instruction retired
+  std::uint64_t stall_mlp_cycles = 0;         // outstanding-miss budget full
+  std::uint64_t stall_port_cycles = 0;        // memory queue rejected the op
+  std::uint64_t stall_mem_queue_cycles = 0;   // critical fill: queue wait
+  std::uint64_t stall_mem_bank_cycles = 0;    // critical fill: ACT wait
+  std::uint64_t stall_mem_cas_cycles = 0;     // critical fill: CAS latency
+  std::uint64_t stall_mem_bus_cycles = 0;     // critical fill: data burst
+  std::uint64_t stall_refresh_rank_cycles = 0;      // rank REF lock
+  std::uint64_t stall_refresh_bank_cycles = 0;      // per-bank REFpb lock
+  std::uint64_t stall_refresh_subarray_cycles = 0;  // subarray lock
+  std::uint64_t stall_refresh_pause_cycles = 0;     // pausing segments
+  std::uint64_t stall_rop_sram_cycles = 0;    // residual wait of SRAM fills
+  std::uint64_t other_cycles = 0;  // align/functional jumps, end-of-run
+
   [[nodiscard]] double ipc() const {
     return cycles ? static_cast<double>(instructions) /
                         static_cast<double>(cycles)
                   : 0.0;
   }
 
+  /// Sum of the CPI-stack categories; equals `cycles` minus the span of a
+  /// still-unresolved critical load (see Core::unresolved_stall_cycles).
+  [[nodiscard]] std::uint64_t cpi_category_sum() const {
+    return retire_cycles + stall_mlp_cycles + stall_port_cycles +
+           stall_mem_queue_cycles + stall_mem_bank_cycles +
+           stall_mem_cas_cycles + stall_mem_bus_cycles +
+           stall_refresh_rank_cycles + stall_refresh_bank_cycles +
+           stall_refresh_subarray_cycles + stall_refresh_pause_cycles +
+           stall_rop_sram_cycles + other_cycles;
+  }
+
   /// Snapshot serialization (see common/snapshot_io.h).
   template <class Ar>
   void io(Ar& ar) {
     ar(instructions, cycles, stall_cycles, mem_reads, mem_fills,
-       mem_writebacks);
+       mem_writebacks, retire_cycles, stall_mlp_cycles, stall_port_cycles,
+       stall_mem_queue_cycles, stall_mem_bank_cycles, stall_mem_cas_cycles,
+       stall_mem_bus_cycles, stall_refresh_rank_cycles,
+       stall_refresh_bank_cycles, stall_refresh_subarray_cycles,
+       stall_refresh_pause_cycles, stall_rop_sram_cycles, other_cycles);
   }
+};
+
+/// Decomposition of one completed memory fill, in CPU cycles — built by
+/// cpu::System from the request's lifecycle stamps and handed to
+/// Core::on_read_complete so the woken core can attribute its critical
+/// stall span. Components are clipped sequentially against the actual
+/// span, so over-approximation (ratio rounding, forward-charged refresh
+/// blocking) never breaks the cycles invariant.
+struct FillInfo {
+  std::uint64_t refresh_rank = 0;   // rank REF lock wait
+  std::uint64_t refresh_bank = 0;   // per-bank REFpb lock wait
+  std::uint64_t refresh_sub = 0;    // subarray lock wait
+  std::uint64_t refresh_pause = 0;  // pausing-segment wait
+  std::uint64_t act_wait = 0;       // row activation (bank/row conflict)
+  std::uint64_t cas = 0;            // column-access latency
+  std::uint64_t bus = 0;            // data-burst transfer
+  bool sram = false;                // serviced by the ROP SRAM buffer
 };
 
 /// Callback the core uses to push a request into the memory hierarchy.
@@ -81,8 +134,14 @@ class Core {
   /// was the critical load blocking retirement, the slept span (cycles the
   /// event loop never executed on this core) is back-filled as stall in one
   /// add — zero in the per-cycle modes, where a stalled core is billed
-  /// every cycle and `cycles` already equals `now_cycle`.
-  void on_read_complete(RequestId id, std::uint64_t now_cycle) {
+  /// every cycle and `cycles` already equals `now_cycle` — and the whole
+  /// critical span [critical_since_, now_cycle) is attributed across the
+  /// CPI-stack categories from `fill`. The span is identical in every loop
+  /// mode (critical_since_ is set at issue, now_cycle is the delivery
+  /// cycle, and both are pinned bit-identical), so the decomposition is
+  /// mode-invariant by construction.
+  void on_read_complete(RequestId id, std::uint64_t now_cycle,
+                        const FillInfo& fill) {
     ROP_ASSERT(outstanding_ > 0);
     --outstanding_;
     if (critical_pending_ && *critical_pending_ == id) {
@@ -91,7 +150,11 @@ class Core {
       stats_.cycles += slept;
       stats_.stall_cycles += slept;
       critical_pending_.reset();
+      attribute_critical_span(now_cycle, fill);
     }
+  }
+  void on_read_complete(RequestId id, std::uint64_t now_cycle) {
+    on_read_complete(id, now_cycle, FillInfo{});
   }
 
   /// True while retirement is blocked on an outstanding critical load. In
@@ -126,12 +189,15 @@ class Core {
     const std::uint64_t n = target_cycle - stats_.cycles;
     stats_.cycles = target_cycle;
     if (critical_pending_) {
+      // Part of the critical span: attributed at wake (or settled into
+      // `other` at end of run), never billed here.
       stats_.stall_cycles += n;
       return;
     }
     ROP_ASSERT(have_record_);
     ROP_ASSERT(remaining_gap_ / cfg_.issue_width >= n);
     stats_.instructions += n * cfg_.issue_width;
+    stats_.retire_cycles += n;
     remaining_gap_ -= static_cast<std::uint32_t>(n * cfg_.issue_width);
   }
 
@@ -155,6 +221,14 @@ class Core {
   }
   [[nodiscard]] const Rng& rng() const { return rng_; }
 
+  /// Cycles of a still-pending critical load not yet attributed to any
+  /// CPI-stack category (the span is decomposed at wake). Exports fold
+  /// this into `other_cycles` at copy time so the published stack always
+  /// sums to `cycles`, without mutating live core state.
+  [[nodiscard]] std::uint64_t unresolved_stall_cycles() const {
+    return critical_pending_ ? stats_.cycles - critical_since_ : 0;
+  }
+
   /// Functional warming for the sampled loop: retire `instructions` without
   /// issuing any memory request. Trace records are consumed, the active LLC
   /// is warmed (fills happen, writebacks are dropped — there is no memory
@@ -176,7 +250,10 @@ class Core {
   /// provably pure span, which an estimated jump is not).
   void align_cycles(std::uint64_t target_cycle) {
     if (target_cycle <= stats_.cycles) return;
-    stats_.stall_cycles += target_cycle - stats_.cycles;
+    const std::uint64_t span = target_cycle - stats_.cycles;
+    stats_.stall_cycles += span;
+    // An estimated jump has no micro-architectural cause to blame.
+    if (!critical_pending_) stats_.other_cycles += span;
     stats_.cycles = target_cycle;
   }
 
@@ -187,14 +264,49 @@ class Core {
   template <class Ar>
   void io(Ar& ar) {
     ar(current_, have_record_, remaining_gap_, pending_writeback_,
-       mem_op_pending_, outstanding_, critical_pending_, rng_, stats_,
-       private_llc_);
+       mem_op_pending_, outstanding_, critical_pending_, critical_since_,
+       rng_, stats_, private_llc_);
   }
 
  private:
+  /// Why the most recent zero-retirement cycle retired nothing. Set by
+  /// do_mem_op before every failing return; consumed by cycle() the same
+  /// cycle, so it is dead state between cycles and never serialized.
+  enum class BlockReason : std::uint8_t { kNone, kMlp, kPort };
+
   /// Attempt the memory operation of the current record. Returns true when
   /// it retired (the core may advance to the next record).
   bool do_mem_op();
+
+  /// Decompose the just-ended critical span [critical_since_, now_cycle)
+  /// across the CPI-stack categories. Components are clipped sequentially:
+  /// refresh causes first (the headline metric gets full credit), then the
+  /// SRAM-fill residual or the ACT/CAS/bus chain, with whatever remains
+  /// billed as queue wait. Clipping absorbs cpu-ratio rounding and the
+  /// forward-charged over-approximation of refresh blocking, so the sum
+  /// never exceeds the actual span.
+  void attribute_critical_span(std::uint64_t now_cycle, const FillInfo& fill) {
+    std::uint64_t rem = now_cycle - critical_since_;
+    const auto clip = [&rem](std::uint64_t want) {
+      const std::uint64_t take = std::min(want, rem);
+      rem -= take;
+      return take;
+    };
+    stats_.stall_refresh_rank_cycles += clip(fill.refresh_rank);
+    stats_.stall_refresh_bank_cycles += clip(fill.refresh_bank);
+    stats_.stall_refresh_subarray_cycles += clip(fill.refresh_sub);
+    stats_.stall_refresh_pause_cycles += clip(fill.refresh_pause);
+    if (fill.sram) {
+      // Everything past the refresh locks was spent waiting on the SRAM
+      // buffer path — the revived-service residual.
+      stats_.stall_rop_sram_cycles += rem;
+    } else {
+      stats_.stall_mem_bank_cycles += clip(fill.act_wait);
+      stats_.stall_mem_cas_cycles += clip(fill.cas);
+      stats_.stall_mem_bus_cycles += clip(fill.bus);
+      stats_.stall_mem_queue_cycles += rem;
+    }
+  }
   [[nodiscard]] cache::Llc& active_llc() {
     return shared_llc_ != nullptr ? *shared_llc_ : private_llc_;
   }
@@ -214,6 +326,11 @@ class Core {
 
   std::uint32_t outstanding_ = 0;
   std::optional<RequestId> critical_pending_;
+  // CPU cycle the pending critical load issued at — start of the span
+  // attribute_critical_span decomposes at wake. Loop-invariant: set inside
+  // do_mem_op, which every loop mode executes at the same cycle.
+  std::uint64_t critical_since_ = 0;
+  BlockReason block_reason_ = BlockReason::kNone;
   Rng rng_;
   CoreStats stats_;
 };

@@ -36,8 +36,28 @@ System::System(const SystemConfig& cfg, mem::MemorySystem& memory,
     h.mem_reads = reg.counter_handle(prefix + "mem_reads");
     h.mem_fills = reg.counter_handle(prefix + "mem_fills");
     h.mem_writebacks = reg.counter_handle(prefix + "mem_writebacks");
+    h.cpi_retire = reg.counter_handle(prefix + "cpi.retire");
+    h.cpi_stall_mlp = reg.counter_handle(prefix + "cpi.stall_mlp");
+    h.cpi_stall_port = reg.counter_handle(prefix + "cpi.stall_port");
+    h.cpi_mem_queue = reg.counter_handle(prefix + "cpi.mem_queue");
+    h.cpi_mem_bank = reg.counter_handle(prefix + "cpi.mem_bank");
+    h.cpi_mem_cas = reg.counter_handle(prefix + "cpi.mem_cas");
+    h.cpi_mem_bus = reg.counter_handle(prefix + "cpi.mem_bus");
+    h.cpi_refresh_rank = reg.counter_handle(prefix + "cpi.refresh_rank");
+    h.cpi_refresh_bank = reg.counter_handle(prefix + "cpi.refresh_bank");
+    h.cpi_refresh_subarray =
+        reg.counter_handle(prefix + "cpi.refresh_subarray");
+    h.cpi_refresh_pause = reg.counter_handle(prefix + "cpi.refresh_pause");
+    h.cpi_rop_sram = reg.counter_handle(prefix + "cpi.rop_sram");
+    h.cpi_other = reg.counter_handle(prefix + "cpi.other");
     core_stat_handles_.push_back(h);
   }
+
+  // Fixed fill-latency components in CPU cycles, for make_fill.
+  cas_cpu_ = static_cast<std::uint64_t>(memory_.config().timings.CL) *
+             cfg_.cpu_ratio;
+  bus_cpu_ = static_cast<std::uint64_t>(memory_.config().timings.tBL) *
+             cfg_.cpu_ratio;
 
   // Relocation bases, hoisted out of the per-request path. Flat layout:
   // carve the physical space into equal per-core regions so footprints
@@ -142,6 +162,44 @@ std::uint64_t System::skip_target(std::uint64_t cpu_cycle,
   return target;
 }
 
+FillInfo System::make_fill(const mem::Request& req) const {
+  FillInfo f;
+  const std::uint64_t r = cfg_.cpu_ratio;
+  f.refresh_rank = static_cast<std::uint64_t>(req.blocked_rank) * r;
+  f.refresh_bank = static_cast<std::uint64_t>(req.blocked_bank) * r;
+  f.refresh_sub = static_cast<std::uint64_t>(req.blocked_sub) * r;
+  f.refresh_pause = static_cast<std::uint64_t>(req.blocked_pause) * r;
+  f.sram = req.serviced_by == mem::ServicedBy::kSramBuffer;
+  if (req.serviced_by == mem::ServicedBy::kDram) {
+    if (req.act != kNeverCycle && req.issued != kNeverCycle &&
+        req.issued > req.act) {
+      f.act_wait = (req.issued - req.act) * r;
+    }
+    f.cas = cas_cpu_;
+    f.bus = bus_cpu_;
+  }
+  // Write-forwarded reads keep all components zero: the whole span past
+  // the refresh locks is queue wait on the write queue.
+  return f;
+}
+
+void System::freeze_cpi_stack(std::size_t c, CoreResult& r) const {
+  const CoreStats& s = cores_[c]->stats();
+  r.retire_cycles = s.retire_cycles;
+  r.stall_mlp_cycles = s.stall_mlp_cycles;
+  r.stall_port_cycles = s.stall_port_cycles;
+  r.stall_mem_queue_cycles = s.stall_mem_queue_cycles;
+  r.stall_mem_bank_cycles = s.stall_mem_bank_cycles;
+  r.stall_mem_cas_cycles = s.stall_mem_cas_cycles;
+  r.stall_mem_bus_cycles = s.stall_mem_bus_cycles;
+  r.stall_refresh_rank_cycles = s.stall_refresh_rank_cycles;
+  r.stall_refresh_bank_cycles = s.stall_refresh_bank_cycles;
+  r.stall_refresh_subarray_cycles = s.stall_refresh_subarray_cycles;
+  r.stall_refresh_pause_cycles = s.stall_refresh_pause_cycles;
+  r.stall_rop_sram_cycles = s.stall_rop_sram_cycles;
+  r.other_cycles = s.other_cycles + cores_[c]->unresolved_stall_cycles();
+}
+
 void System::record_crossing(std::size_t c) {
   loop_.crossed[c] = true;
   --loop_.remaining;
@@ -152,6 +210,7 @@ void System::record_crossing(std::size_t c) {
   r.ipc = s.ipc();
   r.mem_reads = s.mem_reads + s.mem_fills;
   r.mem_writebacks = s.mem_writebacks;
+  freeze_cpi_stack(c, r);
 }
 
 void System::begin_run(std::uint64_t target_instructions,
@@ -217,7 +276,8 @@ bool System::advance_until(std::uint64_t stop_cpu) {
         // just makes this a cheap no-op visit.
         pool_->advance_to(mem_now_);
         pool_->for_each_completed([&](const mem::Request& req) {
-          cores_[req.core]->on_read_complete(req.id, cpu_cycle);
+          cores_[req.core]->on_read_complete(req.id, cpu_cycle,
+                                             make_fill(req));
         });
         mem_dirty_ = false;
         mem_next_event = pool_->next_required_boundary(mem_now_);
@@ -227,7 +287,8 @@ bool System::advance_until(std::uint64_t stop_cpu) {
             mem_now_ >= mem_next_event) {
           memory_.tick(mem_now_);
           memory_.for_each_completed([&](const mem::Request& req) {
-            cores_[req.core]->on_read_complete(req.id, cpu_cycle);
+            cores_[req.core]->on_read_complete(req.id, cpu_cycle,
+                                               make_fill(req));
           });
           mem_dirty_ = false;
           if (mode != LoopMode::kNaive) {
@@ -319,10 +380,13 @@ RunResult System::finish_run() {
     r.ipc = s.ipc();
     r.mem_reads = s.mem_reads + s.mem_fills;
     r.mem_writebacks = s.mem_writebacks;
+    freeze_cpi_stack(c, r);
   }
 
   // Mirror the final per-core counters into the registry (handles resolved
-  // at construction). A System runs once.
+  // at construction). A System runs once. The CPI mirror folds any
+  // unresolved critical span into `other`, so the exported stack sums to
+  // the exported cycles.
   for (std::size_t c = 0; c < cores_.size(); ++c) {
     const CoreStats& s = cores_[c]->stats();
     const CoreStatHandles& h = core_stat_handles_[c];
@@ -332,6 +396,19 @@ RunResult System::finish_run() {
     h.mem_reads->inc(s.mem_reads);
     h.mem_fills->inc(s.mem_fills);
     h.mem_writebacks->inc(s.mem_writebacks);
+    h.cpi_retire->inc(s.retire_cycles);
+    h.cpi_stall_mlp->inc(s.stall_mlp_cycles);
+    h.cpi_stall_port->inc(s.stall_port_cycles);
+    h.cpi_mem_queue->inc(s.stall_mem_queue_cycles);
+    h.cpi_mem_bank->inc(s.stall_mem_bank_cycles);
+    h.cpi_mem_cas->inc(s.stall_mem_cas_cycles);
+    h.cpi_mem_bus->inc(s.stall_mem_bus_cycles);
+    h.cpi_refresh_rank->inc(s.stall_refresh_rank_cycles);
+    h.cpi_refresh_bank->inc(s.stall_refresh_bank_cycles);
+    h.cpi_refresh_subarray->inc(s.stall_refresh_subarray_cycles);
+    h.cpi_refresh_pause->inc(s.stall_refresh_pause_cycles);
+    h.cpi_rop_sram->inc(s.stall_rop_sram_cycles);
+    h.cpi_other->inc(s.other_cycles + cores_[c]->unresolved_stall_cycles());
   }
 
   result.cpu_cycles = cpu_cycle;
@@ -376,7 +453,8 @@ std::uint64_t System::functional_window(std::uint64_t instructions_per_core,
     const std::uint64_t deliver_cpu =
         std::max(start_cpu, m * static_cast<std::uint64_t>(cfg_.cpu_ratio));
     memory_.for_each_completed([&](const mem::Request& req) {
-      cores_[req.core]->on_read_complete(req.id, deliver_cpu);
+      cores_[req.core]->on_read_complete(req.id, deliver_cpu,
+                                         make_fill(req));
     });
     drained_cpu = deliver_cpu;
     if (outstanding_total() == 0) break;

@@ -63,10 +63,42 @@ struct CoreResult {
   std::uint64_t mem_reads = 0;
   std::uint64_t mem_writebacks = 0;
 
+  /// CPI stack frozen with the rest of the metrics. Disjoint categories
+  /// summing exactly to cpu_cycles: any still-unresolved critical span is
+  /// folded into `other_cycles` at freeze time (see
+  /// Core::unresolved_stall_cycles).
+  std::uint64_t retire_cycles = 0;
+  std::uint64_t stall_mlp_cycles = 0;
+  std::uint64_t stall_port_cycles = 0;
+  std::uint64_t stall_mem_queue_cycles = 0;
+  std::uint64_t stall_mem_bank_cycles = 0;
+  std::uint64_t stall_mem_cas_cycles = 0;
+  std::uint64_t stall_mem_bus_cycles = 0;
+  std::uint64_t stall_refresh_rank_cycles = 0;
+  std::uint64_t stall_refresh_bank_cycles = 0;
+  std::uint64_t stall_refresh_subarray_cycles = 0;
+  std::uint64_t stall_refresh_pause_cycles = 0;
+  std::uint64_t stall_rop_sram_cycles = 0;
+  std::uint64_t other_cycles = 0;
+
+  [[nodiscard]] std::uint64_t cpi_stack_sum() const {
+    return retire_cycles + stall_mlp_cycles + stall_port_cycles +
+           stall_mem_queue_cycles + stall_mem_bank_cycles +
+           stall_mem_cas_cycles + stall_mem_bus_cycles +
+           stall_refresh_rank_cycles + stall_refresh_bank_cycles +
+           stall_refresh_subarray_cycles + stall_refresh_pause_cycles +
+           stall_rop_sram_cycles + other_cycles;
+  }
+
   /// Snapshot serialization (see common/snapshot_io.h).
   template <class Ar>
   void io(Ar& ar) {
-    ar(instructions, cpu_cycles, ipc, mem_reads, mem_writebacks);
+    ar(instructions, cpu_cycles, ipc, mem_reads, mem_writebacks,
+       retire_cycles, stall_mlp_cycles, stall_port_cycles,
+       stall_mem_queue_cycles, stall_mem_bank_cycles, stall_mem_cas_cycles,
+       stall_mem_bus_cycles, stall_refresh_rank_cycles,
+       stall_refresh_bank_cycles, stall_refresh_subarray_cycles,
+       stall_refresh_pause_cycles, stall_rop_sram_cycles, other_cycles);
   }
 };
 
@@ -182,6 +214,14 @@ class System final : public MemoryPort {
   /// Freeze core `c`'s metrics at its instruction-target crossing.
   void record_crossing(std::size_t c);
 
+  /// Copy core `c`'s CPI-stack ledger into `r`, folding any unresolved
+  /// critical span into `other` so the published stack sums to cpu_cycles.
+  void freeze_cpi_stack(std::size_t c, CoreResult& r) const;
+
+  /// Decompose a completed fill into CPU-cycle blame components for
+  /// Core::attribute_critical_span (pure function of the request).
+  [[nodiscard]] FillInfo make_fill(const mem::Request& req) const;
+
   /// Relocate a core-local address into the physical address space (bases
   /// precomputed at construction; see reloc_base_line_).
   [[nodiscard]] Address relocate(CoreId core, Address local) const;
@@ -208,6 +248,20 @@ class System final : public MemoryPort {
     Counter* mem_reads = nullptr;
     Counter* mem_fills = nullptr;
     Counter* mem_writebacks = nullptr;
+    // CPI-stack mirrors ("coreN.cpi.*"), published once at finish_run.
+    Counter* cpi_retire = nullptr;
+    Counter* cpi_stall_mlp = nullptr;
+    Counter* cpi_stall_port = nullptr;
+    Counter* cpi_mem_queue = nullptr;
+    Counter* cpi_mem_bank = nullptr;
+    Counter* cpi_mem_cas = nullptr;
+    Counter* cpi_mem_bus = nullptr;
+    Counter* cpi_refresh_rank = nullptr;
+    Counter* cpi_refresh_bank = nullptr;
+    Counter* cpi_refresh_subarray = nullptr;
+    Counter* cpi_refresh_pause = nullptr;
+    Counter* cpi_rop_sram = nullptr;
+    Counter* cpi_other = nullptr;
   };
 
   SystemConfig cfg_;
@@ -222,6 +276,10 @@ class System final : public MemoryPort {
   std::uint64_t region_lines_ = 0;
   std::vector<std::uint64_t> reloc_base_line_;
   std::vector<std::uint32_t> reloc_rank_;
+  /// CAS latency and data-burst length in CPU cycles, precomputed from the
+  /// memory timings for make_fill.
+  std::uint64_t cas_cpu_ = 0;
+  std::uint64_t bus_cpu_ = 0;
   Cycle mem_now_ = 0;
   /// Set by issue_read/issue_write when a request lands: the cached
   /// next-event cycle is stale and the next boundary tick must execute.

@@ -69,12 +69,53 @@ Controller::Controller(ChannelId id, const dram::DramTimings& timings,
   // 8-cycle buckets out to 1024 cycles (beyond 2x tRFC), overflow above.
   h_.read_latency_hist =
       stats->histogram_handle("mem.read_latency_hist", 8, 128);
+  h_.attr_blocked_rank = stats->counter_handle("attr.blocked_rank_cycles");
+  h_.attr_blocked_bank = stats->counter_handle("attr.blocked_bank_cycles");
+  h_.attr_blocked_sub = stats->counter_handle("attr.blocked_subarray_cycles");
+  h_.attr_blocked_pause = stats->counter_handle("attr.blocked_pause_cycles");
+  h_.attr_rop_recovered = stats->counter_handle("attr.rop_recovered_cycles");
+  h_.attr_blocked_rank_hist =
+      stats->histogram_handle("attr.blocked_rank_hist", 8, 128);
+  h_.attr_blocked_bank_hist =
+      stats->histogram_handle("attr.blocked_bank_hist", 8, 128);
+  h_.attr_blocked_sub_hist =
+      stats->histogram_handle("attr.blocked_subarray_hist", 8, 128);
+  h_.attr_blocked_pause_hist =
+      stats->histogram_handle("attr.blocked_pause_hist", 8, 128);
+  h_.attr_queue_wait_hist =
+      stats->histogram_handle("attr.queue_wait_hist", 8, 128);
+  h_.attr_act_wait_hist =
+      stats->histogram_handle("attr.act_wait_hist", 8, 128);
 }
 
 void Controller::record_read_latency(const Request& req) {
   const Cycle latency = req.completion - req.arrival;
   h_.read_latency->record(static_cast<double>(latency));
   h_.read_latency_hist->record(latency);
+  // Fold the per-request attribution accumulators into the ledger. The
+  // zero-skips keep the common unblocked read at four integer compares.
+  if (req.blocked_rank != 0) {
+    h_.attr_blocked_rank->inc(req.blocked_rank);
+    h_.attr_blocked_rank_hist->record(req.blocked_rank);
+  }
+  if (req.blocked_bank != 0) {
+    h_.attr_blocked_bank->inc(req.blocked_bank);
+    h_.attr_blocked_bank_hist->record(req.blocked_bank);
+  }
+  if (req.blocked_sub != 0) {
+    h_.attr_blocked_sub->inc(req.blocked_sub);
+    h_.attr_blocked_sub_hist->record(req.blocked_sub);
+  }
+  if (req.blocked_pause != 0) {
+    h_.attr_blocked_pause->inc(req.blocked_pause);
+    h_.attr_blocked_pause_hist->record(req.blocked_pause);
+  }
+  if (req.issued != kNeverCycle) {
+    h_.attr_queue_wait_hist->record(req.issued - req.arrival);
+    if (req.act != kNeverCycle) {
+      h_.attr_act_wait_hist->record(req.issued - req.act);
+    }
+  }
   if (trace_ != nullptr && trace_->wants(telemetry::kCatReqs)) {
     telemetry::TraceEvent e;
     e.ts = req.arrival;
@@ -87,6 +128,28 @@ void Controller::record_read_latency(const Request& req) {
     e.bank = static_cast<std::uint16_t>(req.coord.bank);
     e.core = req.core;
     trace_->record(e);
+    // Nested lifecycle slices inside the read span: queue wait
+    // (arrival -> issue), activation wait (ACT -> issue) and the data
+    // transfer (issue -> data). Chrome/Perfetto nest them by containment
+    // on the same lane.
+    if (req.issued != kNeverCycle) {
+      if (req.issued > req.arrival) {
+        e.ts = req.arrival;
+        e.dur = req.issued - req.arrival;
+        e.kind = telemetry::EventKind::kReadQueueSpan;
+        trace_->record(e);
+      }
+      if (req.act != kNeverCycle && req.issued > req.act) {
+        e.ts = req.act;
+        e.dur = req.issued - req.act;
+        e.kind = telemetry::EventKind::kReadActSpan;
+        trace_->record(e);
+      }
+      e.ts = req.issued;
+      e.dur = req.completion - req.issued;
+      e.kind = telemetry::EventKind::kReadXferSpan;
+      trace_->record(e);
+    }
   }
 }
 
@@ -110,6 +173,7 @@ bool Controller::enqueue(Request req, Cycle now) {
   // be double-counted.
   if (!can_accept(req.type)) return false;
   req.arrival = now;
+  req.eligible = now;
   last_arrival_[req.coord.rank] = now;
 
   if (req.type == ReqType::kRead) {
@@ -122,6 +186,12 @@ bool Controller::enqueue(Request req, Cycle now) {
         req.completion = *done;
         req.serviced_by = ServicedBy::kSramBuffer;
         h_.sram_serviced->inc();
+        // The revived-cycle credit: without the buffer this read would
+        // have waited out the rest of the refresh window.
+        const dram::Rank& rk = channel_.rank(req.coord.rank);
+        if (rk.refreshing() && rk.refresh_done() > req.completion) {
+          h_.attr_rop_recovered->inc(rk.refresh_done() - req.completion);
+        }
         record_read_latency(req);
         completed_.push_back(arena_.alloc(req));
         return true;
@@ -150,20 +220,35 @@ bool Controller::enqueue(Request req, Cycle now) {
     }
     // Refresh-blocking metric: a read arriving mid-lock is charged the
     // remaining lock span (issue-time charges cover the reads already
-    // queued when the lock began).
+    // queued when the lock began). The per-request accumulator records the
+    // same span under its cause, and `eligible` moves to the lock release.
+    Request& qr = arena_[idx];
     const dram::Rank& rank = channel_.rank(r);
     const dram::Bank& bank = rank.bank(req.coord.bank);
     if (rank.refreshing()) {
       if (rank.refresh_done() > now) {
-        charge_refresh_blocking(1, rank.refresh_done() - now);
+        const Cycle span = rank.refresh_done() - now;
+        charge_refresh_blocking(1, span);
+        if (cfg_.policy == RefreshPolicy::kPausing) {
+          qr.blocked_pause += static_cast<std::uint32_t>(span);
+        } else {
+          qr.blocked_rank += static_cast<std::uint32_t>(span);
+        }
+        qr.eligible = rank.refresh_done();
       }
     } else if (bank.state() == dram::BankState::kRefreshing) {
       if (bank.next_activate() > now) {
-        charge_refresh_blocking(1, bank.next_activate() - now);
+        const Cycle span = bank.next_activate() - now;
+        charge_refresh_blocking(1, span);
+        qr.blocked_bank += static_cast<std::uint32_t>(span);
+        qr.eligible = bank.next_activate();
       }
     } else if (const auto sub = bank.refreshing_subarray(now)) {
       if (bank.subarray_of(req.coord.row) == *sub) {
-        charge_refresh_blocking(1, bank.subarray_busy_until(*sub) - now);
+        const Cycle span = bank.subarray_busy_until(*sub) - now;
+        charge_refresh_blocking(1, span);
+        qr.blocked_sub += static_cast<std::uint32_t>(span);
+        qr.eligible = bank.subarray_busy_until(*sub);
       }
     }
   } else {
@@ -317,6 +402,10 @@ bool Controller::issue_refresh_commands(RankId r, Cycle now) {
     blocking_.on_refresh_start(r, now);
     // Every read still queued to the rank is frozen for the full tRFC.
     charge_refresh_blocking(pending_reads_[r], channel_.timings().tRFC);
+    for (const RequestIndex qidx : reads_by_rank_[r]) {
+      arena_[qidx].blocked_rank +=
+          static_cast<std::uint32_t>(channel_.timings().tRFC);
+    }
     h_.refreshes->inc();
     phase_[r] = RefreshPhase::kIdle;
     locked_at_[r] = kNeverCycle;
@@ -488,6 +577,9 @@ bool Controller::manage_refresh_pausing(Cycle now) {
     }
     channel_.begin_refresh_segment(r, now, duration);
     charge_refresh_blocking(pending_reads_[r], duration);
+    for (const RequestIndex qidx : reads_by_rank_[r]) {
+      arena_[qidx].blocked_pause += static_cast<std::uint32_t>(duration);
+    }
     refresh_started_[r] = true;
     refresh_remaining_[r] -= duration;
     if (refresh_remaining_[r] == 0) {
@@ -529,6 +621,11 @@ bool Controller::manage_refresh_per_bank(Cycle now) {
       h_.bank_refreshes->inc();
       charge_refresh_blocking(reads_by_bank_count_[bank_slot(r, b)],
                               channel_.timings().tRFCpb);
+      for (const RequestIndex qidx : reads_by_rank_[r]) {
+        if (arena_[qidx].coord.bank != b) continue;
+        arena_[qidx].blocked_bank +=
+            static_cast<std::uint32_t>(channel_.timings().tRFCpb);
+      }
       next_refresh_bank_[r] =
           static_cast<BankId>((b + 1) % rank.num_banks());
       issued = true;
@@ -596,6 +693,11 @@ bool Controller::manage_refresh_darp(Cycle now) {
       h_.bank_refreshes->inc();
       charge_refresh_blocking(reads_by_bank_count_[bank_slot(r, b)],
                               channel_.timings().tRFCpb);
+      for (const RequestIndex qidx : reads_by_rank_[r]) {
+        if (arena_[qidx].coord.bank != b) continue;
+        arena_[qidx].blocked_bank +=
+            static_cast<std::uint32_t>(channel_.timings().tRFCpb);
+      }
       darp_round_mask_[r] |= 1u << b;
       const std::uint32_t full = (1u << rank.num_banks()) - 1u;
       if (darp_round_mask_[r] == full) darp_round_mask_[r] = 0;
@@ -620,8 +722,19 @@ void Controller::record_subarray_refresh(RankId r, BankId b, std::uint32_t sub,
                                          Cycle now) {
   // Only reads into the locked subarray are blocked; the rest of the bank
   // keeps serving (that asymmetry vs. whole-bank REFpb is SARP's win).
-  charge_refresh_blocking(queued_reads_in_subarray(r, b, sub),
-                          channel_.timings().tRFCpb);
+  {
+    const dram::Bank& bank = channel_.rank(r).bank(b);
+    std::uint64_t n = 0;
+    for (const RequestIndex idx : reads_by_rank_[r]) {
+      Request& req = arena_[idx];
+      if (req.coord.bank != b || bank.subarray_of(req.coord.row) != sub) {
+        continue;
+      }
+      req.blocked_sub += static_cast<std::uint32_t>(channel_.timings().tRFCpb);
+      ++n;
+    }
+    charge_refresh_blocking(n, channel_.timings().tRFCpb);
+  }
   if (trace_ != nullptr && trace_->wants(telemetry::kCatRefresh)) {
     telemetry::TraceEvent e;
     e.ts = now;
@@ -701,7 +814,17 @@ void Controller::charge_refresh_blocking(std::uint64_t requests,
 
 void Controller::issue_pick(const SchedulerPick& pick, Cycle now) {
   const Cycle done = channel_.issue(pick.cmd, now);
-  if (!pick.services_request()) return;
+  if (!pick.services_request()) {
+    // A row activation picked for a specific queued read stamps its `act`
+    // time: only the request that triggered the ACT pays activation wait;
+    // row-hitting followers see pure queue wait. PRE picks (conflict
+    // closes) carry request context too but stamp nothing.
+    if (pick.cmd.type == dram::CmdType::kActivate && pick.queue_id == 0) {
+      Request& req = arena_[read_q_[pick.request_index]];
+      if (req.act == kNeverCycle) req.act = now;
+    }
+    return;
+  }
 
   std::vector<RequestIndex>* q = nullptr;
   switch (pick.queue_id) {
@@ -734,6 +857,7 @@ void Controller::issue_pick(const SchedulerPick& pick, Cycle now) {
     arena_.release(idx);
     return;
   }
+  req.issued = now;
   req.completion = done;
   in_flight_.push_back(idx);
   inflight_min_completion_ = std::min(inflight_min_completion_, done);
@@ -839,6 +963,7 @@ void Controller::complete_matching_reads(
   // matches read-queue order for one rank) instead of rescanning the whole
   // read queue per probe.
   auto& by_rank = reads_by_rank_[rank];
+  const dram::Rank& rk = channel_.rank(rank);
   std::size_t out = 0;
   for (const RequestIndex idx : by_rank) {
     Request& req = arena_[idx];
@@ -859,6 +984,9 @@ void Controller::complete_matching_reads(
     req.completion = *done;
     req.serviced_by = ServicedBy::kSramBuffer;
     h_.sram_serviced->inc();
+    if (rk.refreshing() && rk.refresh_done() > *done) {
+      h_.attr_rop_recovered->inc(rk.refresh_done() - *done);
+    }
     record_read_latency(req);
     completed_.push_back(idx);
   }

@@ -470,6 +470,24 @@ class Controller {
     Counter* prefetch_completed = nullptr;
     Scalar* read_latency = nullptr;
     Histogram* read_latency_hist = nullptr;
+    /// Attribution ledger (telemetry/attribution.h): per-cause
+    /// refresh-blocked request-cycles folded at read retirement from the
+    /// per-request accumulators (their sum across causes reproduces
+    /// mem.refresh_blocked_cycles for demand reads), matching per-cause
+    /// latency histograms, queue/activation wait spans, and the residual
+    /// refresh-window cycles SRAM service recovered (the paper's revived
+    /// frozen cycles).
+    Counter* attr_blocked_rank = nullptr;
+    Counter* attr_blocked_bank = nullptr;
+    Counter* attr_blocked_sub = nullptr;
+    Counter* attr_blocked_pause = nullptr;
+    Counter* attr_rop_recovered = nullptr;
+    Histogram* attr_blocked_rank_hist = nullptr;
+    Histogram* attr_blocked_bank_hist = nullptr;
+    Histogram* attr_blocked_sub_hist = nullptr;
+    Histogram* attr_blocked_pause_hist = nullptr;
+    Histogram* attr_queue_wait_hist = nullptr;
+    Histogram* attr_act_wait_hist = nullptr;
   };
 
   ChannelId id_;

@@ -34,12 +34,34 @@ struct Request {
   Cycle completion = kNeverCycle;    // set when serviced
   ServicedBy serviced_by = ServicedBy::kDram;
 
+  // Lifecycle stamps for latency attribution (telemetry/attribution.h):
+  // arrival -> eligible -> act -> issued -> completion. `eligible` is the
+  // first cycle the request could have been scheduled (arrival, or the
+  // refresh-lock release when it arrived mid-lock); `act` is set only when
+  // a row activation was issued *for this request* (row hits inherit the
+  // open row and never pay activation wait); `issued` is the column
+  // command issue cycle for DRAM-serviced reads.
+  Cycle eligible = 0;
+  Cycle act = kNeverCycle;
+  Cycle issued = kNeverCycle;
+
+  // Per-cause refresh-blocked sub-intervals (controller cycles), charged
+  // at the same refresh-issue/arrival events that feed the aggregate
+  // mem.refresh_blocked_cycles counter — their sum over live reads equals
+  // that counter's growth by construction.
+  std::uint32_t blocked_rank = 0;    // whole-rank REF lock
+  std::uint32_t blocked_bank = 0;    // per-bank REFpb lock
+  std::uint32_t blocked_sub = 0;     // subarray REFpb lock (SARP/HiRA)
+  std::uint32_t blocked_pause = 0;   // pausing-segment lock
+
   [[nodiscard]] bool is_read() const { return type != ReqType::kWrite; }
 
   /// Snapshot serialization (see common/snapshot_io.h).
   template <class Ar>
   void io(Ar& ar) {
-    ar(id, type, line_addr, coord, core, arrival, completion, serviced_by);
+    ar(id, type, line_addr, coord, core, arrival, completion, serviced_by,
+       eligible, act, issued, blocked_rank, blocked_bank, blocked_sub,
+       blocked_pause);
   }
 };
 

@@ -1,14 +1,17 @@
 #include "sim/campaign.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "common/types.h"
+#include "telemetry/attribution.h"
 #include "telemetry/stats_json.h"
 #include "sim/snapshot.h"
 #include "sim/worker_budget.h"
@@ -671,8 +674,45 @@ std::optional<CampaignSummary> run_campaign(const CampaignOptions& opts,
   std::mutex mu;  // guards done[], the manifest file, and progress output
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> fresh{0};
+  std::atomic<std::size_t> running{0};
   std::atomic<bool> io_failed{false};
   std::string io_error;
+
+  // Live-ops heartbeat (JSONL; one line per cell transition). Holds the
+  // manifest mutex while writing, so lines never interleave.
+  std::unique_ptr<telemetry::ProgressWriter> beat;
+  if (!opts.progress_file.empty()) {
+    beat = std::make_unique<telemetry::ProgressWriter>(opts.progress_file);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto emit_beat = [&](const std::string& label) {  // requires mu held
+    if (beat == nullptr) return;
+    telemetry::ProgressWriter::CampaignHeartbeat hb;
+    std::size_t total_done = 0;
+    for (const bool d : done) total_done += d ? 1 : 0;
+    hb.done = total_done;
+    hb.failed = io_failed.load(std::memory_order_relaxed) ? 1 : 0;
+    hb.running = running.load(std::memory_order_relaxed);
+    hb.total = cells.size();
+    hb.wall_s = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    const std::size_t n_fresh = fresh.load(std::memory_order_relaxed);
+    if (total_done >= cells.size()) {
+      hb.eta_s = 0.0;
+    } else if (n_fresh > 0 && hb.wall_s > 0.0) {
+      // Aggregate throughput over fresh completions this invocation —
+      // parallel workers are already folded in.
+      hb.eta_s = hb.wall_s / static_cast<double>(n_fresh) *
+                 static_cast<double>(cells.size() - total_done);
+    }
+    hb.last_cell = label;
+    beat->write_campaign(hb);
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    emit_beat("");  // opening line: totals and restored count
+  }
 
   const auto worker = [&] {
     for (;;) {
@@ -684,6 +724,11 @@ std::optional<CampaignSummary> run_campaign(const CampaignOptions& opts,
       const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
       if (slot >= pending.size()) return;
       const std::size_t idx = pending[slot];
+      running.fetch_add(1, std::memory_order_relaxed);
+      if (beat != nullptr) {
+        std::lock_guard<std::mutex> lock(mu);
+        emit_beat(cells[idx].label);
+      }
       ExperimentSpec cell_spec = cells[idx].spec;
       fs::path snap_path;
       if (cell_spec.snapshot.every > 0) {
@@ -717,6 +762,7 @@ std::optional<CampaignSummary> run_campaign(const CampaignOptions& opts,
       }
       const std::size_t n_fresh =
           fresh.fetch_add(1, std::memory_order_relaxed) + 1;
+      running.fetch_sub(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(mu);
       done[idx] = true;
       // Checkpoint after every cell: a kill between two checkpoints loses
@@ -725,6 +771,7 @@ std::optional<CampaignSummary> run_campaign(const CampaignOptions& opts,
                              manifest_text(fp, cells.size(), done))) {
         io_error = "cannot write manifest.json";
         io_failed.store(true, std::memory_order_relaxed);
+        emit_beat(cells[idx].label);
         return;
       }
       if (opts.progress) {
@@ -733,6 +780,7 @@ std::optional<CampaignSummary> run_campaign(const CampaignOptions& opts,
         std::fprintf(stderr, "[campaign %s] %zu/%zu done: %s\n", name.c_str(),
                      total_done, cells.size(), cells[idx].label.c_str());
       }
+      emit_beat(cells[idx].label);
       static_cast<void>(n_fresh);
     }
   };

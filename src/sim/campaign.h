@@ -62,6 +62,12 @@ struct CampaignOptions {
   std::size_t stop_after = 0;
   /// Stream one progress line per completed cell to stderr.
   bool progress = true;
+  /// When non-empty, append one JSONL heartbeat per cell transition
+  /// (claimed / completed) to this file: done/failed/running/total counts,
+  /// wall-clock, throughput-based ETA, and the transitioning cell's label
+  /// (see telemetry::ProgressWriter). Operational side channel only — it
+  /// never affects the manifest or the merged document.
+  std::string progress_file;
 };
 
 struct CampaignSummary {

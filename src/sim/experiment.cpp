@@ -1,6 +1,7 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -11,6 +12,7 @@
 #include "check/sim_checker.h"
 #include "mem/refresh_stats.h"
 #include "sim/snapshot.h"
+#include "telemetry/attribution.h"
 #include "telemetry/stats_json.h"
 #include "workload/synthetic.h"
 
@@ -43,7 +45,7 @@ std::string ExperimentResult::to_json() const {
   telemetry::JsonWriter w(os);
   w.begin_object();
   w.key("schema_version");
-  w.value(std::uint64_t{2});
+  w.value(std::uint64_t{3});
 
   w.key("run");
   w.begin_object();
@@ -124,6 +126,63 @@ std::string ExperimentResult::to_json() const {
     w.end_object();
   }
   w.end_array();
+
+  // Attribution (schema v3): per-core CPI stacks — a disjoint decomposition
+  // of cpu_cycles, categories in telemetry::cpi_category_keys order — plus
+  // the controller-side per-request blocked-cycle totals and the ROP
+  // revived-cycles credit. cpi_stack values always sum to `cycles`.
+  w.key("attribution");
+  w.begin_object();
+  w.key("cpu_ratio");
+  w.value(static_cast<std::uint64_t>(cpu_ratio));
+  w.key("cores");
+  w.begin_array();
+  for (std::size_t i = 0; i < run.cores.size(); ++i) {
+    const cpu::CoreResult& c = run.cores[i];
+    const std::array<std::uint64_t, telemetry::kCpiCategoryCount> vals = {
+        c.retire_cycles,
+        c.stall_mlp_cycles,
+        c.stall_port_cycles,
+        c.stall_mem_queue_cycles,
+        c.stall_mem_bank_cycles,
+        c.stall_mem_cas_cycles,
+        c.stall_mem_bus_cycles,
+        c.stall_refresh_rank_cycles,
+        c.stall_refresh_bank_cycles,
+        c.stall_refresh_subarray_cycles,
+        c.stall_refresh_pause_cycles,
+        c.stall_rop_sram_cycles,
+        c.other_cycles,
+    };
+    w.begin_object();
+    w.key("core");
+    w.value(static_cast<std::uint64_t>(i));
+    w.key("cycles");
+    w.value(c.cpu_cycles);
+    w.key("cpi_stack");
+    w.begin_object();
+    for (std::size_t k = 0; k < vals.size(); ++k) {
+      w.key(telemetry::cpi_category_keys()[k]);
+      w.value(vals[k]);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("rop_recovered_cycles");
+  w.value(stats.counter_value("attr.rop_recovered_cycles"));
+  w.key("requests");
+  w.begin_object();
+  w.key("blocked_rank_cycles");
+  w.value(stats.counter_value("attr.blocked_rank_cycles"));
+  w.key("blocked_bank_cycles");
+  w.value(stats.counter_value("attr.blocked_bank_cycles"));
+  w.key("blocked_subarray_cycles");
+  w.value(stats.counter_value("attr.blocked_subarray_cycles"));
+  w.key("blocked_pause_cycles");
+  w.value(stats.counter_value("attr.blocked_pause_cycles"));
+  w.end_object();
+  w.end_object();
 
   w.key("checker");
   w.begin_object();
@@ -266,6 +325,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       make_system_config(spec.llc_bytes, spec.rank_partition);
   sys_cfg.loop = spec.loop;
   sys_cfg.shard_channels = spec.shard_channels;
+  result.cpu_ratio = sys_cfg.cpu_ratio;
   if (!checkers.empty()) {
     if (sharded) {
       // Channel-scoped checkers watch only their channel's engine.
@@ -288,17 +348,22 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     memory.set_sampler(result.epochs.get());
   }
 
+  const bool progress_active =
+      !spec.progress_file.empty() && !spec.sampling.enabled;
   const auto wall_start = std::chrono::steady_clock::now();
   if (spec.sampling.enabled) {
     result.run =
         run_sampled(system, memory, spec.sampling, spec.instructions_per_core,
                     spec.max_cpu_cycles, &result.sampling);
-  } else if (!snap_active) {
+  } else if (!snap_active && !progress_active) {
     result.run = system.run(spec.instructions_per_core, spec.max_cpu_cycles);
   } else {
-    // Segmented run with checkpoint traffic. The restore side re-runs the
-    // whole construction above (everything config-derived is rebuilt from
-    // the spec), then overwrites the mutable surface from the file.
+    // Segmented run: checkpoint traffic and/or the progress heartbeat. The
+    // restore side re-runs the whole construction above (everything
+    // config-derived is rebuilt from the spec), then overwrites the mutable
+    // surface from the file. A segment stop is exact (see
+    // System::advance_until), so extra heartbeat boundaries never perturb
+    // the simulated behavior.
     SnapshotContext ctx;
     ctx.system = &system;
     ctx.memory = &memory;
@@ -326,10 +391,52 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       next_snap =
           (system.cpu_cycle() / spec.snapshot.every + 1) * spec.snapshot.every;
     }
+    std::unique_ptr<telemetry::ProgressWriter> progress;
+    std::uint64_t beat_every = 0;
+    std::uint64_t next_beat = 0;
+    const std::uint64_t target_total =
+        spec.instructions_per_core * spec.benchmarks.size();
+    if (progress_active) {
+      progress =
+          std::make_unique<telemetry::ProgressWriter>(spec.progress_file);
+      beat_every = spec.progress_every > 0 ? spec.progress_every
+                                           : std::uint64_t{10'000'000};
+      next_beat = system.cpu_cycle() + beat_every;
+    }
+    const auto emit_beat = [&](bool done) {
+      telemetry::ProgressWriter::RunHeartbeat h;
+      h.cpu_cycles = system.cpu_cycle();
+      h.max_cpu_cycles = spec.max_cpu_cycles;
+      for (std::uint32_t c = 0; c < system.num_cores(); ++c) {
+        h.instructions += system.core(c).stats().instructions;
+      }
+      h.target_instructions = target_total;
+      h.cores_remaining = system.cores_remaining();
+      h.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - wall_start)
+                     .count();
+      h.mcyc_per_s = h.wall_s > 0.0 ? static_cast<double>(h.cpu_cycles) /
+                                          1e6 / h.wall_s
+                                    : 0.0;
+      if (h.instructions >= target_total) {
+        h.eta_s = 0.0;
+      } else if (h.instructions > 0) {
+        h.eta_s = h.wall_s *
+                  static_cast<double>(target_total - h.instructions) /
+                  static_cast<double>(h.instructions);
+      }
+      h.done = done;
+      progress->write_run(h);
+    };
     for (;;) {
       std::uint64_t stop = stop_at;
       if (next_snap > 0) stop = std::min(stop, next_snap);
+      if (next_beat > 0) stop = std::min(stop, next_beat);
       const bool ended = system.advance_until(stop);
+      if (next_beat > 0 && (ended || system.cpu_cycle() >= next_beat)) {
+        emit_beat(ended);
+        while (next_beat <= system.cpu_cycle()) next_beat += beat_every;
+      }
       if (ended) break;  // natural end: no checkpoint, the run is complete
       if (spec.snapshot.stop_at > 0 &&
           system.cpu_cycle() >= spec.snapshot.stop_at) {
@@ -356,6 +463,16 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+
+  // CPI-stack exactness (invariant family (e)): the frozen per-core stacks
+  // must sum bit-exactly to the frozen cycles.
+  if (!checkers.empty()) {
+    for (std::size_t c = 0; c < result.run.cores.size(); ++c) {
+      const cpu::CoreResult& r = result.run.cores[c];
+      checkers.front()->audit_cpi(static_cast<std::uint32_t>(c),
+                                  r.cpu_cycles, r.cpi_stack_sum());
+    }
+  }
 
   for (const auto& checker : checkers) {
     checker->finalize();

@@ -75,12 +75,23 @@ struct ExperimentSpec {
   SnapshotSpec snapshot{};
   /// SMARTS-style sampled execution (serial loops only; see sim/sampling.h).
   SamplingSpec sampling{};
+  /// Live-ops heartbeat: when non-empty, append one JSONL progress line to
+  /// this file every `progress_every` CPU cycles and once at the end (see
+  /// telemetry::ProgressWriter). Exact runs only (ignored while sampling).
+  /// Like snapshot paths, not part of the config fingerprint — the
+  /// heartbeat is an operational side channel, not simulated behavior.
+  std::string progress_file;
+  std::uint64_t progress_every = 10'000'000;
 };
 
 struct ExperimentResult {
   cpu::RunResult run;
   energy::EnergyBreakdown energy;
   StatRegistry stats;
+
+  /// CPU cycles per memory-controller cycle for this run (the attribution
+  /// block exports it so consumers can convert stack entries to ns).
+  std::uint32_t cpu_ratio = 0;
 
   // Invariant-checker outcome (zeros when the checker was disabled).
   std::uint64_t checker_ticks = 0;

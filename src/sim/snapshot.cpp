@@ -21,7 +21,9 @@ namespace {
 
 // "ROPSNAP1" read as a little-endian u64.
 constexpr std::uint64_t kMagic = 0x3150414E53504F52ULL;
-constexpr std::uint32_t kFormatVersion = 1;
+// v2: Request lifecycle stamps + per-cause blocked fields, CoreStats CPI
+// ledger, Core critical_since_, CoreResult CPI stack.
+constexpr std::uint32_t kFormatVersion = 2;
 
 template <class Ar>
 void serialize_sections(Ar& ar, const SnapshotContext& ctx) {

@@ -1,0 +1,89 @@
+#include "telemetry/attribution.h"
+
+#include <cinttypes>
+
+namespace rop::telemetry {
+
+namespace {
+
+constexpr std::array<const char*, kCpiCategoryCount> kKeys = {
+    "retire",           //
+    "stall_mlp",        //
+    "stall_port",       //
+    "mem_queue",        //
+    "mem_bank",         //
+    "mem_cas",          //
+    "mem_bus",          //
+    "refresh_rank",     //
+    "refresh_bank",     //
+    "refresh_subarray", //
+    "refresh_pause",    //
+    "rop_sram",         //
+    "other",            //
+};
+
+/// Minimal JSON string escaping for cell labels (quote, backslash,
+/// control characters; labels are ASCII identifiers in practice).
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+const char* cpi_category_key(CpiCategory c) {
+  return kKeys[static_cast<std::size_t>(c)];
+}
+
+const std::array<const char*, kCpiCategoryCount>& cpi_category_keys() {
+  return kKeys;
+}
+
+ProgressWriter::ProgressWriter(const std::string& path) {
+  out_ = std::fopen(path.c_str(), "w");
+}
+
+ProgressWriter::~ProgressWriter() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+void ProgressWriter::write_run(const RunHeartbeat& h) {
+  if (out_ == nullptr) return;
+  std::fprintf(out_,
+               "{\"kind\":\"run\",\"cpu_cycles\":%" PRIu64
+               ",\"max_cpu_cycles\":%" PRIu64 ",\"instructions\":%" PRIu64
+               ",\"target_instructions\":%" PRIu64
+               ",\"cores_remaining\":%" PRIu64
+               ",\"wall_s\":%.3f,\"mcyc_per_s\":%.3f,\"eta_s\":%.3f,"
+               "\"done\":%s}\n",
+               h.cpu_cycles, h.max_cpu_cycles, h.instructions,
+               h.target_instructions, h.cores_remaining, h.wall_s,
+               h.mcyc_per_s, h.eta_s, h.done ? "true" : "false");
+  std::fflush(out_);
+}
+
+void ProgressWriter::write_campaign(const CampaignHeartbeat& h) {
+  if (out_ == nullptr) return;
+  std::string label;
+  append_escaped(label, h.last_cell);
+  std::fprintf(out_,
+               "{\"kind\":\"campaign\",\"done\":%" PRIu64
+               ",\"failed\":%" PRIu64 ",\"running\":%" PRIu64
+               ",\"total\":%" PRIu64
+               ",\"wall_s\":%.3f,\"eta_s\":%.3f,\"last_cell\":\"%s\"}\n",
+               h.done, h.failed, h.running, h.total, h.wall_s, h.eta_s,
+               label.c_str());
+  std::fflush(out_);
+}
+
+}  // namespace rop::telemetry

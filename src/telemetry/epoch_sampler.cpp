@@ -1,5 +1,7 @@
 #include "telemetry/epoch_sampler.h"
 
+#include <cstdio>
+
 namespace rop::telemetry {
 
 EpochSampler::EpochSampler(const SamplerConfig& cfg, StatRegistry* stats)
@@ -35,6 +37,14 @@ void EpochSampler::take_sample(Cycle end_cycle) {
     slot = (first_row_ + rows_) % cfg_.max_epochs;
     ++rows_;
   } else {
+    if (!warned_drop_) {
+      warned_drop_ = true;
+      std::fprintf(stderr,
+                   "epoch sampler: ring full at %zu epochs — dropping oldest "
+                   "(raise SamplerConfig::max_epochs or the epoch period; "
+                   "the stats JSON reports the count as dropped_epochs)\n",
+                   cfg_.max_epochs);
+    }
     slot = first_row_;
     first_row_ = (first_row_ + 1) % cfg_.max_epochs;
     ++first_epoch_;

@@ -107,6 +107,9 @@ class EpochSampler {
 
   Cycle next_boundary_ = 0;
   bool closed_ = false;
+  /// One stderr warning per sampler when the ring first wraps. Operational
+  /// nudge only — deliberately not serialized (a restored run warns again).
+  bool warned_drop_ = false;
 };
 
 }  // namespace rop::telemetry

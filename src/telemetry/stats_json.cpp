@@ -186,6 +186,10 @@ void write_epoch_section(JsonWriter& w, const EpochSampler* sampler) {
   w.value(static_cast<std::uint64_t>(sampler->epoch_cycles()));
   w.key("first_epoch_index");
   w.value(sampler->first_epoch_index());
+  // Oldest epochs evicted by the ring (== first_epoch_index; spelled out so
+  // consumers don't have to know the ring semantics).
+  w.key("dropped_epochs");
+  w.value(sampler->first_epoch_index());
   w.key("end_cycles");
   w.begin_array();
   for (std::size_t i = 0; i < sampler->num_epochs(); ++i) {

@@ -52,6 +52,9 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kPrefetchDrop: return "prefetch_drop";
     case EventKind::kReadSpan: return "read";
     case EventKind::kSubarrayRefresh: return "subarray_refresh";
+    case EventKind::kReadQueueSpan: return "read.queue";
+    case EventKind::kReadActSpan: return "read.activate";
+    case EventKind::kReadXferSpan: return "read.transfer";
   }
   return "?";
 }
@@ -134,9 +137,12 @@ void TraceSink::write_json(std::ostream& os) const {
   bool first = true;
   for (const TraceEvent& e : events) {
     const std::uint32_t pid = e.channel;
-    const std::uint32_t tid = e.kind == EventKind::kReadSpan
-                                  ? 1000u + e.core
-                                  : static_cast<std::uint32_t>(e.rank);
+    const bool req_lane = e.kind == EventKind::kReadSpan ||
+                          e.kind == EventKind::kReadQueueSpan ||
+                          e.kind == EventKind::kReadActSpan ||
+                          e.kind == EventKind::kReadXferSpan;
+    const std::uint32_t tid =
+        req_lane ? 1000u + e.core : static_cast<std::uint32_t>(e.rank);
     pids.insert(pid);
     lanes.emplace(pid, tid);
     if (!first) out += ',';
@@ -177,6 +183,9 @@ void TraceSink::write_json(std::ostream& os) const {
         break;
       case EventKind::kRankLock:
       case EventKind::kPauseSegment:
+      case EventKind::kReadQueueSpan:
+      case EventKind::kReadActSpan:
+      case EventKind::kReadXferSpan:
         out += "\"cycles\":";
         append_u64(out, e.dur);
         break;
@@ -225,7 +234,11 @@ void TraceSink::write_json(std::ostream& os) const {
     }
     out += buf;
   }
-  out += "]}";
+  // Footer: how many events the ring overwrote. Chrome/Perfetto ignore
+  // unknown top-level keys; consumers that care about completeness check it.
+  out += "],\"dropped_events\":";
+  append_u64(out, dropped_);
+  out += "}";
   os << out;
 }
 

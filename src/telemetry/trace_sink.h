@@ -58,6 +58,11 @@ enum class EventKind : std::uint8_t {
   kPrefetchDrop,   // queued prefetch flushed at seal; arg = line
   kReadSpan,       // demand read arrival -> completion; arg = ServicedBy
   kSubarrayRefresh,  // tRFCpb subarray lock (SARP/HiRA); arg = subarray
+  // Nested lifecycle slices inside a kReadSpan (same core lane, so
+  // chrome://tracing renders them as children of the read span):
+  kReadQueueSpan,  // arrival -> column-command issue (queue + locks)
+  kReadActSpan,    // this request's ACT -> issue (row-conflict wait)
+  kReadXferSpan,   // issue -> data (CAS latency + burst)
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind kind);

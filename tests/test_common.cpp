@@ -144,6 +144,52 @@ TEST(Stats, HistogramQuantileMonotone) {
   EXPECT_LE(h.quantile(0.9), h.quantile(1.0));
 }
 
+TEST(Stats, HistogramPercentileEmpty) {
+  const Histogram h(10, 4);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 0.0);
+}
+
+TEST(Stats, HistogramPercentileSingleSample) {
+  Histogram h(10, 4);
+  h.record(5);  // bucket [0, 10)
+  // One sample: p0 pins the bucket's lower edge, p100 its upper edge, and
+  // interior percentiles interpolate linearly across the bucket.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);
+}
+
+TEST(Stats, HistogramPercentileEdgesSkipEmptyBuckets) {
+  Histogram h(10, 4);
+  h.record(25);  // bucket [20, 30) — buckets 0 and 1 stay empty
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 30.0);
+  EXPECT_LE(h.percentile(0.0), h.percentile(50.0));
+  EXPECT_LE(h.percentile(50.0), h.percentile(100.0));
+}
+
+TEST(Stats, HistogramMergeThenPercentileMatchesCombined) {
+  Histogram lo(1, 100);
+  Histogram hi(1, 100);
+  Histogram all(1, 100);
+  for (std::uint64_t v = 0; v < 50; ++v) {
+    lo.record(v);
+    all.record(v);
+  }
+  for (std::uint64_t v = 50; v < 100; ++v) {
+    hi.record(v);
+    all.record(v);
+  }
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), all.count());
+  EXPECT_EQ(lo.sum(), all.sum());
+  for (const double p : {0.0, 25.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(lo.percentile(p), all.percentile(p)) << "p=" << p;
+  }
+}
+
 TEST(Stats, ResetAllClearsEverything) {
   StatRegistry reg;
   reg.counter("c").inc(3);

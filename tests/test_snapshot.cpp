@@ -158,7 +158,7 @@ TEST(SnapshotHeader, RejectsGarbageAndWrongFingerprint) {
   // Correct magic + version, mismatched fingerprint.
   snap::Writer w;
   std::uint64_t magic = 0x3150414E53504F52ULL;
-  std::uint32_t version = 1;
+  std::uint32_t version = 2;
   std::uint64_t fp = 1234;
   w(magic, version, fp);
   EXPECT_FALSE(load_snapshot_buffer(w.take(), ctx, 5678, &err));

@@ -381,13 +381,34 @@ TEST(TraceSink, RequestSpansCarryServiceSource) {
   ASSERT_TRUE(result.trace != nullptr);
   const auto events = result.trace->snapshot();
   ASSERT_FALSE(events.empty());
+  bool saw_read = false;
+  bool saw_xfer = false;
   for (const auto& e : events) {
-    EXPECT_EQ(e.kind, telemetry::EventKind::kReadSpan);
-    EXPECT_GT(e.dur, 0u);  // latency = completion - arrival >= 1
+    switch (e.kind) {
+      case telemetry::EventKind::kReadSpan:
+        saw_read = true;
+        EXPECT_GT(e.dur, 0u);  // latency = completion - arrival >= 1
+        break;
+      // Nested lifecycle slices ride in the same category.
+      case telemetry::EventKind::kReadXferSpan:
+        saw_xfer = true;
+        EXPECT_GT(e.dur, 0u);  // CAS + burst is never instantaneous
+        break;
+      case telemetry::EventKind::kReadQueueSpan:
+      case telemetry::EventKind::kReadActSpan:
+        EXPECT_GT(e.dur, 0u);
+        break;
+      default:
+        ADD_FAILURE() << "unexpected kind in reqs category: "
+                      << telemetry::event_kind_name(e.kind);
+    }
   }
+  EXPECT_TRUE(saw_read);
+  EXPECT_TRUE(saw_xfer);
   std::ostringstream os;
   result.trace->write_json(os);
   EXPECT_NE(os.str().find("\"serviced_by\":\"dram\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"dropped_events\":0"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@ schema (telemetry/stats_json.h, docs/OBSERVABILITY.md).
 Usage:
     check_stats_schema.py STATS_JSON [--require-epochs]
                           [--require-counter NAME]... [--require-sampling]
+                          [--require-attribution]
 
 Checks, per document:
   - top-level sections present: run, energy_mj, counters, scalars,
@@ -24,6 +25,15 @@ Checks, per document:
     ci95_half >= stderr >= 0
   - with --require-sampling: the sampling section is non-null with at
     least one window, and the document declares schema_version >= 2
+  - the attribution section (schema_version 3), when present: cpu_ratio is
+    a positive integer, every core's cpi_stack carries exactly the 13
+    canonical categories as non-negative integers summing bit-exactly to
+    that core's cycles, and rop_recovered_cycles plus the four per-cause
+    requests.blocked_*_cycles totals are non-negative integers
+  - the epochs section's dropped_epochs (when present) is a non-negative
+    integer equal to first_epoch_index
+  - with --require-attribution: the attribution section is present with at
+    least one core, and the document declares schema_version >= 3
 
 The file may also be a --compare document ({"benchmark", "modes": {...}})
 or a bench sidecar (an object whose values are stats documents); every
@@ -46,6 +56,80 @@ def fail(errors, where, msg):
 
 SAMPLING_ESTIMATES = ["ipc", "energy_mj_per_mcycle",
                       "refresh_blocked_per_mem_cycle"]
+
+# Canonical CPI-stack categories, in export order (telemetry/attribution.h).
+CPI_KEYS = ["retire", "stall_mlp", "stall_port", "mem_queue", "mem_bank",
+            "mem_cas", "mem_bus", "refresh_rank", "refresh_bank",
+            "refresh_subarray", "refresh_pause", "rop_sram", "other"]
+
+REQUEST_BLOCKED_KEYS = ["blocked_rank_cycles", "blocked_bank_cycles",
+                        "blocked_subarray_cycles", "blocked_pause_cycles"]
+
+
+def check_attribution(doc, where, errors, require_attribution):
+    attr = doc.get("attribution")
+    if attr is None:
+        if require_attribution:
+            fail(errors, where,
+                 "attribution section missing but --require-attribution set")
+        return
+    if require_attribution and doc.get("schema_version", 0) < 3:
+        fail(errors, where,
+             f"attribution document declares schema_version "
+             f"{doc.get('schema_version')!r}, expected >= 3")
+    ratio = attr.get("cpu_ratio")
+    if not isinstance(ratio, int) or ratio < 1:
+        fail(errors, where,
+             f"attribution cpu_ratio is not a positive integer: {ratio!r}")
+    cores = attr.get("cores")
+    if not isinstance(cores, list):
+        fail(errors, where, "attribution 'cores' is not an array")
+        return
+    if require_attribution and not cores:
+        fail(errors, where, "attribution has zero cores")
+    for entry in cores:
+        core = entry.get("core")
+        cyc = entry.get("cycles")
+        stack = entry.get("cpi_stack")
+        label = f"attribution core {core!r}"
+        if not isinstance(cyc, int) or cyc < 0:
+            fail(errors, where,
+                 f"{label} cycles is not a non-negative integer: {cyc!r}")
+            continue
+        if not isinstance(stack, dict):
+            fail(errors, where, f"{label} has no cpi_stack object")
+            continue
+        if sorted(stack) != sorted(CPI_KEYS):
+            fail(errors, where,
+                 f"{label} cpi_stack keys {sorted(stack)} != canonical "
+                 f"category set")
+            continue
+        bad = [k for k, v in stack.items()
+               if not isinstance(v, int) or v < 0]
+        if bad:
+            fail(errors, where,
+                 f"{label} cpi_stack has non-integer/negative entries: {bad}")
+            continue
+        total = sum(stack.values())
+        if total != cyc:
+            fail(errors, where,
+                 f"{label} cpi_stack sums to {total} but cycles = {cyc} "
+                 f"(delta {total - cyc:+d})")
+    rec = attr.get("rop_recovered_cycles")
+    if not isinstance(rec, int) or rec < 0:
+        fail(errors, where,
+             f"attribution rop_recovered_cycles is not a non-negative "
+             f"integer: {rec!r}")
+    requests = attr.get("requests")
+    if not isinstance(requests, dict):
+        fail(errors, where, "attribution 'requests' is not an object")
+        return
+    for key in REQUEST_BLOCKED_KEYS:
+        v = requests.get(key)
+        if not isinstance(v, int) or v < 0:
+            fail(errors, where,
+                 f"attribution requests '{key}' is not a non-negative "
+                 f"integer: {v!r}")
 
 
 def check_sampling(doc, where, errors, require_sampling):
@@ -87,7 +171,7 @@ def check_sampling(doc, where, errors, require_sampling):
 
 
 def check_document(doc, where, errors, require_epochs, require_counters,
-                   require_sampling=False):
+                   require_sampling=False, require_attribution=False):
     for section in REQUIRED_SECTIONS:
         if section not in doc:
             fail(errors, where, f"missing section '{section}'")
@@ -158,8 +242,19 @@ def check_document(doc, where, errors, require_epochs, require_counters,
         ends = epochs["end_cycles"]
         if any(b <= a for a, b in zip(ends, ends[1:])):
             fail(errors, where, "epoch end_cycles not strictly increasing")
+        if "dropped_epochs" in epochs:
+            dropped = epochs["dropped_epochs"]
+            if not isinstance(dropped, int) or dropped < 0:
+                fail(errors, where,
+                     f"epochs dropped_epochs is not a non-negative integer: "
+                     f"{dropped!r}")
+            elif dropped != epochs["first_epoch_index"]:
+                fail(errors, where,
+                     f"epochs dropped_epochs ({dropped}) != "
+                     f"first_epoch_index ({epochs['first_epoch_index']})")
 
     check_sampling(doc, where, errors, require_sampling)
+    check_attribution(doc, where, errors, require_attribution)
 
 
 def collect_documents(obj, where):
@@ -187,6 +282,9 @@ def main():
     parser.add_argument("--require-sampling", action="store_true",
                         help="fail unless a non-null sampling block with at "
                              "least one window is present (schema_version 2)")
+    parser.add_argument("--require-attribution", action="store_true",
+                        help="fail unless an attribution block with at least "
+                             "one core is present (schema_version 3)")
     args = parser.parse_args()
 
     with open(args.stats) as f:
@@ -197,7 +295,8 @@ def main():
     for doc, where in collect_documents(obj, args.stats):
         n_docs += 1
         check_document(doc, where, errors, args.require_epochs,
-                       args.require_counter, args.require_sampling)
+                       args.require_counter, args.require_sampling,
+                       args.require_attribution)
     if n_docs == 0:
         errors.append(f"{args.stats}: no stats documents found")
 

@@ -78,6 +78,8 @@ struct Options {
   std::string trace_cats = "all";     // --trace-cats CATS
   std::string trace_format = "json";  // --trace-format json|binary
   std::uint64_t epoch = 0;            // --epoch N; 0 = auto (tREFI)
+  std::string progress;               // --progress FILE (JSONL heartbeat)
+  std::uint64_t progress_every = 0;   // --progress-every N; 0 = default
 };
 
 [[noreturn]] void usage(int code) {
@@ -128,6 +130,10 @@ struct Options {
       "  --trace-cats CATS    trace categories, comma-separated from\n"
       "                       cmds,refresh,rop,reqs, or all (default all)\n"
       "  --trace-format FMT   json | binary (default json)\n"
+      "  --progress FILE      append a JSONL heartbeat (cycles, Mcyc/s, ETA)\n"
+      "                       to FILE during the run; tail -f it for live\n"
+      "                       state (see docs/OBSERVABILITY.md)\n"
+      "  --progress-every N   heartbeat period in CPU cycles (default 10M)\n"
       "\n"
       "checkpoint/restore (see docs/PERFORMANCE.md §8):\n"
       "  --snapshot-out PATH      write a checkpoint (at --snapshot-stop-at,\n"
@@ -151,7 +157,10 @@ struct Options {
       "resumable checkpointing and one merged stats document:\n"
       "\n"
       "  ropsim campaign SPEC.json --out DIR [--jobs N] [--no-resume]\n"
-      "                  [--stop-after N] [--quiet]\n"
+      "                  [--stop-after N] [--quiet] [--progress FILE]\n"
+      "\n"
+      "  --progress FILE appends one JSONL heartbeat per cell transition\n"
+      "  (done/failed/running counts, wall-clock, ETA, last cell label).\n"
       "\n"
       "  Writes DIR/cell_NNNNNN.json per run, DIR/manifest.json after every\n"
       "  completed cell, and DIR/merged.json once all cells are done.\n"
@@ -241,6 +250,10 @@ Options parse(int argc, char** argv) {
       opt.trace_cats = need(i);
     } else if (arg == "--trace-format") {
       opt.trace_format = need(i);
+    } else if (arg == "--progress") {
+      opt.progress = need(i);
+    } else if (arg == "--progress-every") {
+      opt.progress_every = std::strtoull(need(i), nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -292,7 +305,10 @@ bool is_workload_mix(const std::string& name) {
 std::uint32_t parse_categories(const std::string& csv) {
   const auto cats = telemetry::parse_trace_categories(csv);
   if (!cats) {
-    std::fprintf(stderr, "unknown trace category in: %s\n", csv.c_str());
+    std::fprintf(stderr,
+                 "unknown trace category in: %s (valid: all, cmds, refresh, "
+                 "rop, reqs)\n",
+                 csv.c_str());
     usage(2);
   }
   return *cats;
@@ -336,6 +352,8 @@ sim::ExperimentSpec spec_from_options(const Options& opt,
   spec.snapshot.out = opt.snapshot_out;
   spec.snapshot.every = opt.snapshot_every;
   spec.snapshot.stop_at = opt.snapshot_stop;
+  spec.progress_file = opt.progress;
+  if (opt.progress_every > 0) spec.progress_every = opt.progress_every;
   if (opt.loop == "sampled") {
     spec.sampling.enabled = true;
     if (opt.sample_warmup > 0) spec.sampling.warmup_cycles = opt.sample_warmup;
@@ -370,9 +388,15 @@ int run_compare(const Options& opt) {
       {"no-refresh", sim::MemoryMode::kNoRefresh},
   };
 
+  if (!opt.progress.empty()) {
+    std::fprintf(stderr, "ropsim: --progress is ignored with --compare (nine "
+                         "concurrent runs would race on one heartbeat "
+                         "file)\n");
+  }
   std::vector<sim::ExperimentSpec> specs;
   for (const auto& m : kAllModes) {
     specs.push_back(spec_from_options(opt, m.mode));
+    specs.back().progress_file.clear();
   }
   if (!opt.stats_json.empty() || opt.epoch != 0) {
     for (auto& spec : specs) {
@@ -569,6 +593,8 @@ int run_campaign_cli(int argc, char** argv) {
           std::strtoull(need(i), nullptr, 10));
     } else if (arg == "--quiet") {
       opts.progress = false;
+    } else if (arg == "--progress") {
+      opts.progress_file = need(i);
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else if (!arg.empty() && arg[0] != '-' && opts.spec_path.empty()) {
@@ -630,20 +656,28 @@ int main(int argc, char** argv) {
     return run_compare(opt);
   }
   const sim::MemoryMode mode = parse_mode(opt.mode);
+  // --progress alone routes through run_experiment too (the heartbeat loop
+  // lives there), but must not tighten the loop-mode rules the other
+  // routed features carry.
+  const bool progress_only_routing =
+      !opt.progress.empty() && opt.shard_channels == 0 && opt.channels <= 1 &&
+      !snapshot_requested(opt) && opt.loop != "sampled";
   if (opt.shard_channels > 0 || opt.channels > 1 || snapshot_requested(opt) ||
-      opt.loop == "sampled") {
-    // Multi-channel, sharded, checkpointed, and sampled runs all go through
-    // run_experiment (the manual assembly below is single-channel and knows
-    // nothing about per-channel registries, snapshots, or sampling).
+      opt.loop == "sampled" || !opt.progress.empty()) {
+    // Multi-channel, sharded, checkpointed, sampled, and heartbeat runs all
+    // go through run_experiment (the manual assembly below is
+    // single-channel and knows nothing about per-channel registries,
+    // snapshots, sampling, or the progress writer).
     // --shard-channels 0 with --channels N is the serial multi-channel
     // reference the sharded loop is bit-compared against.
     if (!opt.trace_path.empty() || !opt.trace_out.empty()) {
       std::fprintf(stderr, "--channels/--shard-channels/--snapshot-*/"
-                           "--loop sampled do not support --trace or "
-                           "--trace-out\n");
+                           "--progress/--loop sampled do not support --trace "
+                           "or --trace-out\n");
       return 2;
     }
-    if (opt.loop != "event" && opt.loop != "sampled" &&
+    if (!progress_only_routing && opt.loop != "event" &&
+        opt.loop != "sampled" &&
         !(snapshot_requested(opt) && opt.loop == "frozen")) {
       std::fprintf(stderr, "--channels/--shard-channels require --loop "
                            "event\n");
@@ -843,6 +877,11 @@ int main(int argc, char** argv) {
 
   int exit_code = 0;
   if (checker) {
+    for (std::size_t c = 0; c < run.cores.size(); ++c) {
+      checker->audit_cpi(static_cast<std::uint32_t>(c),
+                         run.cores[c].cpu_cycles,
+                         run.cores[c].cpi_stack_sum());
+    }
     checker->finalize();
     std::printf("\n%s\n", checker->summary().c_str());
     if (!checker->ok()) exit_code = 1;
@@ -873,6 +912,7 @@ int main(int argc, char** argv) {
     result.run = run;
     result.energy = total;
     result.stats = stats;
+    result.cpu_ratio = sys_cfg.cpu_ratio;
     result.epochs = sampler;
     result.trace = trace;
     if (checker) {
