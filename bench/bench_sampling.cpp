@@ -14,6 +14,8 @@
 
 #include "sim/experiment.h"
 #include "sim/sampling.h"
+#include "sim/sim_instance.h"
+#include "sim/snapshot.h"
 #include "workload/spec_profiles.h"
 
 namespace {
@@ -92,9 +94,50 @@ void BM_SnapshotSaveRestore(benchmark::State& state) {
   std::remove(path.c_str());
 }
 
+// Planned parallel sampling at the same scale: one functional-only
+// planner pass dropping in-memory snapshots, windows dispatched to a
+// 4-worker pool (sim/parallel_sampling). On a single hardware thread
+// this measures the dispatch overhead over BM_SampledExperiment; the
+// speedup itself needs real cores (see end_to_end_seconds).
+void BM_ParallelSampledExperiment(benchmark::State& state) {
+  sim::ExperimentSpec spec = lbm_spec(2'000'000);
+  spec.sampling.enabled = true;
+  spec.sampling.jobs = 4;
+  for (auto _ : state) {
+    const sim::ExperimentResult r = sim::run_experiment(spec);
+    benchmark::DoNotOptimize(r.sampling.ipc.mean);
+  }
+}
+
+// The unit the parallel planner pays per placed window: serialize the
+// full simulator into an in-memory buffer and restore it onto a replica
+// instance — no filesystem in the loop, unlike BM_SnapshotSaveRestore.
+void BM_SnapshotInMemoryRoundTrip(benchmark::State& state) {
+  const sim::ExperimentSpec spec = lbm_spec(200'000);
+  sim::SimInstance planner = sim::build_sim_instance(spec);
+  planner.system->begin_run(spec.instructions_per_core, spec.max_cpu_cycles);
+  (void)planner.system->advance_until(30'001);
+  const sim::SnapshotContext src = planner.snapshot_context();
+
+  sim::SimInstance replica = sim::build_sim_instance(spec);
+  replica.system->begin_run(spec.instructions_per_core, spec.max_cpu_cycles);
+  const sim::SnapshotContext dst = replica.snapshot_context();
+
+  const std::uint64_t fp =
+      sim::config_fingerprint(sim::spec_canonical(spec));
+  for (auto _ : state) {
+    const std::string buf = sim::save_snapshot_buffer(src, fp);
+    std::string err;
+    const bool ok = sim::load_snapshot_buffer(buf, dst, fp, &err);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_EstimatorFromWindows);
 BENCHMARK(BM_ExactExperiment)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SampledExperiment)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelSampledExperiment)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SnapshotSaveRestore)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SnapshotInMemoryRoundTrip)->Unit(benchmark::kMillisecond);

@@ -70,28 +70,34 @@ LlcAccessResult Llc::access(Address addr, bool is_write) {
     }
   }
 
+  // Single pass over the set: probe for the tag while tracking the victim
+  // a miss would need — the first invalid way, else the strictly-least-lru
+  // valid way (lowest index wins ties). Hit/miss/victim decisions are
+  // identical to a separate probe loop followed by a victim loop; a miss
+  // just stops paying for the second scan.
+  constexpr std::uint32_t kNone = ~0u;
+  std::uint32_t first_invalid = kNone;
+  std::uint32_t lru_way = kNone;
   for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
-    if (base[w].valid && base[w].tag == tag) {
+    Way& way = base[w];
+    if (!way.valid) {
+      if (first_invalid == kNone) first_invalid = w;
+      continue;
+    }
+    if (way.tag == tag) {
       ++stats_.hits;
       if (h_.hits != nullptr) h_.hits->inc();
-      base[w].lru = clock_;
-      if (is_write) base[w].dirty = true;
+      way.lru = clock_;
+      if (is_write) way.dirty = true;
       mru_[set] = w;
       return LlcAccessResult{true, std::nullopt};
     }
+    if (lru_way == kNone || way.lru < base[lru_way].lru) lru_way = w;
   }
 
   ++stats_.misses;
   if (h_.misses != nullptr) h_.misses->inc();
-  // Victim: first invalid way, else LRU.
-  Way* victim = base;
-  for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
-    if (!base[w].valid) {
-      victim = &base[w];
-      break;
-    }
-    if (base[w].lru < victim->lru) victim = &base[w];
-  }
+  Way* victim = first_invalid != kNone ? &base[first_invalid] : &base[lru_way];
 
   LlcAccessResult result{false, std::nullopt};
   if (victim->valid && victim->dirty) {

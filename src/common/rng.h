@@ -77,12 +77,25 @@ class Rng {
   /// Geometric-ish gap: returns k >= 1 with mean approximately `mean`.
   std::uint64_t next_gap(double mean) {
     if (mean <= 1.0) return 1;
+    return next_gap_with_denom(gap_denom(mean));
+  }
+
+  /// The denominator next_gap_with_denom expects for a given mean
+  /// (log1p(-1/mean)). Only valid for mean > 1.
+  [[nodiscard]] static double gap_denom(double mean) {
+    return __builtin_log1p(-1.0 / mean);
+  }
+
+  /// next_gap with a caller-precomputed denominator: a hot caller drawing
+  /// many gaps from one distribution pays one libm call per draw instead
+  /// of two. Keeps the division (not a multiply by the reciprocal) so the
+  /// gaps are bit-identical to next_gap(mean).
+  std::uint64_t next_gap_with_denom(double denom) {
     // Inverse-CDF sampling of a geometric distribution with success
     // probability 1/mean, shifted to be >= 1.
-    const double p = 1.0 / mean;
     double u = next_double();
     if (u >= 1.0) u = 0.9999999999999999;
-    const double g = __builtin_log1p(-u) / __builtin_log1p(-p);
+    const double g = __builtin_log1p(-u) / denom;
     const auto out = static_cast<std::uint64_t>(g) + 1;
     return out == 0 ? 1 : out;
   }

@@ -26,6 +26,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <optional>
 #include <string>
@@ -60,6 +61,17 @@ struct IsStdArray<std::array<T, N>> : std::true_type {};
 template <class T>
 using FloatBits =
     std::conditional_t<sizeof(T) == 8, std::uint64_t, std::uint32_t>;
+
+/// True when a container of T can be moved as one memcpy without changing
+/// the archive bytes: the serialized form of an arithmetic scalar is its
+/// little-endian image (floats via bit_cast), which IS its memory image on
+/// a little-endian host. bool is excluded (serialized as one byte each,
+/// and std::vector<bool> has no contiguous storage anyway).
+template <class T>
+inline constexpr bool kBulkCopyable =
+    std::endian::native == std::endian::little &&
+    (std::is_integral_v<T> || std::is_floating_point_v<T>) &&
+    !std::is_same_v<T, bool>;
 
 }  // namespace detail
 
@@ -96,8 +108,15 @@ class Writer {
     } else if constexpr (std::is_same_v<T, std::vector<bool>>) {
       raw_uint(static_cast<std::uint64_t>(v.size()));
       for (const bool b : v) field(b);
-    } else if constexpr (detail::IsStdVector<T>::value ||
-                         detail::IsStdDeque<T>::value) {
+    } else if constexpr (detail::IsStdVector<T>::value) {
+      raw_uint(static_cast<std::uint64_t>(v.size()));
+      if constexpr (detail::kBulkCopyable<typename T::value_type>) {
+        buf_.append(reinterpret_cast<const char*>(v.data()),
+                    v.size() * sizeof(typename T::value_type));
+      } else {
+        for (const auto& e : v) field(e);
+      }
+    } else if constexpr (detail::IsStdDeque<T>::value) {
       raw_uint(static_cast<std::uint64_t>(v.size()));
       for (const auto& e : v) field(e);
     } else if constexpr (detail::IsStdArray<T>::value) {
@@ -113,8 +132,14 @@ class Writer {
   template <class U>
   void raw_uint(U v) {
     static_assert(std::is_unsigned_v<U>);
-    for (std::size_t i = 0; i < sizeof(U); ++i) {
-      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+    if constexpr (std::endian::native == std::endian::little) {
+      // The wire format is little-endian, so on a little-endian host the
+      // value's memory image is already the encoded form.
+      buf_.append(reinterpret_cast<const char*>(&v), sizeof(U));
+    } else {
+      for (std::size_t i = 0; i < sizeof(U); ++i) {
+        buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+      }
     }
   }
 
@@ -186,8 +211,27 @@ class Reader {
         field(b);
         v[static_cast<std::size_t>(i)] = b;
       }
-    } else if constexpr (detail::IsStdVector<T>::value ||
-                         detail::IsStdDeque<T>::value) {
+    } else if constexpr (detail::IsStdVector<T>::value) {
+      using E = typename T::value_type;
+      if constexpr (detail::kBulkCopyable<E>) {
+        std::uint64_t n = 0;
+        raw_uint(n);
+        const std::uint64_t bytes = n * sizeof(E);
+        if (!ok_ || bytes > remaining()) {
+          ok_ = false;
+          v.clear();
+          return;
+        }
+        v.resize(static_cast<std::size_t>(n));
+        std::memcpy(v.data(), pos_, static_cast<std::size_t>(bytes));
+        pos_ += bytes;
+      } else {
+        const std::uint64_t n = length();
+        v.clear();
+        v.resize(static_cast<std::size_t>(n));
+        for (auto& e : v) field(e);
+      }
+    } else if constexpr (detail::IsStdDeque<T>::value) {
       const std::uint64_t n = length();
       v.clear();
       v.resize(static_cast<std::size_t>(n));
@@ -208,12 +252,16 @@ class Reader {
       v = 0;
       return;
     }
-    U out = 0;
-    for (std::size_t i = 0; i < sizeof(U); ++i) {
-      out |= static_cast<U>(static_cast<U>(pos_[i]) << (8 * i));
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&v, pos_, sizeof(U));
+    } else {
+      U out = 0;
+      for (std::size_t i = 0; i < sizeof(U); ++i) {
+        out |= static_cast<U>(static_cast<U>(pos_[i]) << (8 * i));
+      }
+      v = out;
     }
     pos_ += sizeof(U);
-    v = out;
   }
 
   /// Container length with an overrun guard: a length can never exceed the

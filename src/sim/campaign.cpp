@@ -502,6 +502,62 @@ std::optional<std::vector<CampaignCell>> expand_campaign(
   const bool check = check_v != nullptr && check_v->is_bool() &&
                      check_v->as_bool();
 
+  // Top-level "sampling" object: its presence switches every cell to
+  // sampled execution (sim/sampling.h knobs; "jobs"/"strata" select the
+  // planned parallel mode). Sampling composes with neither intra-cell
+  // checkpoints nor the sharded loop nor epoch telemetry, so those
+  // combinations are spec errors, not silent downgrades.
+  SamplingSpec sampling;
+  if (const json::Value* sv = spec.find("sampling"); sv != nullptr) {
+    if (!sv->is_object()) {
+      if (error != nullptr) *error = "'sampling' must be a JSON object";
+      return std::nullopt;
+    }
+    if (snapshot_every > 0) {
+      if (error != nullptr) {
+        *error = "'sampling' cannot be combined with snapshot_every";
+      }
+      return std::nullopt;
+    }
+    if (shard_channels > 0) {
+      if (error != nullptr) {
+        *error = "'sampling' requires the serial loop (no shard_channels)";
+      }
+      return std::nullopt;
+    }
+    if (epoch_cycles > 0) {
+      if (error != nullptr) {
+        *error = "'sampling' cannot be combined with epoch_cycles";
+      }
+      return std::nullopt;
+    }
+    sampling.enabled = true;
+    sampling.warmup_cycles =
+        scalar_u64(*sv, "warmup_cycles", sampling.warmup_cycles);
+    sampling.detail_cycles =
+        scalar_u64(*sv, "detail_cycles", sampling.detail_cycles);
+    sampling.functional_instructions = scalar_u64(
+        *sv, "functional_instructions", sampling.functional_instructions);
+    sampling.min_windows = static_cast<std::uint32_t>(
+        scalar_u64(*sv, "min_windows", sampling.min_windows));
+    sampling.max_windows = static_cast<std::uint32_t>(
+        scalar_u64(*sv, "max_windows", sampling.max_windows));
+    sampling.jobs =
+        static_cast<std::uint32_t>(scalar_u64(*sv, "jobs", sampling.jobs));
+    sampling.strata = static_cast<std::uint32_t>(
+        scalar_u64(*sv, "strata", sampling.strata));
+    if (const json::Value* ci = sv->find("target_ci");
+        ci != nullptr && ci->is_number()) {
+      sampling.target_ci_frac = ci->as_double();
+    }
+    if (sampling.strata > 0 && sampling.jobs == 0) {
+      if (error != nullptr) {
+        *error = "'sampling.strata' requires 'sampling.jobs' >= 1";
+      }
+      return std::nullopt;
+    }
+  }
+
   static const json::Value kEmptyAxes{json::Object{}};
   const json::Value* axes_p = spec.find("axes");
   const json::Value& axes = axes_p != nullptr ? *axes_p : kEmptyAxes;
@@ -574,6 +630,7 @@ std::optional<std::vector<CampaignCell>> expand_campaign(
                 e.instructions_per_core = instructions;
                 e.max_cpu_cycles = instructions * 256;  // ropsim parity
                 e.check = check;
+                e.sampling = sampling;
                 e.telemetry.sampler.epoch_cycles = epoch_cycles;
                 // Paths are filled in by run_campaign (they depend on the
                 // output directory); the period rides in the spec so every
@@ -662,14 +719,16 @@ std::optional<CampaignSummary> run_campaign(const CampaignOptions& opts,
     if (!done[i]) pending.push_back(i);
   }
 
-  unsigned max_shards = 1;
+  // Budget against the widest cell: sharded cells bring shard workers and
+  // planned-sampled cells bring window workers, so jobs * width never
+  // exceeds the machine (a 4-cell sweep of sampling.jobs=4 cells on an
+  // 8-thread budget runs 2 cells at a time, not 4).
+  unsigned max_width = 1;
   for (const CampaignCell& cell : cells) {
-    max_shards = std::max(
-        max_shards, std::max(1u, std::min(cell.spec.shard_channels,
-                                          cell.spec.channels)));
+    max_width = std::max(max_width, experiment_worker_width(cell.spec));
   }
   const unsigned n_workers =
-      worker_budget(opts.jobs, max_shards, pending.size());
+      worker_budget(opts.jobs, max_width, pending.size());
 
   std::mutex mu;  // guards done[], the manifest file, and progress output
   std::atomic<std::size_t> next{0};

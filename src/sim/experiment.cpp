@@ -11,6 +11,8 @@
 
 #include "check/sim_checker.h"
 #include "mem/refresh_stats.h"
+#include "sim/parallel_sampling.h"
+#include "sim/sim_instance.h"
 #include "sim/snapshot.h"
 #include "telemetry/attribution.h"
 #include "telemetry/stats_json.h"
@@ -45,7 +47,7 @@ std::string ExperimentResult::to_json() const {
   telemetry::JsonWriter w(os);
   w.begin_object();
   w.key("schema_version");
-  w.value(std::uint64_t{3});
+  w.value(std::uint64_t{4});
 
   w.key("run");
   w.begin_object();
@@ -206,6 +208,15 @@ std::string ExperimentResult::to_json() const {
     w.value(sampling.functional_cpu_cycles);
     w.key("ci_converged");
     w.value(sampling.ci_converged);
+    // Determinism contract (schema v4): every statistical key in this block
+    // is byte-identical for any worker count at a fixed placement;
+    // "workers" alone is operational metadata (like wall_seconds above).
+    w.key("placement");
+    w.value(sampling_placement_name(sampling.placement));
+    w.key("workers");
+    w.value(static_cast<std::uint64_t>(sampling.workers));
+    w.key("strata");
+    w.value(static_cast<std::uint64_t>(sampling.strata));
     const auto est = [&w](const char* name, const SamplingEstimate& e) {
       w.key(name);
       w.begin_object();
@@ -258,87 +269,67 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
              "sampled execution runs on the serial loops only");
   ExperimentResult result;
 
-  mem::MemoryConfig mem_cfg =
-      make_memory_config(spec.ranks, spec.mode, spec.refresh_mode,
-                         spec.channels);
-  mem_cfg.per_channel_stats = sharded;
-  mem::MemorySystem memory(mem_cfg, &result.stats);
-
+  // Full system assembly lives in build_sim_instance (the parallel-sampling
+  // workers build byte-compatible replicas through the same path); the
+  // run_experiment extras — trace sink, invariant checkers — compose through
+  // its hooks so the registry layout cannot drift between the two.
+  // `inst` is declared before `checkers`: ~SimChecker detaches from the
+  // memory system, so the checkers must be destroyed while it still lives.
+  SimInstance inst;
+  std::vector<std::unique_ptr<check::SimChecker>> checkers;
+  SimInstanceHooks hooks;
   // Event trace: attach before anything can issue a command so the timeline
   // is complete from cycle 0. The cycle->microsecond scale always follows
   // the resolved memory config, not the spec's placeholder.
-  if (spec.telemetry.tracing()) {
-    telemetry::TraceConfig trace_cfg = spec.telemetry.trace;
-    trace_cfg.tck_ps = memory.config().timings.tCK_ps;
-    result.trace = std::make_shared<telemetry::TraceSink>(trace_cfg);
-    memory.set_trace(result.trace.get());
-  }
-
-  // Opt-in invariant auditor: per-tick structural checks plus an end-of-run
-  // conservation audit. Any violation aborts the experiment with a report —
-  // a simulator whose bookkeeping has drifted produces meaningless numbers.
-  // Sharded runs get one checker per channel so each shard's ticks audit
-  // into shard-owned state (no sharing across workers). Disabled while a
-  // snapshot or sampling is active: the conservation audit counts from
-  // attach and cannot span a restore or a functional jump.
-  std::vector<std::unique_ptr<check::SimChecker>> checkers;
-  if ((spec.check || checker_enabled_by_environment()) && !snap_active &&
-      !spec.sampling.enabled) {
-    if (sharded) {
-      for (ChannelId ch = 0; ch < memory.num_channels(); ++ch) {
+  //
+  // Checkers: opt-in invariant auditor — per-tick structural checks plus an
+  // end-of-run conservation audit; any violation aborts the experiment with
+  // a report. Sharded runs get one checker per channel so each shard's
+  // ticks audit into shard-owned state. Disabled while a snapshot or
+  // sampling is active: the conservation audit counts from attach and
+  // cannot span a restore or a functional jump.
+  hooks.post_memory = [&](mem::MemorySystem& memory) {
+    if (spec.telemetry.tracing()) {
+      telemetry::TraceConfig trace_cfg = spec.telemetry.trace;
+      trace_cfg.tck_ps = memory.config().timings.tCK_ps;
+      result.trace = std::make_shared<telemetry::TraceSink>(trace_cfg);
+      memory.set_trace(result.trace.get());
+    }
+    if ((spec.check || checker_enabled_by_environment()) && !snap_active &&
+        !spec.sampling.enabled) {
+      if (sharded) {
+        for (ChannelId ch = 0; ch < memory.num_channels(); ++ch) {
+          checkers.push_back(std::make_unique<check::SimChecker>());
+          checkers.back()->attach(memory, ch);
+        }
+      } else {
         checkers.push_back(std::make_unique<check::SimChecker>());
-        checkers.back()->attach(memory, ch);
+        checkers.back()->attach(memory);
+        if (result.trace) checkers.back()->set_trace(result.trace.get());
       }
-    } else {
-      checkers.push_back(std::make_unique<check::SimChecker>());
-      checkers.back()->attach(memory);
-      if (result.trace) checkers.back()->set_trace(result.trace.get());
     }
-  }
+  };
+  hooks.post_engines =
+      [&](std::vector<std::unique_ptr<engine::RopEngine>>& engines) {
+        if (checkers.empty()) return;
+        if (sharded) {
+          // Channel-scoped checkers watch only their channel's engine.
+          for (ChannelId ch = 0;
+               ch < static_cast<ChannelId>(engines.size()); ++ch) {
+            checkers[ch]->watch(*engines[ch]);
+          }
+        } else {
+          for (const auto& eng : engines) checkers.front()->watch(*eng);
+        }
+      };
 
-  // ROP engines attach one per channel and live for the whole run. Each
-  // records into its channel's registry (the shared one when not sharded).
-  std::vector<std::unique_ptr<engine::RopEngine>> engines;
-  if (spec.mode == MemoryMode::kRop) {
-    for (ChannelId ch = 0; ch < memory.num_channels(); ++ch) {
-      engine::RopConfig rop_cfg = spec.rop;
-      rop_cfg.seed ^= spec.seed_salt * 0x9e3779b97f4a7c15ULL + ch;
-      engines.push_back(std::make_unique<engine::RopEngine>(
-          rop_cfg, memory.controller(ch), memory.address_map(),
-          &memory.channel_stats(ch)));
-    }
-  }
-
-  // All channel-side registrations are done; publish the names into the
-  // shared registry so the sampler (below) resolves handles for them.
-  if (sharded) memory.mirror_channel_stats();
-
-  std::vector<std::unique_ptr<workload::SyntheticTrace>> traces;
-  std::vector<workload::TraceSource*> trace_ptrs;
-  for (std::size_t c = 0; c < spec.benchmarks.size(); ++c) {
-    traces.push_back(std::make_unique<workload::SyntheticTrace>(
-        workload::spec_profile(spec.benchmarks[c], spec.seed_salt + c)));
-    trace_ptrs.push_back(traces.back().get());
-  }
-
-  cpu::SystemConfig sys_cfg =
-      make_system_config(spec.llc_bytes, spec.rank_partition);
-  sys_cfg.loop = spec.loop;
-  sys_cfg.shard_channels = spec.shard_channels;
-  result.cpu_ratio = sys_cfg.cpu_ratio;
-  if (!checkers.empty()) {
-    if (sharded) {
-      // Channel-scoped checkers watch only their channel's engine.
-      for (ChannelId ch = 0; ch < static_cast<ChannelId>(engines.size());
-           ++ch) {
-        checkers[ch]->watch(*engines[ch]);
-      }
-    } else {
-      for (const auto& eng : engines) checkers.front()->watch(*eng);
-    }
-  }
-
-  cpu::System system(sys_cfg, memory, trace_ptrs);
+  inst = build_sim_instance(spec, &result.stats, hooks);
+  mem::MemorySystem& memory = *inst.memory;
+  std::vector<std::unique_ptr<engine::RopEngine>>& engines = inst.engines;
+  std::vector<std::unique_ptr<workload::SyntheticTrace>>& traces =
+      inst.traces;
+  cpu::System& system = *inst.system;
+  result.cpu_ratio = inst.cpu_ratio;
 
   // Epoch sampler: constructed after the full system so an empty counter
   // list captures everything the subsystems registered.
@@ -351,7 +342,15 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   const bool progress_active =
       !spec.progress_file.empty() && !spec.sampling.enabled;
   const auto wall_start = std::chrono::steady_clock::now();
-  if (spec.sampling.enabled) {
+  if (spec.sampling.enabled && spec.sampling.jobs > 0) {
+    // Planned parallel mode: the instance above becomes the functional-only
+    // backbone; workers replicate it from the spec. Telemetry sinks hold
+    // single-threaded ring state and the backbone never runs a detailed
+    // cycle, so planned mode requires them off.
+    ROP_ASSERT(!spec.telemetry.tracing() && !spec.telemetry.sampling() &&
+               "planned parallel sampling runs without telemetry sinks");
+    result.run = run_parallel_sampled(spec, inst, &result.sampling);
+  } else if (spec.sampling.enabled) {
     result.run =
         run_sampled(system, memory, spec.sampling, spec.instructions_per_core,
                     spec.max_cpu_cycles, &result.sampling);
@@ -547,6 +546,17 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   }
 
   return result;
+}
+
+unsigned experiment_worker_width(const ExperimentSpec& spec) {
+  unsigned width = 1;
+  if (spec.shard_channels > 0) {
+    width = std::max(width, std::min(spec.shard_channels, spec.channels));
+  }
+  if (spec.sampling.enabled && spec.sampling.jobs > 0) {
+    width = std::max(width, spec.sampling.jobs);
+  }
+  return width;
 }
 
 ExperimentSpec single_core_spec(std::string benchmark, MemoryMode mode,

@@ -151,6 +151,13 @@ struct ExperimentResult {
 /// Run one experiment end to end. Deterministic for a fixed spec.
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec);
 
+/// Worker threads one run of `spec` occupies: the shard count for a
+/// sharded run, the sampling job count for a planned-sampled run, else 1.
+/// The runner and the campaign engine divide the machine budget by the
+/// widest pending spec so jobs * width never oversubscribes (see
+/// sim/worker_budget.h).
+[[nodiscard]] unsigned experiment_worker_width(const ExperimentSpec& spec);
+
 /// True when runs should be audited: spec-independent part of the
 /// ExperimentSpec::check resolution (ROP_CHECK env var, CMake default).
 [[nodiscard]] bool checker_enabled_by_environment();

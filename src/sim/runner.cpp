@@ -14,14 +14,14 @@ std::vector<ExperimentResult> run_experiments(
   if (specs.empty()) return results;
 
   // Budget the pool against nested parallelism: a spec that runs the
-  // channel-sharded loop brings its own shard workers, so the default
+  // channel-sharded loop brings its own shard workers, and a
+  // planned-sampled spec brings its own window workers, so the default
   // (n_threads == 0) divides hardware_concurrency by the widest spec.
-  unsigned max_shards = 1;
+  unsigned max_width = 1;
   for (const ExperimentSpec& spec : specs) {
-    max_shards = std::max(
-        max_shards, std::min(spec.shard_channels, spec.channels));
+    max_width = std::max(max_width, experiment_worker_width(spec));
   }
-  n_threads = worker_budget(n_threads, max_shards, specs.size());
+  n_threads = worker_budget(n_threads, max_width, specs.size());
 
   // Each worker claims the next unstarted spec and writes its pre-sized
   // result slot; no other state is shared, so scheduling order cannot

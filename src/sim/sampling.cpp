@@ -18,6 +18,15 @@ double t_quantile_975(std::uint64_t df) {
   return 1.96;
 }
 
+const char* sampling_placement_name(SamplingPlacement p) {
+  switch (p) {
+    case SamplingPlacement::kChained: return "chained";
+    case SamplingPlacement::kUniform: return "uniform";
+    case SamplingPlacement::kStratified: return "stratified";
+  }
+  return "?";
+}
+
 SamplingEstimate estimate_from(const std::vector<double>& observations) {
   SamplingEstimate e;
   const std::size_t n = observations.size();
@@ -37,13 +46,70 @@ SamplingEstimate estimate_from(const std::vector<double>& observations) {
   return e;
 }
 
-namespace {
+SamplingEstimate stratified_estimate(
+    const std::vector<double>& observations,
+    const std::vector<std::uint32_t>& stratum_of,
+    const std::vector<double>& stratum_weight) {
+  ROP_ASSERT(observations.size() == stratum_of.size());
+  const std::size_t num_strata = stratum_weight.size();
+  SamplingEstimate e;
+  if (observations.empty() || num_strata == 0) return e;
+
+  // Per-stratum count / mean / sample variance.
+  std::vector<std::uint64_t> n(num_strata, 0);
+  std::vector<double> sum(num_strata, 0.0);
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    ROP_ASSERT(stratum_of[i] < num_strata);
+    ++n[stratum_of[i]];
+    sum[stratum_of[i]] += observations[i];
+  }
+  std::vector<double> mean(num_strata, 0.0);
+  for (std::size_t h = 0; h < num_strata; ++h) {
+    if (n[h] > 0) mean[h] = sum[h] / static_cast<double>(n[h]);
+  }
+  std::vector<double> ss(num_strata, 0.0);
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    const double d = observations[i] - mean[stratum_of[i]];
+    ss[stratum_of[i]] += d * d;
+  }
+
+  // Weights renormalized over covered strata; one covered stratum
+  // degenerates to the plain i.i.d. estimator.
+  double wsum = 0.0;
+  std::size_t covered = 0;
+  for (std::size_t h = 0; h < num_strata; ++h) {
+    if (n[h] > 0) {
+      ROP_ASSERT(stratum_weight[h] >= 0.0);
+      wsum += stratum_weight[h];
+      ++covered;
+    }
+  }
+  if (covered <= 1 || wsum <= 0.0) return estimate_from(observations);
+
+  double var = 0.0;
+  std::uint64_t df = 0;
+  for (std::size_t h = 0; h < num_strata; ++h) {
+    if (n[h] == 0) continue;
+    const double frac = stratum_weight[h] / wsum;
+    e.mean += frac * mean[h];
+    if (n[h] >= 2) {
+      const double s2 = ss[h] / static_cast<double>(n[h] - 1);
+      var += frac * frac * s2 / static_cast<double>(n[h]);
+      df += n[h] - 1;
+    }
+  }
+  if (df == 0) return e;
+  e.stderr_ = std::sqrt(var);
+  e.ci95_half = t_quantile_975(df) * e.stderr_;
+  return e;
+}
 
 /// Settle every rank's activity accounting to `now` and total the DRAM
 /// energy across channels. Piecewise-safe: account_until is monotone, so
 /// mid-run settles compose with the final settle in finalize().
-double settled_energy_mj(mem::MemorySystem& memory,
-                         const energy::DramPowerModel& power, Cycle now) {
+double sampled_window_energy_mj(mem::MemorySystem& memory,
+                                const energy::DramPowerModel& power,
+                                Cycle now) {
   double total = 0.0;
   for (ChannelId ch = 0; ch < memory.num_channels(); ++ch) {
     dram::Channel& channel = memory.controller(ch).channel();
@@ -52,8 +118,6 @@ double settled_energy_mj(mem::MemorySystem& memory,
   }
   return total;
 }
-
-}  // namespace
 
 cpu::RunResult run_sampled(cpu::System& system, mem::MemorySystem& memory,
                            const SamplingSpec& spec,
@@ -80,6 +144,7 @@ cpu::RunResult run_sampled(cpu::System& system, mem::MemorySystem& memory,
   std::vector<double> ipc_obs;
   std::vector<double> energy_obs;
   std::vector<double> blocked_obs;
+  std::vector<WindowObservation> window_obs;
   std::uint64_t measured = 0;
   std::uint64_t functional = 0;
   bool converged = false;
@@ -95,17 +160,25 @@ cpu::RunResult run_sampled(cpu::System& system, mem::MemorySystem& memory,
     const std::uint64_t i0 = total_instructions();
     const std::uint64_t b0 = blocked->value();
     const double e0 =
-        settled_energy_mj(memory, power, c0 / system.cpu_ratio());
+        sampled_window_energy_mj(memory, power, c0 / system.cpu_ratio());
     done = system.advance_until(c0 + spec.detail_cycles);
     const std::uint64_t c1 = system.cpu_cycle();
     if (c1 > c0) {
       const double dc = static_cast<double>(c1 - c0);
       const double dm = dc / ratio;  // memory cycles in the window
-      ipc_obs.push_back(static_cast<double>(total_instructions() - i0) / dc);
-      blocked_obs.push_back(static_cast<double>(blocked->value() - b0) / dm);
+      WindowObservation obs;
+      obs.index = window_obs.size();
+      obs.cpu_cycles = c1 - c0;
+      obs.ipc = static_cast<double>(total_instructions() - i0) / dc;
+      obs.refresh_blocked_per_mem_cycle =
+          static_cast<double>(blocked->value() - b0) / dm;
       const double e1 =
-          settled_energy_mj(memory, power, c1 / system.cpu_ratio());
-      energy_obs.push_back((e1 - e0) * 1e6 / dm);
+          sampled_window_energy_mj(memory, power, c1 / system.cpu_ratio());
+      obs.energy_mj_per_mcycle = (e1 - e0) * 1e6 / dm;
+      ipc_obs.push_back(obs.ipc);
+      blocked_obs.push_back(obs.refresh_blocked_per_mem_cycle);
+      energy_obs.push_back(obs.energy_mj_per_mcycle);
+      window_obs.push_back(obs);
       measured += c1 - c0;
     }
     if (done) break;
@@ -136,9 +209,13 @@ cpu::RunResult run_sampled(cpu::System& system, mem::MemorySystem& memory,
     out->measured_cpu_cycles = measured;
     out->functional_cpu_cycles = functional;
     out->ci_converged = converged;
+    out->placement = SamplingPlacement::kChained;
+    out->workers = 0;
+    out->strata = 0;
     out->ipc = estimate_from(ipc_obs);
     out->energy_mj_per_mcycle = estimate_from(energy_obs);
     out->refresh_blocked_per_mem_cycle = estimate_from(blocked_obs);
+    out->observations = std::move(window_obs);
   }
   return result;
 }

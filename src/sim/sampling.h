@@ -30,6 +30,7 @@
 
 #include "common/types.h"
 #include "cpu/system.h"
+#include "energy/dram_power.h"
 #include "mem/memory_system.h"
 
 namespace rop::sim {
@@ -55,6 +56,17 @@ struct SamplingSpec {
   std::uint32_t min_windows = 8;
   std::uint32_t max_windows = 0;
   double target_ci_frac = 0.0;
+  /// Parallel planned mode (sim/parallel_sampling.h). 0 keeps the legacy
+  /// chained loop above; >= 1 plans window placement on a functional-only
+  /// backbone and dispatches each window to a pool of `jobs` workers. The
+  /// observation set is identical for every jobs >= 1 at a fixed placement.
+  std::uint32_t jobs = 0;
+  /// Stratified placement (planned mode only): > 0 splits the instruction
+  /// horizon into `strata` equal slices, allocates windows to each slice in
+  /// proportion to its observed memory traffic (LLC misses during the
+  /// functional pass), and combines per-stratum means with Neyman-style
+  /// cycle-share weights. 0 keeps uniform placement.
+  std::uint32_t strata = 0;
 };
 
 /// One metric's sampled estimate.
@@ -64,15 +76,45 @@ struct SamplingEstimate {
   double ci95_half = 0.0;  // t_{0.975, n-1} * stderr
 };
 
+/// How measurement windows were placed along the run.
+enum class SamplingPlacement : std::uint8_t {
+  kChained,     // legacy loop: windows chained inline with the warming
+  kUniform,     // planned mode, evenly spaced windows
+  kStratified,  // planned mode, traffic-proportional per-stratum allocation
+};
+
+[[nodiscard]] const char* sampling_placement_name(SamplingPlacement p);
+
+/// One measured window's raw observation. The full vector is kept on the
+/// summary (not emitted to JSON) so determinism tests can compare the
+/// exact per-window values across worker counts and against the legacy
+/// chained loop.
+struct WindowObservation {
+  std::uint64_t index = 0;    // placement ordinal (merge order)
+  std::uint32_t stratum = 0;  // 0 when placement is not stratified
+  std::uint64_t cpu_cycles = 0;
+  double ipc = 0.0;
+  double energy_mj_per_mcycle = 0.0;
+  double refresh_blocked_per_mem_cycle = 0.0;
+};
+
 struct SamplingSummary {
   bool enabled = false;
   std::uint64_t windows = 0;  // measured windows (observations)
   std::uint64_t measured_cpu_cycles = 0;
   std::uint64_t functional_cpu_cycles = 0;
   bool ci_converged = false;  // target_ci_frac was set and reached
+  SamplingPlacement placement = SamplingPlacement::kChained;
+  /// Worker threads that executed the windows (operational, like
+  /// wall_seconds: every statistical field above/below is identical for any
+  /// worker count at a fixed placement — that is the determinism contract).
+  std::uint32_t workers = 0;
+  std::uint32_t strata = 0;
   SamplingEstimate ipc;
   SamplingEstimate energy_mj_per_mcycle;          // mJ per 1e6 mem cycles
   SamplingEstimate refresh_blocked_per_mem_cycle;
+  /// Per-window raw observations in placement order (all modes).
+  std::vector<WindowObservation> observations;
 };
 
 /// Two-sided 95% Student-t quantile for `df` degrees of freedom (exact
@@ -82,6 +124,26 @@ struct SamplingSummary {
 /// Mean / stderr / CI of a set of observations (empty -> zeros).
 [[nodiscard]] SamplingEstimate estimate_from(
     const std::vector<double>& observations);
+
+/// Stratified estimator: observation i belongs to stratum `stratum_of[i]`,
+/// stratum h carries weight `stratum_weight[h]` (its estimated share of the
+/// run — cycle estimates from the functional pass). Mean is the
+/// weight-combined per-stratum mean; the variance follows the standard
+/// stratified form Var = sum_h (W_h/W)^2 s_h^2 / n_h over strata with at
+/// least two observations, with df = sum_h (n_h - 1). Strata with zero
+/// observations drop out (weights renormalized over the covered strata).
+/// Falls back to estimate_from when every observation lands in one stratum.
+[[nodiscard]] SamplingEstimate stratified_estimate(
+    const std::vector<double>& observations,
+    const std::vector<std::uint32_t>& stratum_of,
+    const std::vector<double>& stratum_weight);
+
+/// Settle every rank's accounting to memory cycle `now` and total the DRAM
+/// energy across channels (piecewise-safe; used at measured-window edges by
+/// both the chained loop and the parallel-sampling workers).
+[[nodiscard]] double sampled_window_energy_mj(
+    mem::MemorySystem& memory, const energy::DramPowerModel& power,
+    Cycle now);
 
 /// Drive `system` (already constructed, not yet begun) through a sampled
 /// run: begin_run, alternate measured and functional windows until every

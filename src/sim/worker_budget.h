@@ -16,17 +16,23 @@
 namespace rop::sim {
 
 /// Number of worker threads to launch for `n_tasks` independent jobs, each
-/// of which may internally run `shards_per_job` shard workers.
-/// `requested_jobs` = 0 derives the budget from hardware_concurrency();
-/// any other value is the user's call. Always in [1, n_tasks] for
-/// n_tasks >= 1.
+/// of which may internally run `shards_per_job` shard workers (channel
+/// shards or parallel-sampling window workers — whichever width the job's
+/// spec implies; see experiment_worker_width in sim/experiment.h).
+/// `requested_jobs` = 0 derives the budget from the machine; any other
+/// value is the user's call. `hardware` = 0 queries
+/// hardware_concurrency(); tests pass an explicit value to pin the policy.
+/// Always in [1, n_tasks] for n_tasks >= 1.
 [[nodiscard]] inline unsigned worker_budget(unsigned requested_jobs,
                                             unsigned shards_per_job,
-                                            std::size_t n_tasks) {
+                                            std::size_t n_tasks,
+                                            unsigned hardware = 0) {
   if (n_tasks == 0) return 1;
   unsigned jobs = requested_jobs;
   if (jobs == 0) {
-    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned hw = hardware > 0
+                            ? hardware
+                            : std::max(1u, std::thread::hardware_concurrency());
     const unsigned shards = std::max(1u, shards_per_job);
     jobs = std::max(1u, hw / shards);
   }

@@ -2,10 +2,26 @@
 
 namespace rop::workload {
 
+namespace {
+
+/// Draw one gap: the denominator fast path when the mean supports it
+/// (mean > 1), the plain path otherwise. `denom` must be
+/// Rng::gap_denom(mean) when mean > 1; its value is ignored otherwise.
+std::uint64_t draw_gap(Rng& rng, double mean, double denom) {
+  return mean > 1.0 ? rng.next_gap_with_denom(denom) : rng.next_gap(mean);
+}
+
+}  // namespace
+
 SyntheticTrace::SyntheticTrace(const SyntheticConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
   ROP_ASSERT(!cfg_.streams.empty());
   ROP_ASSERT(cfg_.footprint_lines > 0);
   ROP_ASSERT(cfg_.mean_gap >= 0.0);
+  gap_denom_ = cfg_.mean_gap > 1.0 ? Rng::gap_denom(cfg_.mean_gap) : 0.0;
+  idle_denom_ = cfg_.idle_instructions > 1.0
+                    ? Rng::gap_denom(cfg_.idle_instructions)
+                    : 0.0;
+  burst_denom_ = cfg_.burst_ops > 1.0 ? Rng::gap_denom(cfg_.burst_ops) : 0.0;
   reset();
 }
 
@@ -28,7 +44,7 @@ void SyntheticTrace::reset() {
         cfg_.footprint_lines;
   }
   ops_until_idle_ =
-      cfg_.burst_ops > 0 ? rng_.next_gap(cfg_.burst_ops) : 0;
+      cfg_.burst_ops > 0 ? draw_gap(rng_, cfg_.burst_ops, burst_denom_) : 0;
   ring_.clear();
   ring_pos_ = 0;
 }
@@ -57,14 +73,14 @@ void SyntheticTrace::refill() {
 TraceRecord SyntheticTrace::generate(Rng& rng) {
   TraceRecord rec;
   std::uint64_t gap =
-      cfg_.mean_gap > 0 ? rng.next_gap(cfg_.mean_gap) - 1 : 0;
+      cfg_.mean_gap > 0 ? draw_gap(rng, cfg_.mean_gap, gap_denom_) - 1 : 0;
 
   // Burst phase accounting: when the busy phase ends, splice in a long
   // idle compute period before the next access.
   if (cfg_.burst_ops > 0 && cfg_.idle_instructions > 0) {
     if (ops_until_idle_ == 0) {
-      gap += rng.next_gap(cfg_.idle_instructions);
-      ops_until_idle_ = rng.next_gap(cfg_.burst_ops);
+      gap += draw_gap(rng, cfg_.idle_instructions, idle_denom_);
+      ops_until_idle_ = draw_gap(rng, cfg_.burst_ops, burst_denom_);
     } else {
       --ops_until_idle_;
     }

@@ -79,6 +79,12 @@ class SyntheticTrace final : public TraceSource {
 
   SyntheticConfig cfg_;
   Rng rng_;
+  /// Precomputed log1p(-1/mean) for each gap distribution (0 when the mean
+  /// is <= 1 and the denominator path is unused): one libm call per draw
+  /// instead of two, bit-identical to Rng::next_gap.
+  double gap_denom_ = 0.0;
+  double idle_denom_ = 0.0;
+  double burst_denom_ = 0.0;
   std::vector<std::uint64_t> positions_;  // per-stream line cursor
   std::vector<std::size_t> delta_idx_;    // per-stream cursor into deltas
   std::vector<double> credits_;  // weighted round-robin selection state

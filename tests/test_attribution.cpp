@@ -126,7 +126,7 @@ TEST(AttributionJson, CarriesStacksAndRequestTotals) {
   spec.instructions_per_core = 120'000;
   const ExperimentResult r = run_experiment(spec);
   const std::string json = r.to_json();
-  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":4"), std::string::npos);
   EXPECT_NE(json.find("\"attribution\""), std::string::npos);
   EXPECT_NE(json.find("\"cpu_ratio\""), std::string::npos);
   EXPECT_NE(json.find("\"cpi_stack\""), std::string::npos);

@@ -242,13 +242,17 @@ TEST_P(SnapshotSplit, EventLoopSerial) {
   spec.loop = cpu::LoopMode::kEventDriven;
   // Off-ratio cut: lands inside a memory window and (for long stalls)
   // inside a bulk-advance span — advance_until must clamp exactly.
-  expect_split_identical(spec, tmp_path("event_serial"));
+  expect_split_identical(
+      spec, tmp_path(std::string("event_serial_") +
+                     memory_mode_name(GetParam())));
 }
 
 TEST_P(SnapshotSplit, FrozenStallLoopSerial) {
   ExperimentSpec spec = matrix_spec(GetParam());
   spec.loop = cpu::LoopMode::kFrozenStall;
-  expect_split_identical(spec, tmp_path("frozen_serial"));
+  expect_split_identical(
+      spec, tmp_path(std::string("frozen_serial_") +
+                     memory_mode_name(GetParam())));
 }
 
 TEST_P(SnapshotSplit, ShardedTwoAndFour) {
@@ -259,8 +263,9 @@ TEST_P(SnapshotSplit, ShardedTwoAndFour) {
     spec.channels = 4;
     spec.shard_channels = shards;
     spec.rank_partition = false;
-    expect_split_identical(spec,
-                           tmp_path("sharded_" + std::to_string(shards)));
+    expect_split_identical(
+        spec, tmp_path(std::string("sharded_") + memory_mode_name(GetParam()) +
+                       "_" + std::to_string(shards)));
   }
 }
 

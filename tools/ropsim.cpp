@@ -73,6 +73,8 @@ struct Options {
   std::uint32_t sample_min_windows = 0;   // --sample-min-windows N
   std::uint32_t sample_max_windows = 0;   // --sample-max-windows N
   double sample_target_ci = 0.0;      // --sample-target-ci FRAC
+  std::uint32_t sample_jobs = 0;      // --sample-jobs N (planned parallel)
+  std::uint32_t sample_strata = 0;    // --sample-strata N (stratified)
   std::string stats_json;             // --stats-json PATH
   std::string trace_out;              // --trace-out PATH
   std::string trace_cats = "all";     // --trace-cats CATS
@@ -151,6 +153,13 @@ struct Options {
       "  --sample-min-windows N   observations before auto-stop may fire\n"
       "  --sample-max-windows N   hard cap on window count\n"
       "  --sample-target-ci F     stop when IPC ci95/mean <= F (e.g. 0.05)\n"
+      "  --sample-jobs N          plan windows on a functional-only pass and\n"
+      "                           run them on N snapshot-restoring workers\n"
+      "                           (estimates are identical for every N >= 1;\n"
+      "                           see docs/PERFORMANCE.md §9)\n"
+      "  --sample-strata N        stratified window placement over N horizon\n"
+      "                           slices, traffic-proportional allocation\n"
+      "                           (requires --sample-jobs >= 1)\n"
       "  --help\n"
       "\n"
       "campaign mode — expand a JSON sweep spec into a grid of runs with\n"
@@ -240,6 +249,10 @@ Options parse(int argc, char** argv) {
       opt.sample_max_windows = static_cast<std::uint32_t>(std::atoi(need(i)));
     } else if (arg == "--sample-target-ci") {
       opt.sample_target_ci = std::strtod(need(i), nullptr);
+    } else if (arg == "--sample-jobs") {
+      opt.sample_jobs = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (arg == "--sample-strata") {
+      opt.sample_strata = static_cast<std::uint32_t>(std::atoi(need(i)));
     } else if (arg == "--stats-json") {
       opt.stats_json = need(i);
     } else if (arg == "--epoch") {
@@ -366,6 +379,8 @@ sim::ExperimentSpec spec_from_options(const Options& opt,
     }
     spec.sampling.max_windows = opt.sample_max_windows;
     spec.sampling.target_ci_frac = opt.sample_target_ci;
+    spec.sampling.jobs = opt.sample_jobs;
+    spec.sampling.strata = opt.sample_strata;
   }
   return spec;
 }
@@ -484,7 +499,11 @@ int run_compare(const Options& opt) {
 /// run_experiment, which does. Bit-identical results, same report.
 int run_sharded_single(const Options& opt, sim::MemoryMode mode) {
   sim::ExperimentSpec spec = spec_from_options(opt, mode);
-  if (!opt.stats_json.empty() || opt.epoch != 0) {
+  const bool planned_sampling =
+      spec.sampling.enabled && spec.sampling.jobs > 0;
+  // Planned parallel sampling runs without telemetry sinks (the backbone
+  // never executes a detailed cycle); --epoch with it is rejected in main.
+  if (!planned_sampling && (!opt.stats_json.empty() || opt.epoch != 0)) {
     spec.telemetry.sampler.epoch_cycles =
         opt.epoch != 0 ? opt.epoch
                        : sim::make_memory_config(spec.ranks, spec.mode,
@@ -518,6 +537,14 @@ int run_sharded_single(const Options& opt, sim::MemoryMode mode) {
                 static_cast<unsigned long long>(s.measured_cpu_cycles),
                 static_cast<unsigned long long>(s.functional_cpu_cycles),
                 s.ci_converged ? " — CI target reached" : "");
+    if (s.placement != sim::SamplingPlacement::kChained) {
+      std::printf("  placement %s, %u worker%s%s\n",
+                  sim::sampling_placement_name(s.placement), s.workers,
+                  s.workers == 1 ? "" : "s",
+                  s.strata > 0
+                      ? (", " + std::to_string(s.strata) + " strata").c_str()
+                      : "");
+    }
     std::printf("  IPC                 %.4f +/- %.4f (95%% CI)\n",
                 s.ipc.mean, s.ipc.ci95_half);
     std::printf("  energy mJ/Mcycle    %.4f +/- %.4f\n",
@@ -656,6 +683,19 @@ int main(int argc, char** argv) {
     return run_compare(opt);
   }
   const sim::MemoryMode mode = parse_mode(opt.mode);
+  if (opt.sample_jobs > 0 && opt.loop != "sampled") {
+    std::fprintf(stderr, "--sample-jobs requires --loop sampled\n");
+    return 2;
+  }
+  if (opt.sample_strata > 0 && opt.sample_jobs == 0) {
+    std::fprintf(stderr, "--sample-strata requires --sample-jobs >= 1\n");
+    return 2;
+  }
+  if (opt.sample_jobs > 0 && opt.epoch != 0) {
+    std::fprintf(stderr, "--sample-jobs runs without telemetry sinks; "
+                         "--epoch is not supported\n");
+    return 2;
+  }
   // --progress alone routes through run_experiment too (the heartbeat loop
   // lives there), but must not tighten the loop-mode rules the other
   // routed features carry.
